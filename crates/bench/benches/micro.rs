@@ -1,0 +1,186 @@
+//! Criterion microbenchmarks: the mechanisms behind Table 3's costs,
+//! plus the ablations DESIGN.md calls out (field-selective vs full
+//! marshaling, thread-reuse vs thread-handoff transport, combolock vs
+//! always-semaphore).
+//!
+//! Run via `cargo bench -p decaf-bench --bench micro`.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decaf_core::simkernel::Kernel;
+use decaf_core::xdr::graph::{self, NullTracker, ObjHeap};
+use decaf_core::xdr::mask::{Access, Direction, FieldMask, MaskSet};
+use decaf_core::xdr::{codec, XdrSpec, XdrType, XdrValue};
+use decaf_core::xpc::{ChannelConfig, Combolock, Domain, ProcDef, Transport, XpcChannel};
+
+fn adapter_spec() -> XdrSpec {
+    XdrSpec::parse(
+        "struct ring { int count; int next; opaque pad[32]; };\n\
+         struct adapter { int msg_enable; int link_up; int speed; hyper stats; \
+         opaque mac[6]; struct ring *tx; struct ring *rx; };",
+    )
+    .unwrap()
+}
+
+fn build_heap(spec: &XdrSpec) -> (ObjHeap, u64) {
+    let mut heap = ObjHeap::new();
+    let tx = heap.alloc_default("ring", spec).unwrap();
+    let rx = heap.alloc_default("ring", spec).unwrap();
+    let a = heap.alloc_default("adapter", spec).unwrap();
+    heap.set_ptr(a, "tx", Some(tx)).unwrap();
+    heap.set_ptr(a, "rx", Some(rx)).unwrap();
+    heap.set_scalar(a, "stats", XdrValue::Hyper(123_456))
+        .unwrap();
+    (heap, a)
+}
+
+fn bench_xdr_codec(c: &mut Criterion) {
+    let spec = adapter_spec();
+    let ty = XdrType::Struct("adapter".into());
+    let value = graph::default_value(&ty, &spec).unwrap();
+    let bytes = codec::encode(&value, &ty, &spec).unwrap();
+    c.bench_function("xdr/encode_adapter", |b| {
+        b.iter(|| codec::encode(&value, &ty, &spec).unwrap())
+    });
+    c.bench_function("xdr/decode_adapter", |b| {
+        b.iter(|| codec::decode(&bytes, &ty, &spec).unwrap())
+    });
+}
+
+fn bench_graph_marshal(c: &mut Criterion) {
+    let spec = adapter_spec();
+    let (heap, a) = build_heap(&spec);
+    c.bench_function("xdr/marshal_graph_full", |b| {
+        b.iter(|| {
+            graph::marshal_graph(&heap, Some(a), &spec, &MaskSet::full(), Direction::In).unwrap()
+        })
+    });
+    // Ablation: field-selective masks vs full-struct copies.
+    let mut masks = MaskSet::selective();
+    let mut m = FieldMask::new();
+    m.record("msg_enable", Access::ReadWrite);
+    m.record("link_up", Access::Write);
+    masks.insert("adapter", m);
+    c.bench_function("xdr/marshal_graph_selective", |b| {
+        b.iter(|| graph::marshal_graph(&heap, Some(a), &spec, &masks, Direction::In).unwrap())
+    });
+    let bytes =
+        graph::marshal_graph(&heap, Some(a), &spec, &MaskSet::full(), Direction::In).unwrap();
+    c.bench_function("xdr/unmarshal_graph_fresh", |b| {
+        b.iter(|| {
+            let mut dst = ObjHeap::with_base(0x9000_0000);
+            graph::unmarshal_graph(
+                &bytes,
+                "adapter",
+                &mut dst,
+                &spec,
+                &MaskSet::full(),
+                Direction::In,
+                &mut NullTracker,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn channel(config: ChannelConfig) -> (Kernel, XpcChannel, u64) {
+    let kernel = Kernel::new();
+    let ch = XpcChannel::new(
+        adapter_spec(),
+        MaskSet::full(),
+        config,
+        Domain::Nucleus,
+        Domain::Decaf,
+    );
+    ch.register_proc(
+        Domain::Decaf,
+        ProcDef {
+            name: "touch".into(),
+            arg_types: vec!["adapter".into()],
+            handler: Rc::new(|_, _, _, _| XdrValue::Int(0)),
+        },
+    )
+    .unwrap();
+    let a = {
+        let heap = ch.heap(Domain::Nucleus);
+        let spec = adapter_spec();
+        let mut h = heap.borrow_mut();
+        let tx = h.alloc_default("ring", &spec).unwrap();
+        let a = h.alloc_default("adapter", &spec).unwrap();
+        h.set_ptr(a, "tx", Some(tx)).unwrap();
+        a
+    };
+    (kernel, ch, a)
+}
+
+fn bench_xpc_call(c: &mut Criterion) {
+    // Ablation: thread-reuse (InProc) vs dedicated-thread handoff.
+    let (kernel, ch, a) = channel(ChannelConfig {
+        domain_crossing: true,
+        cross_language: true,
+        transport: Transport::InProc,
+    });
+    c.bench_function("xpc/roundtrip_inproc", |b| {
+        b.iter(|| {
+            ch.call(&kernel, Domain::Nucleus, "touch", &[Some(a)], &[])
+                .unwrap()
+        })
+    });
+    let (kernel, ch, a) = channel(ChannelConfig {
+        domain_crossing: true,
+        cross_language: true,
+        transport: Transport::Threaded,
+    });
+    c.bench_function("xpc/roundtrip_threaded_model", |b| {
+        b.iter(|| {
+            ch.call(&kernel, Domain::Nucleus, "touch", &[Some(a)], &[])
+                .unwrap()
+        })
+    });
+    // Cross-language conversion off: the kernel/user-only path.
+    let (kernel, ch, a) = channel(ChannelConfig {
+        domain_crossing: true,
+        cross_language: false,
+        transport: Transport::InProc,
+    });
+    c.bench_function("xpc/roundtrip_no_crosslang", |b| {
+        b.iter(|| {
+            ch.call(&kernel, Domain::Nucleus, "touch", &[Some(a)], &[])
+                .unwrap()
+        })
+    });
+}
+
+fn bench_combolock(c: &mut Criterion) {
+    // Ablation: combolock (spin when kernel-only) vs forced semaphore.
+    let kernel = Kernel::new();
+    let lock = Combolock::new("bench");
+    c.bench_function("combolock/kernel_only_spin", |b| {
+        b.iter(|| drop(lock.acquire(&kernel, Domain::Nucleus)))
+    });
+    let lock = Combolock::new("bench_user");
+    // Holding from user mode once keeps switching costs visible.
+    c.bench_function("combolock/user_semaphore", |b| {
+        b.iter(|| drop(lock.acquire(&kernel, Domain::Decaf)))
+    });
+}
+
+fn bench_slicer(c: &mut Criterion) {
+    let src = decaf_core::drivers::DriverKind::E1000.minic_source();
+    c.bench_function("slicer/slice_e1000", |b| {
+        b.iter(|| {
+            decaf_core::slicer::slice(src, &decaf_core::slicer::SliceConfig::default()).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_xdr_codec,
+    bench_graph_marshal,
+    bench_xpc_call,
+    bench_combolock,
+    bench_slicer
+);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Benchmark support crate.
+//!
+//! The real content lives in the bench targets:
+//!
+//! * `benches/tables.rs` — regenerates Tables 1–4 of the paper;
+//! * `benches/figures.rs` — regenerates Figures 1–5;
+//! * `benches/micro.rs` — criterion microbenches of the XDR codec, graph
+//!   marshaler, XPC round trips and combolocks, including the ablations
+//!   listed in DESIGN.md.
+//!
+//! All three run under `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,54 @@
+//! Decaf Drivers: the complete reproduction, behind one facade.
+//!
+//! This crate ties the substrates together and exposes the experiment
+//! runners that regenerate every table and figure of *Decaf: Moving
+//! Device Drivers to a Modern Language* (Renzelmann & Swift, USENIX ATC
+//! 2009):
+//!
+//! * [`experiments::table1`] — lines of code of the runtime components;
+//! * [`experiments::table2`] — the five drivers sliced: annotations and
+//!   function/LoC counts per partition;
+//! * [`experiments::table3`] — workload performance, CPU utilization,
+//!   initialization latency and user/kernel crossings, native vs decaf;
+//! * [`experiments::table4`] — the E1000 evolution study (patch stream
+//!   classification);
+//! * [`figures`] — the Figure 1 architecture rendering, the Figure 2
+//!   Jeannie stub, the Figure 3 generated XDR, the Figure 4 staged-cleanup
+//!   comparison, and the Figure 5 error-handling audit.
+//!
+//! # Examples
+//!
+//! ```
+//! // Slice a driver and inspect where its functions land.
+//! use decaf_core::slicer::{slice, SliceConfig};
+//! let plan = slice(
+//!     decaf_core::drivers::DriverKind::E1000.minic_source(),
+//!     &SliceConfig::default(),
+//! )
+//! .unwrap();
+//! assert!(plan.user_fraction() > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod figures;
+
+/// Re-export of the simulated kernel substrate.
+pub use decaf_simkernel as simkernel;
+
+/// Re-export of the device models.
+pub use decaf_simdev as simdev;
+
+/// Re-export of the XDR marshaling layer.
+pub use decaf_xdr as xdr;
+
+/// Re-export of the XPC runtime.
+pub use decaf_xpc as xpc;
+
+/// Re-export of DriverSlicer.
+pub use decaf_slicer as slicer;
+
+/// Re-export of the five drivers and workloads.
+pub use decaf_drivers as drivers;

@@ -1,0 +1,615 @@
+//! The RTL8139 (`8139too`) fast-ethernet driver: mini-C source, native
+//! build and decaf build.
+//!
+//! In the paper this was one of the two drivers converted during Decaf's
+//! development; 25 of its functions moved to Java with 16 left in the
+//! driver library and 12 in the kernel (Table 2). The paper also changed
+//! six lines in its nucleus to defer functions executed at high priority
+//! to a worker thread — reproduced here by the `rtl8139_thread` work-item
+//! deferral.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use decaf_simdev::rtl8139 as hwreg;
+use decaf_simdev::Rtl8139Device;
+use decaf_simkernel::{DmaMemory, KError, KResult, Kernel, MmioHandle, MmioRegion, SkBuff};
+use decaf_slicer::{slice, SliceConfig, SlicePlan};
+use decaf_xdr::graph::CAddr;
+use decaf_xdr::XdrValue;
+use decaf_xpc::{Domain, NuclearRuntime, ProcDef, XpcChannel};
+
+use crate::support::{self, decaf_readl, decaf_writel};
+
+/// IRQ line of the adapter.
+pub const IRQ_LINE: u32 = 10;
+/// The MAC programmed into the ID registers.
+pub const MAC: [u8; 6] = [0x52, 0x54, 0x00, 0x12, 0x34, 0x56];
+/// DMA offset of the receive ring.
+pub const RX_RING_OFF: u32 = 0x4000;
+/// DMA offset of the four transmit buffers.
+pub const TX_BUF_OFF: usize = 0x100;
+
+/// Mini-C source for DriverSlicer.
+pub mod minic {
+    /// The driver source.
+    pub const SOURCE: &str = r#"
+struct rtl8139_private {
+    int msg_enable;
+    int link_up;
+    int media;
+    int twistie;
+    u8 mac[6];
+    unsigned long long tx_packets;
+    unsigned long long rx_packets;
+    int cur_tx;
+    int cur_rx;
+};
+
+/* Interrupt handler and packet paths stay in the kernel. */
+int rtl8139_interrupt(struct rtl8139_private *tp) @irq {
+    int status;
+    status = readl(64);
+    if (status == 0) { return 0; }
+    rtl8139_rx(tp);
+    rtl8139_tx_interrupt(tp);
+    return 1;
+}
+int rtl8139_rx(struct rtl8139_private *tp) @datapath {
+    tp->rx_packets += 1;
+    netif_rx(tp);
+    return 0;
+}
+int rtl8139_tx_interrupt(struct rtl8139_private *tp) @datapath {
+    tp->tx_packets += 1;
+    return 0;
+}
+int rtl8139_start_xmit(struct rtl8139_private *tp, int len) @datapath {
+    writel(16, len);
+    tp->cur_tx += 1;
+    return 0;
+}
+
+/* Initialization and configuration move to user level. */
+int rtl8139_probe(struct rtl8139_private *tp) @export {
+    int i;
+    i = rtl8139_init_board(tp);
+    if (i) return i;
+    i = rtl8139_read_mac(tp);
+    if (i) return i;
+    rtl8139_init_media(tp);
+    return 0;
+}
+int rtl8139_init_board(struct rtl8139_private *tp) @export {
+    writel(56, 16);
+    readl(56);
+    tp->msg_enable = 7;
+    return 0;
+}
+int rtl8139_read_mac(struct rtl8139_private *tp) @export {
+    int lo;
+    int hi;
+    DECAF_WVAR(tp->mac);
+    lo = readl(0);
+    hi = readl(4);
+    return 0;
+}
+int rtl8139_init_media(struct rtl8139_private *tp) {
+    tp->media = 1;
+    tp->twistie = 0;
+    return 0;
+}
+int rtl8139_open(struct rtl8139_private *tp) @export {
+    int err;
+    err = request_irq(tp);
+    if (err) return err;
+    err = rtl8139_hw_start(tp);
+    if (err) goto err_start;
+    tp->link_up = 1;
+    return 0;
+err_start:
+    free_irq(tp);
+    return err;
+}
+int rtl8139_hw_start(struct rtl8139_private *tp) @export {
+    writel(48, 16384);
+    writel(56, 12);
+    writel(60, 5);
+    return 0;
+}
+int rtl8139_close(struct rtl8139_private *tp) @export {
+    tp->link_up = 0;
+    writel(56, 0);
+    free_irq(tp);
+    return 0;
+}
+int rtl8139_get_stats(struct rtl8139_private *tp) @export {
+    unsigned long long t;
+    t = tp->tx_packets;
+    return 0;
+}
+int rtl8139_set_rx_mode(struct rtl8139_private *tp) @export {
+    writel(68, 15);
+    return 0;
+}
+
+/* User-level C helpers (the driver library). */
+int rtl8139_chip_quirk(struct rtl8139_private *tp) @library {
+    writel(82, 1);
+    return 0;
+}
+int rtl8139_eeprom_delay(struct rtl8139_private *tp) @library {
+    readl(80);
+    return 0;
+}
+"#;
+}
+
+/// Attaches the device model to the bus.
+pub fn attach(kernel: &Kernel) -> (MmioRegion, DmaMemory, Rc<std::cell::RefCell<Rtl8139Device>>) {
+    let dma = DmaMemory::new(64 * 1024);
+    let dev = Rc::new(std::cell::RefCell::new(Rtl8139Device::new(
+        MAC,
+        IRQ_LINE,
+        dma.clone(),
+    )));
+    let handle: MmioHandle = dev.clone();
+    kernel.pci_add_device(decaf_simkernel::pci::PciDevice {
+        vendor: 0x10ec,
+        device: 0x8139,
+        irq_line: IRQ_LINE,
+        bars: vec![handle.clone()],
+        name: "8139too".into(),
+    });
+    (MmioRegion::new(handle), dma, dev)
+}
+
+/// Kernel-resident RTL8139 state shared by both builds.
+pub struct Rtl8139Hw {
+    /// Register window.
+    pub bar: MmioRegion,
+    /// DMA region.
+    pub dma: DmaMemory,
+    cur_tx: Cell<u32>,
+    rx_read_off: Cell<u32>,
+    pending_tx_pkts: Cell<u64>,
+    pending_tx_bytes: Cell<u64>,
+}
+
+impl Rtl8139Hw {
+    /// Wraps the register window and DMA region.
+    pub fn new(bar: MmioRegion, dma: DmaMemory) -> Self {
+        Rtl8139Hw {
+            bar,
+            dma,
+            cur_tx: Cell::new(0),
+            rx_read_off: Cell::new(0),
+            pending_tx_pkts: Cell::new(0),
+            pending_tx_bytes: Cell::new(0),
+        }
+    }
+
+    /// Starts the chip: rx ring, tx/rx enable, interrupts.
+    pub fn hw_start(&self, kernel: &Kernel) {
+        self.bar.write32(kernel, hwreg::RBSTART, RX_RING_OFF);
+        self.bar
+            .write32(kernel, hwreg::CR, hwreg::CR_TE | hwreg::CR_RE);
+        self.bar
+            .write32(kernel, hwreg::IMR, hwreg::INT_TOK | hwreg::INT_ROK);
+        self.rx_read_off.set(0);
+    }
+
+    /// Transmits one frame through the next TX slot.
+    pub fn xmit(&self, kernel: &Kernel, skb: &SkBuff) -> KResult<()> {
+        if skb.len() > 1792 {
+            return Err(KError::Inval);
+        }
+        let slot = self.cur_tx.get() % 4;
+        let buf = TX_BUF_OFF + slot as usize * 2048;
+        self.dma.write_bytes(buf, &skb.data);
+        kernel.charge_kernel(skb.len() as u64 * decaf_simkernel::costs::COPY_BYTE_NS);
+        self.bar
+            .write32(kernel, hwreg::TSAD0 + slot as u64 * 4, buf as u32);
+        self.bar
+            .write32(kernel, hwreg::TSD0 + slot as u64 * 4, skb.len() as u32);
+        self.cur_tx.set(self.cur_tx.get() + 1);
+        self.pending_tx_pkts.set(self.pending_tx_pkts.get() + 1);
+        self.pending_tx_bytes
+            .set(self.pending_tx_bytes.get() + skb.len() as u64);
+        Ok(())
+    }
+
+    /// Interrupt service: acknowledge causes, drain the rx ring.
+    pub fn handle_irq(&self, kernel: &Kernel, ifname: &str) {
+        let isr = self.bar.read32(kernel, hwreg::ISR);
+        if isr & hwreg::INT_TOK != 0 {
+            kernel.net_tx_done(
+                ifname,
+                self.pending_tx_pkts.get(),
+                self.pending_tx_bytes.get(),
+            );
+            self.pending_tx_pkts.set(0);
+            self.pending_tx_bytes.set(0);
+        }
+        if isr & hwreg::INT_ROK != 0 {
+            self.rx_poll(kernel, ifname);
+        }
+        self.bar.write32(kernel, hwreg::ISR, isr);
+    }
+
+    fn rx_poll(&self, kernel: &Kernel, ifname: &str) {
+        let cbr = self.bar.read32(kernel, hwreg::CBR);
+        let mut off = self.rx_read_off.get();
+        while off < cbr {
+            let base = RX_RING_OFF + off;
+            let header = self.dma.read_u32(base as usize);
+            if header & 1 == 0 {
+                break;
+            }
+            let len = ((header >> 16) & 0xffff) as usize;
+            let payload = len.saturating_sub(4);
+            let data = self.dma.read_bytes(base as usize + 4, payload);
+            let _ = kernel.netif_rx(
+                ifname,
+                SkBuff {
+                    data,
+                    protocol: 0x0800,
+                },
+            );
+            off += 4 + payload as u32;
+            off = (off + 3) & !3;
+        }
+        self.rx_read_off.set(off);
+        if off >= hwreg::RX_RING_LEN as u32 - 2048 {
+            // Drain point: rewind the ring (model convenience register).
+            self.bar.write32(kernel, hwreg::CBR, 0);
+            self.rx_read_off.set(0);
+        }
+    }
+}
+
+/// The installed native driver.
+pub struct Native8139 {
+    /// Kernel handle.
+    pub kernel: Kernel,
+    /// Hardware state.
+    pub hw: Rc<Rtl8139Hw>,
+    /// Interface name.
+    pub ifname: String,
+    /// Measured `insmod` latency.
+    pub init_latency_ns: u64,
+    /// Handle to the device model.
+    pub dev: Rc<std::cell::RefCell<Rtl8139Device>>,
+}
+
+/// Loads the native (kernel-only) driver.
+pub fn install_native(kernel: &Kernel, ifname: &str) -> KResult<Native8139> {
+    let (bar, dma, dev) = attach(kernel);
+    let hw = Rc::new(Rtl8139Hw::new(bar, dma));
+    let name = ifname.to_string();
+    let hw_init = Rc::clone(&hw);
+    let init_latency_ns = kernel.insmod("8139too", move |k| {
+        hw_init.bar.write32(k, hwreg::CR, hwreg::CR_RST);
+        let _ = hw_init.bar.read32(k, hwreg::CR);
+        let _lo = hw_init.bar.read32(k, hwreg::IDR0);
+        let _hi = hw_init.bar.read32(k, hwreg::IDR4);
+        let hw_open = Rc::clone(&hw_init);
+        let hw_stop = Rc::clone(&hw_init);
+        let hw_x = Rc::clone(&hw_init);
+        k.register_netdev(
+            &name,
+            decaf_simkernel::net::NetDeviceOps {
+                open: Rc::new(move |k| {
+                    hw_open.hw_start(k);
+                    Ok(())
+                }),
+                stop: Rc::new(move |k| {
+                    hw_stop.bar.write32(k, hwreg::CR, 0);
+                    Ok(())
+                }),
+                xmit: Rc::new(move |k, skb| hw_x.xmit(k, &skb)),
+            },
+        )?;
+        let hw_irq = Rc::clone(&hw_init);
+        let n = name.clone();
+        k.request_irq(
+            IRQ_LINE,
+            "8139too",
+            Rc::new(move |k| hw_irq.handle_irq(k, &n)),
+        )?;
+        Ok(())
+    })?;
+    Ok(Native8139 {
+        kernel: kernel.clone(),
+        hw,
+        ifname: ifname.to_string(),
+        init_latency_ns,
+        dev,
+    })
+}
+
+/// The installed decaf driver.
+pub struct Decaf8139 {
+    /// Kernel handle.
+    pub kernel: Kernel,
+    /// Hardware state.
+    pub hw: Rc<Rtl8139Hw>,
+    /// Interface name.
+    pub ifname: String,
+    /// XPC channel to the decaf driver.
+    pub channel: Rc<XpcChannel>,
+    /// Nuclear runtime.
+    pub nuc: Rc<NuclearRuntime>,
+    /// Shared private-state object.
+    pub priv_obj: CAddr,
+    /// Measured `insmod` latency.
+    pub init_latency_ns: u64,
+    /// Slicing plan.
+    pub plan: SlicePlan,
+    /// Handle to the device model.
+    pub dev: Rc<std::cell::RefCell<Rtl8139Device>>,
+}
+
+/// Loads the decaf (split) driver.
+pub fn install_decaf(kernel: &Kernel, ifname: &str) -> KResult<Decaf8139> {
+    let (bar, dma, dev) = attach(kernel);
+    let hw = Rc::new(Rtl8139Hw::new(bar.clone(), dma));
+    let plan = slice(minic::SOURCE, &SliceConfig::default()).map_err(|_| KError::Inval)?;
+    let channel = support::channel_from_plan(&plan);
+    support::register_io_procs(&channel, bar).map_err(|_| KError::Io)?;
+
+    // Kernel imports called from user level.
+    let k_handle = kernel.clone();
+    let hw_irq = Rc::clone(&hw);
+    let n = ifname.to_string();
+    channel
+        .register_proc(
+            Domain::Nucleus,
+            ProcDef {
+                name: "request_irq".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |_k, _, _, _| {
+                    let hwc = Rc::clone(&hw_irq);
+                    let name = n.clone();
+                    support::errno_value(k_handle.request_irq(
+                        IRQ_LINE,
+                        "8139too",
+                        Rc::new(move |k| hwc.handle_irq(k, &name)),
+                    ))
+                }),
+            },
+        )
+        .map_err(|_| KError::Io)?;
+    let k_handle = kernel.clone();
+    channel
+        .register_proc(
+            Domain::Nucleus,
+            ProcDef {
+                name: "free_irq".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |_k, _, _, _| {
+                    k_handle.free_irq(IRQ_LINE);
+                    XdrValue::Int(0)
+                }),
+            },
+        )
+        .map_err(|_| KError::Io)?;
+    let hw_start = Rc::clone(&hw);
+    channel
+        .register_proc(
+            Domain::Nucleus,
+            ProcDef {
+                name: "hw_start_datapath".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |k, _, _, _| {
+                    hw_start.hw_start(k);
+                    XdrValue::Int(0)
+                }),
+            },
+        )
+        .map_err(|_| KError::Io)?;
+
+    // Decaf handlers: probe, open, close.
+    channel
+        .register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "rtl8139_probe".into(),
+                arg_types: vec!["rtl8139_private".into()],
+                handler: Rc::new(|k, ch, args, _| {
+                    let Some(a) = args[0] else {
+                        return XdrValue::Int(-22);
+                    };
+                    // init_board: reset and settle.
+                    decaf_writel(k, ch, hwreg::CR, hwreg::CR_RST);
+                    let _ = decaf_readl(k, ch, hwreg::CR);
+                    // read_mac.
+                    let lo = decaf_readl(k, ch, hwreg::IDR0).to_le_bytes();
+                    let hi = decaf_readl(k, ch, hwreg::IDR4).to_le_bytes();
+                    let heap = ch.heap(Domain::Decaf);
+                    {
+                        let mut h = heap.borrow_mut();
+                        let _ = h.set_scalar(a, "msg_enable", XdrValue::Int(7));
+                        let _ = h.set_scalar(a, "media", XdrValue::Int(1));
+                        let _ = h.set_scalar(
+                            a,
+                            "mac",
+                            XdrValue::Opaque(vec![lo[0], lo[1], lo[2], lo[3], hi[0], hi[1]]),
+                        );
+                    }
+                    XdrValue::Int(0)
+                }),
+            },
+        )
+        .map_err(|_| KError::Io)?;
+    channel
+        .register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "rtl8139_open".into(),
+                arg_types: vec!["rtl8139_private".into()],
+                handler: Rc::new(|k, ch, args, _| {
+                    let Some(a) = args[0] else {
+                        return XdrValue::Int(-22);
+                    };
+                    // request_irq, then hw_start; free the irq if start fails.
+                    match ch.call(k, Domain::Decaf, "request_irq", &[], &[]) {
+                        Ok(XdrValue::Int(0)) => {}
+                        Ok(XdrValue::Int(e)) => return XdrValue::Int(e),
+                        _ => return XdrValue::Int(KError::Io.errno()),
+                    }
+                    let _ = ch.call(k, Domain::Decaf, "hw_start_datapath", &[], &[]);
+                    decaf_writel(k, ch, hwreg::IMR, hwreg::INT_TOK | hwreg::INT_ROK);
+                    let heap = ch.heap(Domain::Decaf);
+                    let _ = heap.borrow_mut().set_scalar(a, "link_up", XdrValue::Int(1));
+                    XdrValue::Int(0)
+                }),
+            },
+        )
+        .map_err(|_| KError::Io)?;
+    channel
+        .register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "rtl8139_close".into(),
+                arg_types: vec!["rtl8139_private".into()],
+                handler: Rc::new(|k, ch, args, _| {
+                    if let Some(a) = args[0] {
+                        let heap = ch.heap(Domain::Decaf);
+                        let _ = heap.borrow_mut().set_scalar(a, "link_up", XdrValue::Int(0));
+                    }
+                    decaf_writel(k, ch, hwreg::CR, 0);
+                    let _ = ch.call(k, Domain::Decaf, "free_irq", &[], &[]);
+                    XdrValue::Int(0)
+                }),
+            },
+        )
+        .map_err(|_| KError::Io)?;
+
+    let nuc = Rc::new(NuclearRuntime::new(
+        kernel.clone(),
+        Rc::clone(&channel),
+        Some(IRQ_LINE),
+    ));
+
+    let mut priv_obj = 0;
+    let nuc_init = Rc::clone(&nuc);
+    let ch_init = Rc::clone(&channel);
+    let hw_x = Rc::clone(&hw);
+    let name = ifname.to_string();
+    let spec = plan.spec.clone();
+    let priv_ref = &mut priv_obj;
+    let init_latency_ns = kernel.insmod("8139too_decaf", move |k| {
+        let a = {
+            let heap = ch_init.heap(Domain::Nucleus);
+            let mut h = heap.borrow_mut();
+            h.alloc_default("rtl8139_private", &spec)
+                .map_err(|_| KError::NoMem)?
+        };
+        *priv_ref = a;
+        let ret = nuc_init
+            .upcall_errno("rtl8139_probe", &[Some(a)], &[])
+            .map_err(|_| KError::Io)?;
+        if ret < 0 {
+            return Err(KError::from_errno(ret).unwrap_or(KError::Io));
+        }
+        let nuc_open = Rc::clone(&nuc_init);
+        let nuc_stop = Rc::clone(&nuc_init);
+        k.register_netdev(
+            &name,
+            decaf_simkernel::net::NetDeviceOps {
+                open: Rc::new(move |_k| {
+                    match nuc_open.upcall_errno("rtl8139_open", &[Some(a)], &[]) {
+                        Ok(0) => Ok(()),
+                        Ok(e) => Err(KError::from_errno(e).unwrap_or(KError::Io)),
+                        Err(_) => Err(KError::Io),
+                    }
+                }),
+                stop: Rc::new(move |_k| {
+                    let _ = nuc_stop.upcall_errno("rtl8139_close", &[Some(a)], &[]);
+                    Ok(())
+                }),
+                xmit: Rc::new(move |k, skb| hw_x.xmit(k, &skb)),
+            },
+        )?;
+        Ok(())
+    })?;
+
+    Ok(Decaf8139 {
+        kernel: kernel.clone(),
+        hw,
+        ifname: ifname.to_string(),
+        channel,
+        nuc,
+        priv_obj,
+        init_latency_ns,
+        plan,
+        dev,
+    })
+}
+
+impl Decaf8139 {
+    /// Round trips between nucleus and decaf driver.
+    pub fn crossings(&self) -> u64 {
+        self.channel.stats().round_trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slicer_plan_shape_matches_table2() {
+        let plan = slice(minic::SOURCE, &SliceConfig::default()).unwrap();
+        assert!(plan.kernel_fns.contains(&"rtl8139_interrupt".to_string()));
+        assert!(plan.decaf_fns.contains(&"rtl8139_open".to_string()));
+        assert_eq!(plan.library_fns.len(), 2, "two @library helpers");
+        assert!(plan.user_fraction() > 0.6);
+    }
+
+    #[test]
+    fn native_loopback() {
+        let k = Kernel::new();
+        let _drv = install_native(&k, "eth1").unwrap();
+        k.netdev_open("eth1").unwrap();
+        for _ in 0..8 {
+            k.net_xmit("eth1", SkBuff::synthetic(600, 3, 0x0800))
+                .unwrap();
+            k.schedule_point();
+        }
+        let st = k.net_stats("eth1");
+        assert_eq!(st.tx_packets, 8);
+        assert_eq!(st.rx_packets, 8);
+    }
+
+    #[test]
+    fn decaf_init_crosses_then_datapath_does_not() {
+        let k = Kernel::new();
+        let drv = install_decaf(&k, "eth1").unwrap();
+        k.netdev_open("eth1").unwrap();
+        let after_open = drv.crossings();
+        assert!(
+            after_open >= 5,
+            "init + open cross the boundary: {after_open}"
+        );
+        for _ in 0..10 {
+            k.net_xmit("eth1", SkBuff::synthetic(600, 3, 0x0800))
+                .unwrap();
+            k.schedule_point();
+        }
+        assert_eq!(drv.crossings(), after_open, "steady state is kernel-only");
+        let st = k.net_stats("eth1");
+        assert_eq!(st.rx_packets, 10);
+        assert!(k.violations().is_empty(), "{:?}", k.violations());
+    }
+
+    #[test]
+    fn decaf_reads_mac_through_downcalls() {
+        let k = Kernel::new();
+        let drv = install_decaf(&k, "eth1").unwrap();
+        let heap = drv.channel.heap(Domain::Nucleus);
+        let mac = heap.borrow().scalar(drv.priv_obj, "mac").unwrap().clone();
+        assert_eq!(mac.as_opaque().unwrap(), MAC);
+    }
+}

@@ -1,0 +1,137 @@
+//! Shared glue for the decaf driver builds.
+
+use std::rc::Rc;
+
+use decaf_simkernel::{KError, Kernel, MmioRegion};
+use decaf_xdr::XdrValue;
+use decaf_xpc::{ChannelConfig, Domain, ProcDef, XpcChannel, XpcResult};
+
+/// Builds an [`XpcChannel`] between nucleus and decaf driver from a
+/// DriverSlicer plan — the spec and masks are exactly what the slicer
+/// generated from the driver's mini-C source.
+pub fn channel_from_plan(plan: &decaf_slicer::SlicePlan) -> Rc<XpcChannel> {
+    Rc::new(XpcChannel::new(
+        plan.spec.clone(),
+        plan.masks.clone(),
+        ChannelConfig::kernel_user(),
+        Domain::Nucleus,
+        Domain::Decaf,
+    ))
+}
+
+/// Registers the universal kernel helper procedures every decaf driver
+/// needs: raw register access. These are the paper's "helper routines
+/// that do not contain driver logic but provide an escape from the limits
+/// of a managed language" (§5.3) — placed in the shared runtime, not in
+/// any one driver.
+pub fn register_io_procs(channel: &XpcChannel, bar: MmioRegion) -> XpcResult<()> {
+    let b = bar.clone();
+    channel.register_proc(
+        Domain::Nucleus,
+        ProcDef {
+            name: "readl".into(),
+            arg_types: vec![],
+            handler: Rc::new(move |k, _, _, scalars| {
+                let off = scalars[0].as_uint().unwrap_or(0) as u64;
+                XdrValue::UInt(b.read32(k, off))
+            }),
+        },
+    )?;
+    let b = bar;
+    channel.register_proc(
+        Domain::Nucleus,
+        ProcDef {
+            name: "writel".into(),
+            arg_types: vec![],
+            handler: Rc::new(move |k, _, _, scalars| {
+                let off = scalars[0].as_uint().unwrap_or(0) as u64;
+                let val = scalars[1].as_uint().unwrap_or(0);
+                b.write32(k, off, val);
+                XdrValue::Void
+            }),
+        },
+    )?;
+    Ok(())
+}
+
+/// Reads a register through the channel from the decaf side (downcall).
+pub fn decaf_readl(kernel: &Kernel, ch: &XpcChannel, off: u64) -> u32 {
+    ch.call(
+        kernel,
+        Domain::Decaf,
+        "readl",
+        &[],
+        &[XdrValue::UInt(off as u32)],
+    )
+    .ok()
+    .and_then(|v| v.as_uint())
+    .unwrap_or(0)
+}
+
+/// Writes a register through the channel from the decaf side (downcall).
+pub fn decaf_writel(kernel: &Kernel, ch: &XpcChannel, off: u64, val: u32) {
+    let _ = ch.call(
+        kernel,
+        Domain::Decaf,
+        "writel",
+        &[],
+        &[XdrValue::UInt(off as u32), XdrValue::UInt(val)],
+    );
+}
+
+/// Maps a `KResult` to the errno-style integer the XPC layer carries.
+pub fn errno_value(result: Result<(), KError>) -> XdrValue {
+    match result {
+        Ok(()) => XdrValue::Int(0),
+        Err(e) => XdrValue::Int(e.errno()),
+    }
+}
+
+/// Maps an errno-style integer back to a `KResult`.
+pub fn result_from_errno(v: &XdrValue) -> Result<(), KError> {
+    match v.as_int().unwrap_or(KError::Io.errno()) {
+        0 => Ok(()),
+        e => Err(KError::from_errno(e).unwrap_or(KError::Io)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decaf_simkernel::MmioDevice;
+    use std::cell::RefCell;
+
+    struct Scratch([u32; 8]);
+    impl MmioDevice for Scratch {
+        fn read32(&mut self, _k: &Kernel, o: u64) -> u32 {
+            self.0[(o / 4) as usize]
+        }
+        fn write32(&mut self, _k: &Kernel, o: u64, v: u32) {
+            self.0[(o / 4) as usize] = v;
+        }
+    }
+
+    #[test]
+    fn io_procs_roundtrip_registers() {
+        let kernel = Kernel::new();
+        let plan = decaf_slicer::slice(
+            "struct s { int a; };\nint init(struct s *p) @export { return 0; }",
+            &decaf_slicer::SliceConfig::default(),
+        )
+        .unwrap();
+        let ch = channel_from_plan(&plan);
+        let bar = MmioRegion::new(Rc::new(RefCell::new(Scratch([0; 8]))));
+        register_io_procs(&ch, bar).unwrap();
+        decaf_writel(&kernel, &ch, 12, 0xfeed);
+        assert_eq!(decaf_readl(&kernel, &ch, 12), 0xfeed);
+        assert_eq!(ch.stats().round_trips, 2);
+    }
+
+    #[test]
+    fn errno_mapping() {
+        assert_eq!(errno_value(Ok(())), XdrValue::Int(0));
+        assert_eq!(errno_value(Err(KError::NoMem)), XdrValue::Int(-12));
+        assert_eq!(result_from_errno(&XdrValue::Int(0)), Ok(()));
+        assert_eq!(result_from_errno(&XdrValue::Int(-12)), Err(KError::NoMem));
+    }
+}

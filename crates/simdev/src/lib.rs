@@ -1,0 +1,34 @@
+//! Register-level behavioural models of the five devices the Decaf paper
+//! converts drivers for.
+//!
+//! The paper evaluates on real hardware: an Intel E1000 gigabit NIC, a
+//! Realtek RTL8139 fast-ethernet NIC, an Ensoniq ES1371 sound chip, a UHCI
+//! USB 1.0 host controller with a flash drive, and a PS/2 mouse. We have
+//! no hardware, so this crate implements *behavioural register models* of
+//! each: drivers program them through the same kind of register interface
+//! (MMIO or port I/O), descriptors live in shared
+//! [`DmaMemory`](decaf_simkernel::DmaMemory), and the
+//! models raise interrupts through the simulated kernel. Register layouts
+//! follow the real datasheets where practical and are simplified where the
+//! driver logic does not depend on the detail; every simplification is
+//! noted on the module.
+//!
+//! All models are *loopback-capable* (NICs reflect transmitted frames into
+//! the receive path) or *self-sinking* (the DAC drains buffers, the flash
+//! drive stores sectors), so workloads can run closed-loop without any
+//! external peer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod e1000;
+pub mod ens1371;
+pub mod psmouse;
+pub mod rtl8139;
+pub mod uhci;
+
+pub use e1000::E1000Device;
+pub use ens1371::Ens1371Device;
+pub use psmouse::PsMouseDevice;
+pub use rtl8139::Rtl8139Device;
+pub use uhci::UhciDevice;

@@ -1,0 +1,243 @@
+//! Behavioural model of a PS/2 mouse behind an i8042-style controller.
+//!
+//! Implemented behaviour: the 0x60 data / 0x64 status-command port pair,
+//! the `0xD4` write-to-mouse prefix, mouse reset (`0xFF` → ACK, self-test
+//! pass, device id), enable reporting (`0xF4` → ACK), sample-rate and
+//! resolution setting commands, and 3-byte movement packets delivered
+//! through an output queue with IRQ 12.
+//!
+//! Simplifications: ports are addressed as the model's 32-bit register
+//! offsets 0x60/0x64; the keyboard channel is absent.
+
+use std::collections::VecDeque;
+
+use decaf_simkernel::{Kernel, MmioDevice};
+
+/// Data port.
+pub const PORT_DATA: u64 = 0x60;
+/// Status (read) / command (write) port.
+pub const PORT_STATUS: u64 = 0x64;
+
+/// Status: output buffer full (data available at 0x60).
+pub const STATUS_OBF: u32 = 1 << 0;
+/// Status: the available data came from the mouse.
+pub const STATUS_AUX: u32 = 1 << 5;
+
+/// Controller command: next data byte goes to the mouse.
+pub const CMD_WRITE_MOUSE: u32 = 0xD4;
+
+/// Mouse command: reset.
+pub const MOUSE_RESET: u32 = 0xFF;
+/// Mouse command: enable data reporting.
+pub const MOUSE_ENABLE: u32 = 0xF4;
+/// Mouse command: set sample rate (one argument follows).
+pub const MOUSE_SET_RATE: u32 = 0xF3;
+/// Mouse command: get device id.
+pub const MOUSE_GET_ID: u32 = 0xF2;
+/// Mouse response: acknowledge.
+pub const MOUSE_ACK: u8 = 0xFA;
+/// Mouse response: self-test passed.
+pub const MOUSE_SELFTEST_OK: u8 = 0xAA;
+
+/// The PS/2 mouse model.
+pub struct PsMouseDevice {
+    irq_line: u32,
+    output: VecDeque<u8>,
+    expect_mouse_byte: bool,
+    expect_rate_arg: bool,
+    reporting: bool,
+    sample_rate: u8,
+    /// Packets delivered since enable.
+    pub packets_sent: u64,
+}
+
+impl PsMouseDevice {
+    /// Creates a mouse raising `irq_line` (12 on PCs).
+    pub fn new(irq_line: u32) -> Self {
+        PsMouseDevice {
+            irq_line,
+            output: VecDeque::new(),
+            expect_mouse_byte: false,
+            expect_rate_arg: false,
+            reporting: false,
+            sample_rate: 100,
+            packets_sent: 0,
+        }
+    }
+
+    fn push_output(&mut self, kernel: &Kernel, bytes: &[u8]) {
+        self.output.extend(bytes);
+        kernel.raise_irq(self.irq_line);
+    }
+
+    fn mouse_command(&mut self, kernel: &Kernel, cmd: u32) {
+        if self.expect_rate_arg {
+            self.sample_rate = cmd as u8;
+            self.expect_rate_arg = false;
+            self.push_output(kernel, &[MOUSE_ACK]);
+            return;
+        }
+        match cmd {
+            MOUSE_RESET => {
+                self.reporting = false;
+                self.sample_rate = 100;
+                self.push_output(kernel, &[MOUSE_ACK, MOUSE_SELFTEST_OK, 0x00]);
+            }
+            MOUSE_ENABLE => {
+                self.reporting = true;
+                self.push_output(kernel, &[MOUSE_ACK]);
+            }
+            MOUSE_SET_RATE => {
+                self.expect_rate_arg = true;
+                self.push_output(kernel, &[MOUSE_ACK]);
+            }
+            MOUSE_GET_ID => {
+                self.push_output(kernel, &[MOUSE_ACK, 0x00]);
+            }
+            _ => self.push_output(kernel, &[MOUSE_ACK]),
+        }
+    }
+
+    /// Injects a movement/button event; queued only while reporting.
+    pub fn inject_move(&mut self, kernel: &Kernel, dx: i8, dy: i8, left_button: bool) {
+        if !self.reporting {
+            return;
+        }
+        // Standard 3-byte packet: [buttons|sign bits|1<<3][dx][dy].
+        let mut b0: u8 = 1 << 3;
+        if left_button {
+            b0 |= 1;
+        }
+        if dx < 0 {
+            b0 |= 1 << 4;
+        }
+        if dy < 0 {
+            b0 |= 1 << 5;
+        }
+        self.packets_sent += 1;
+        self.push_output(kernel, &[b0, dx as u8, dy as u8]);
+    }
+
+    /// Whether reporting is enabled.
+    pub fn reporting(&self) -> bool {
+        self.reporting
+    }
+
+    /// Current sample rate (Hz).
+    pub fn sample_rate(&self) -> u8 {
+        self.sample_rate
+    }
+}
+
+#[allow(clippy::collapsible_match)] // port dispatch reads clearer with inner guards
+impl MmioDevice for PsMouseDevice {
+    fn read32(&mut self, _kernel: &Kernel, offset: u64) -> u32 {
+        match offset {
+            PORT_DATA => self.output.pop_front().map_or(0, u32::from),
+            PORT_STATUS => {
+                let mut st = 0;
+                if !self.output.is_empty() {
+                    st |= STATUS_OBF | STATUS_AUX;
+                }
+                st
+            }
+            _ => 0,
+        }
+    }
+
+    fn write32(&mut self, kernel: &Kernel, offset: u64, value: u32) {
+        match offset {
+            PORT_STATUS => {
+                if value == CMD_WRITE_MOUSE {
+                    self.expect_mouse_byte = true;
+                }
+            }
+            PORT_DATA => {
+                if self.expect_mouse_byte {
+                    self.expect_mouse_byte = false;
+                    self.mouse_command(kernel, value);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send_mouse_cmd(k: &Kernel, dev: &mut PsMouseDevice, cmd: u32) {
+        dev.write32(k, PORT_STATUS, CMD_WRITE_MOUSE);
+        dev.write32(k, PORT_DATA, cmd);
+    }
+
+    fn drain(k: &Kernel, dev: &mut PsMouseDevice) -> Vec<u8> {
+        let mut out = Vec::new();
+        while dev.read32(k, PORT_STATUS) & STATUS_OBF != 0 {
+            out.push(dev.read32(k, PORT_DATA) as u8);
+        }
+        out
+    }
+
+    #[test]
+    fn reset_handshake() {
+        let k = Kernel::new();
+        let mut dev = PsMouseDevice::new(12);
+        send_mouse_cmd(&k, &mut dev, MOUSE_RESET);
+        assert!(k.irq_pending(12));
+        assert_eq!(
+            drain(&k, &mut dev),
+            vec![MOUSE_ACK, MOUSE_SELFTEST_OK, 0x00]
+        );
+        assert!(!dev.reporting());
+    }
+
+    #[test]
+    fn enable_then_packets_flow() {
+        let k = Kernel::new();
+        let mut dev = PsMouseDevice::new(12);
+        // Moves before enable are discarded.
+        dev.inject_move(&k, 5, -3, false);
+        assert_eq!(dev.packets_sent, 0);
+
+        send_mouse_cmd(&k, &mut dev, MOUSE_ENABLE);
+        assert_eq!(drain(&k, &mut dev), vec![MOUSE_ACK]);
+        assert!(dev.reporting());
+
+        dev.inject_move(&k, 5, -3, true);
+        let pkt = drain(&k, &mut dev);
+        assert_eq!(pkt.len(), 3);
+        assert_eq!(pkt[0] & 1, 1, "left button bit");
+        assert_eq!(pkt[0] & (1 << 5), 1 << 5, "dy sign bit");
+        assert_eq!(pkt[1], 5);
+        assert_eq!(pkt[2] as i8, -3);
+        assert_eq!(dev.packets_sent, 1);
+    }
+
+    #[test]
+    fn set_sample_rate_two_phase() {
+        let k = Kernel::new();
+        let mut dev = PsMouseDevice::new(12);
+        send_mouse_cmd(&k, &mut dev, MOUSE_SET_RATE);
+        send_mouse_cmd(&k, &mut dev, 200);
+        assert_eq!(drain(&k, &mut dev), vec![MOUSE_ACK, MOUSE_ACK]);
+        assert_eq!(dev.sample_rate(), 200);
+    }
+
+    #[test]
+    fn get_id_returns_standard_mouse() {
+        let k = Kernel::new();
+        let mut dev = PsMouseDevice::new(12);
+        send_mouse_cmd(&k, &mut dev, MOUSE_GET_ID);
+        assert_eq!(drain(&k, &mut dev), vec![MOUSE_ACK, 0x00]);
+    }
+
+    #[test]
+    fn status_empty_when_drained() {
+        let k = Kernel::new();
+        let mut dev = PsMouseDevice::new(12);
+        assert_eq!(dev.read32(&k, PORT_STATUS) & STATUS_OBF, 0);
+        assert_eq!(dev.read32(&k, PORT_DATA), 0);
+    }
+}

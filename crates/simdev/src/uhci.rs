@@ -1,0 +1,381 @@
+//! Behavioural model of a UHCI USB 1.0 host controller with an attached
+//! bulk-only flash drive.
+//!
+//! Implemented behaviour: host-controller reset, run/stop, the frame list
+//! in DMA memory (1024 dword entries, terminate bit 0), a simplified
+//! transfer descriptor (four dwords: link, status, token, buffer), port
+//! status with an attached device, completion interrupts through USBSTS,
+//! and a sector-addressable flash drive reached through bulk endpoints.
+//!
+//! Simplifications: the schedule is walked to completion whenever the
+//! controller is kicked (run bit written or a new frame list installed)
+//! instead of once per 1 ms frame; queue heads are not modelled (TDs link
+//! directly); the flash protocol is a two-command subset of bulk-only
+//! transport (`W` = write sector, `R` = stage sector for reading).
+
+use std::collections::HashMap;
+
+use decaf_simkernel::{costs, DmaMemory, Kernel, MmioDevice};
+
+/// USB command register.
+pub const USBCMD: u64 = 0x00;
+/// USB status register (write 1 to clear).
+pub const USBSTS: u64 = 0x04;
+/// USB interrupt enable.
+pub const USBINTR: u64 = 0x08;
+/// Frame number register.
+pub const FRNUM: u64 = 0x0C;
+/// Frame list base address.
+pub const FRBASEADD: u64 = 0x10;
+/// Port 1 status/control.
+pub const PORTSC1: u64 = 0x14;
+
+/// USBCMD: run/stop.
+pub const CMD_RS: u32 = 1 << 0;
+/// USBCMD: host controller reset.
+pub const CMD_HCRESET: u32 = 1 << 1;
+/// USBSTS: interrupt (transfer complete).
+pub const STS_USBINT: u32 = 1 << 0;
+/// USBSTS: host controller halted.
+pub const STS_HCHALTED: u32 = 1 << 5;
+/// PORTSC: device connected.
+pub const PORT_CCS: u32 = 1 << 0;
+/// PORTSC: port enabled.
+pub const PORT_PE: u32 = 1 << 2;
+
+/// TD status: active (device owns it).
+pub const TD_ACTIVE: u32 = 1 << 23;
+/// TD status: stalled (error).
+pub const TD_STALLED: u32 = 1 << 22;
+/// Frame-list/link terminate bit.
+pub const LINK_TERMINATE: u32 = 1;
+
+/// Bulk OUT endpoint of the flash drive.
+pub const EP_BULK_OUT: u32 = 2;
+/// Bulk IN endpoint of the flash drive.
+pub const EP_BULK_IN: u32 = 1;
+/// Flash sector size in bytes.
+pub const SECTOR_SIZE: usize = 512;
+
+/// Flash command byte: write the following sector payload.
+pub const FLASH_CMD_WRITE: u8 = b'W';
+/// Flash command byte: stage a sector for the next IN transfer.
+pub const FLASH_CMD_READ: u8 = b'R';
+
+/// A bulk-only flash drive: a sector store plus a staged read.
+#[derive(Default)]
+struct FlashDrive {
+    sectors: HashMap<u32, Vec<u8>>,
+    staged_read: Option<u32>,
+    writes: u64,
+    reads: u64,
+}
+
+impl FlashDrive {
+    fn handle_out(&mut self, data: &[u8]) -> Result<(), ()> {
+        match data.first() {
+            Some(&FLASH_CMD_WRITE) if data.len() >= 5 => {
+                let sector = u32::from_le_bytes([data[1], data[2], data[3], data[4]]);
+                self.sectors.insert(sector, data[5..].to_vec());
+                self.writes += 1;
+                Ok(())
+            }
+            Some(&FLASH_CMD_READ) if data.len() >= 5 => {
+                let sector = u32::from_le_bytes([data[1], data[2], data[3], data[4]]);
+                self.staged_read = Some(sector);
+                Ok(())
+            }
+            _ => Err(()),
+        }
+    }
+
+    fn handle_in(&mut self) -> Result<Vec<u8>, ()> {
+        let sector = self.staged_read.take().ok_or(())?;
+        self.reads += 1;
+        Ok(self
+            .sectors
+            .get(&sector)
+            .cloned()
+            .unwrap_or_else(|| vec![0; SECTOR_SIZE]))
+    }
+}
+
+/// The UHCI device model.
+pub struct UhciDevice {
+    irq_line: u32,
+    dma: DmaMemory,
+    usbcmd: u32,
+    usbsts: u32,
+    usbintr: u32,
+    frnum: u32,
+    frbase: u32,
+    frbase_installed: bool,
+    portsc1: u32,
+    flash: FlashDrive,
+    /// Transfer descriptors completed.
+    pub tds_completed: u64,
+}
+
+impl UhciDevice {
+    /// Creates a UHCI controller with an attached flash drive.
+    pub fn new(irq_line: u32, dma: DmaMemory) -> Self {
+        UhciDevice {
+            irq_line,
+            dma,
+            usbcmd: 0,
+            usbsts: STS_HCHALTED,
+            usbintr: 0,
+            frnum: 0,
+            frbase: 0,
+            frbase_installed: false,
+            portsc1: PORT_CCS, // flash drive present
+            flash: FlashDrive::default(),
+            tds_completed: 0,
+        }
+    }
+
+    /// Sectors currently stored on the flash drive.
+    pub fn flash_sector_count(&self) -> usize {
+        self.flash.sectors.len()
+    }
+
+    /// Sector contents, if written.
+    pub fn flash_sector(&self, sector: u32) -> Option<Vec<u8>> {
+        self.flash.sectors.get(&sector).cloned()
+    }
+
+    /// Completed write commands.
+    pub fn flash_writes(&self) -> u64 {
+        self.flash.writes
+    }
+
+    /// Walks the frame list, executing every active TD chain.
+    fn run_schedule(&mut self, kernel: &Kernel) {
+        if self.usbcmd & CMD_RS == 0 || !self.frbase_installed {
+            return;
+        }
+        let mut completed = false;
+        for frame in 0..1024usize {
+            let entry = self.dma.read_u32(self.frbase as usize + frame * 4);
+            if entry & LINK_TERMINATE != 0 {
+                continue;
+            }
+            let mut td_addr = (entry & !0xf) as usize;
+            // Bounded walk to tolerate malformed schedules.
+            for _ in 0..256 {
+                let link = self.dma.read_u32(td_addr);
+                let status = self.dma.read_u32(td_addr + 4);
+                let token = self.dma.read_u32(td_addr + 8);
+                let buffer = self.dma.read_u32(td_addr + 12) as usize;
+                if status & TD_ACTIVE != 0 {
+                    kernel.charge_kernel(costs::DMA_DESC_NS);
+                    let endpoint = (token >> 15) & 0xf;
+                    let max_len = ((token >> 21) & 0x7ff) as usize;
+                    let len = if max_len == 0x7ff { 0 } else { max_len + 1 };
+                    let result = if endpoint == EP_BULK_OUT {
+                        let data = self.dma.read_bytes(buffer, len);
+                        self.flash.handle_out(&data).map(|_| len)
+                    } else if endpoint == EP_BULK_IN {
+                        self.flash.handle_in().map(|data| {
+                            let n = data.len().min(len.max(data.len()));
+                            self.dma.write_bytes(buffer, &data);
+                            n
+                        })
+                    } else {
+                        Err(())
+                    };
+                    let new_status = match result {
+                        Ok(actual) => (actual as u32) & 0x7ff,
+                        Err(()) => TD_STALLED,
+                    };
+                    self.dma.write_u32(td_addr + 4, new_status);
+                    self.tds_completed += 1;
+                    completed = true;
+                }
+                if link & LINK_TERMINATE != 0 {
+                    break;
+                }
+                td_addr = (link & !0xf) as usize;
+            }
+            self.frnum = frame as u32;
+        }
+        if completed {
+            self.usbsts |= STS_USBINT;
+            if self.usbintr != 0 {
+                kernel.raise_irq(self.irq_line);
+            }
+        }
+    }
+}
+
+impl MmioDevice for UhciDevice {
+    fn read32(&mut self, _kernel: &Kernel, offset: u64) -> u32 {
+        match offset {
+            USBCMD => self.usbcmd,
+            USBSTS => self.usbsts,
+            USBINTR => self.usbintr,
+            FRNUM => self.frnum,
+            FRBASEADD => self.frbase,
+            PORTSC1 => self.portsc1,
+            _ => 0,
+        }
+    }
+
+    fn write32(&mut self, kernel: &Kernel, offset: u64, value: u32) {
+        match offset {
+            USBCMD => {
+                if value & CMD_HCRESET != 0 {
+                    let irq = self.irq_line;
+                    let dma = self.dma.clone();
+                    let flash = std::mem::take(&mut self.flash);
+                    *self = UhciDevice::new(irq, dma);
+                    self.flash = flash; // media survives controller reset
+                    return;
+                }
+                self.usbcmd = value;
+                if value & CMD_RS != 0 {
+                    self.usbsts &= !STS_HCHALTED;
+                    self.run_schedule(kernel);
+                } else {
+                    self.usbsts |= STS_HCHALTED;
+                }
+            }
+            USBSTS => self.usbsts &= !value,
+            USBINTR => self.usbintr = value,
+            FRNUM => self.frnum = value & 0x3ff,
+            FRBASEADD => {
+                self.frbase = value;
+                self.frbase_installed = true;
+                self.run_schedule(kernel);
+            }
+            PORTSC1 => {
+                // Software may enable the port; connect status is ours.
+                self.portsc1 = (self.portsc1 & PORT_CCS) | (value & PORT_PE);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Kernel, UhciDevice, DmaMemory) {
+        let k = Kernel::new();
+        let dma = DmaMemory::new(128 * 1024);
+        let dev = UhciDevice::new(9, dma.clone());
+        (k, dev, dma)
+    }
+
+    /// Builds a single-TD schedule in frame 0.
+    fn build_td(dma: &DmaMemory, td_at: usize, endpoint: u32, buf: usize, len: usize) {
+        dma.write_u32(td_at, LINK_TERMINATE); // link: end of chain
+        dma.write_u32(td_at + 4, TD_ACTIVE);
+        let maxlen = if len == 0 {
+            0x7ff
+        } else {
+            (len - 1) as u32 & 0x7ff
+        };
+        dma.write_u32(td_at + 8, (maxlen << 21) | (endpoint << 15));
+        dma.write_u32(td_at + 12, buf as u32);
+    }
+
+    fn install_frame_list(k: &Kernel, dev: &mut UhciDevice, dma: &DmaMemory, td_at: usize) {
+        // Frame list at 0x0; all terminate except frame 0.
+        for f in 0..1024 {
+            dma.write_u32(f * 4, LINK_TERMINATE);
+        }
+        dma.write_u32(0, td_at as u32);
+        dev.write32(k, FRBASEADD, 0);
+    }
+
+    #[test]
+    fn port_reports_connected_device() {
+        let (k, mut dev, _) = setup();
+        assert!(dev.read32(&k, PORTSC1) & PORT_CCS != 0);
+        dev.write32(&k, PORTSC1, PORT_PE);
+        assert!(dev.read32(&k, PORTSC1) & PORT_PE != 0);
+    }
+
+    #[test]
+    fn bulk_out_writes_flash_sector() {
+        let (k, mut dev, dma) = setup();
+        dev.write32(&k, USBINTR, 1);
+        // Payload: 'W' + sector 7 + 512 bytes of 0x5a at buffer 0x6000.
+        let mut payload = vec![FLASH_CMD_WRITE];
+        payload.extend_from_slice(&7u32.to_le_bytes());
+        payload.extend_from_slice(&[0x5a; SECTOR_SIZE]);
+        dma.write_bytes(0x6000, &payload);
+        build_td(&dma, 0x2000, EP_BULK_OUT, 0x6000, payload.len());
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+
+        assert_eq!(dev.flash_sector(7).unwrap(), vec![0x5a; SECTOR_SIZE]);
+        assert_eq!(dev.tds_completed, 1);
+        assert!(dev.read32(&k, USBSTS) & STS_USBINT != 0);
+        assert!(k.irq_pending(9));
+        // TD no longer active.
+        assert_eq!(dma.read_u32(0x2004) & TD_ACTIVE, 0);
+    }
+
+    #[test]
+    fn bulk_read_roundtrip() {
+        let (k, mut dev, dma) = setup();
+        // First write sector 3.
+        let mut w = vec![FLASH_CMD_WRITE];
+        w.extend_from_slice(&3u32.to_le_bytes());
+        w.extend_from_slice(&[0xa7; SECTOR_SIZE]);
+        dma.write_bytes(0x6000, &w);
+        build_td(&dma, 0x2000, EP_BULK_OUT, 0x6000, w.len());
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+
+        // Then stage a read and fetch it via IN.
+        let mut r = vec![FLASH_CMD_READ];
+        r.extend_from_slice(&3u32.to_le_bytes());
+        dma.write_bytes(0x6000, &r);
+        build_td(&dma, 0x2000, EP_BULK_OUT, 0x6000, r.len());
+        dma.write_u32(0x2000, 0x2010); // link to the IN TD
+        build_td(&dma, 0x2010, EP_BULK_IN, 0x7000, SECTOR_SIZE);
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+
+        assert_eq!(dma.read_bytes(0x7000, SECTOR_SIZE), vec![0xa7; SECTOR_SIZE]);
+    }
+
+    #[test]
+    fn in_without_staged_read_stalls() {
+        let (k, mut dev, dma) = setup();
+        build_td(&dma, 0x2000, EP_BULK_IN, 0x7000, SECTOR_SIZE);
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+        assert!(dma.read_u32(0x2004) & TD_STALLED != 0);
+    }
+
+    #[test]
+    fn halted_controller_ignores_schedule() {
+        let (k, mut dev, dma) = setup();
+        build_td(&dma, 0x2000, EP_BULK_OUT, 0x6000, 5);
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        // RS never set.
+        assert_eq!(dev.tds_completed, 0);
+        assert!(dev.read32(&k, USBSTS) & STS_HCHALTED != 0);
+    }
+
+    #[test]
+    fn reset_keeps_flash_media() {
+        let (k, mut dev, dma) = setup();
+        let mut w = vec![FLASH_CMD_WRITE];
+        w.extend_from_slice(&1u32.to_le_bytes());
+        w.extend_from_slice(&[9; SECTOR_SIZE]);
+        dma.write_bytes(0x6000, &w);
+        build_td(&dma, 0x2000, EP_BULK_OUT, 0x6000, w.len());
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+        assert_eq!(dev.flash_sector_count(), 1);
+        dev.write32(&k, USBCMD, CMD_HCRESET);
+        assert_eq!(dev.flash_sector_count(), 1, "media outlives the controller");
+        assert!(dev.read32(&k, USBSTS) & STS_HCHALTED != 0);
+    }
+}

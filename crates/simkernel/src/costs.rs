@@ -1,0 +1,37 @@
+//! The virtual-time cost model.
+//!
+//! Costs are rough 2009-era x86 magnitudes in nanoseconds. Their absolute
+//! values do not matter for reproducing the paper's *shape* — what matters
+//! is the ordering: register I/O ≪ lock ops ≪ interrupt entry ≪
+//! kernel/user crossing ≪ cross-language marshaling, which is exactly the
+//! ordering that makes decaf steady-state performance native-like while
+//! initialization (hundreds of crossings) visibly slows down.
+
+/// One MMIO register read (uncached PCI access).
+pub const MMIO_READ_NS: u64 = 250;
+/// One MMIO register write (posted).
+pub const MMIO_WRITE_NS: u64 = 150;
+/// One port I/O access (slower than MMIO).
+pub const PORT_IO_NS: u64 = 600;
+/// Taking or releasing an uncontended spinlock.
+pub const SPINLOCK_NS: u64 = 40;
+/// Taking or releasing a kernel mutex/semaphore.
+pub const MUTEX_NS: u64 = 150;
+/// Hardware interrupt entry/exit overhead.
+pub const IRQ_ENTRY_NS: u64 = 2_000;
+/// Dispatching one timer or work item.
+pub const SOFTIRQ_DISPATCH_NS: u64 = 500;
+/// One DMA descriptor processed by the device model.
+pub const DMA_DESC_NS: u64 = 300;
+/// Copying one byte of packet/sample data (amortized memcpy).
+pub const COPY_BYTE_NS: u64 = 1;
+/// A kernel/user protection-domain crossing (one way).
+pub const DOMAIN_CROSSING_NS: u64 = 4_000;
+/// Scheduling a different thread to handle an XPC (vs. reusing the caller).
+pub const THREAD_HANDOFF_NS: u64 = 12_000;
+/// Per-byte cost of XDR marshaling work (encode or decode).
+pub const MARSHAL_BYTE_NS: u64 = 6;
+/// Fixed per-object overhead of cross-language (C↔Java analogue)
+/// conversion: the extra unmarshal-in-C + remarshal-in-Java step the paper
+/// identifies as its main initialization cost (§4.2).
+pub const CROSS_LANGUAGE_OBJECT_NS: u64 = 25_000;

@@ -1,0 +1,109 @@
+//! Kernel error codes.
+//!
+//! Linux drivers report errors as negative `errno` integers; the paper's
+//! case study (§5.1) shows how easily those get ignored. Here errors are a
+//! proper enum carried in `Result`, the Rust analogue of the checked
+//! exceptions the decaf E1000 driver adopted.
+
+use std::fmt;
+
+/// Result alias for kernel operations.
+pub type KResult<T> = Result<T, KError>;
+
+/// A kernel error code (subset of `errno`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KError {
+    /// Out of memory (`-ENOMEM`).
+    NoMem,
+    /// I/O error (`-EIO`).
+    Io,
+    /// No such device (`-ENODEV`).
+    NoDev,
+    /// Invalid argument (`-EINVAL`).
+    Inval,
+    /// Device or resource busy (`-EBUSY`).
+    Busy,
+    /// Operation timed out (`-ETIMEDOUT`).
+    TimedOut,
+    /// Resource temporarily unavailable (`-EAGAIN`).
+    Again,
+    /// Operation not supported (`-EOPNOTSUPP`).
+    OpNotSupp,
+}
+
+impl KError {
+    /// The Linux errno value this code corresponds to (negative).
+    pub fn errno(self) -> i32 {
+        match self {
+            KError::NoMem => -12,
+            KError::Io => -5,
+            KError::NoDev => -19,
+            KError::Inval => -22,
+            KError::Busy => -16,
+            KError::TimedOut => -110,
+            KError::Again => -11,
+            KError::OpNotSupp => -95,
+        }
+    }
+
+    /// Converts a negative errno into a `KError`, if recognised.
+    pub fn from_errno(errno: i32) -> Option<KError> {
+        Some(match errno {
+            -12 => KError::NoMem,
+            -5 => KError::Io,
+            -19 => KError::NoDev,
+            -22 => KError::Inval,
+            -16 => KError::Busy,
+            -110 => KError::TimedOut,
+            -11 => KError::Again,
+            -95 => KError::OpNotSupp,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for KError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            KError::NoMem => "ENOMEM",
+            KError::Io => "EIO",
+            KError::NoDev => "ENODEV",
+            KError::Inval => "EINVAL",
+            KError::Busy => "EBUSY",
+            KError::TimedOut => "ETIMEDOUT",
+            KError::Again => "EAGAIN",
+            KError::OpNotSupp => "EOPNOTSUPP",
+        };
+        write!(f, "{name} ({})", self.errno())
+    }
+}
+
+impl std::error::Error for KError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_roundtrip() {
+        for e in [
+            KError::NoMem,
+            KError::Io,
+            KError::NoDev,
+            KError::Inval,
+            KError::Busy,
+            KError::TimedOut,
+            KError::Again,
+            KError::OpNotSupp,
+        ] {
+            assert_eq!(KError::from_errno(e.errno()), Some(e));
+            assert!(e.errno() < 0);
+        }
+        assert_eq!(KError::from_errno(-9999), None);
+    }
+
+    #[test]
+    fn display_mentions_name_and_number() {
+        assert_eq!(KError::Io.to_string(), "EIO (-5)");
+    }
+}

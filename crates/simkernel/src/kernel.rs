@@ -1,0 +1,848 @@
+//! The kernel core: contexts, interrupts, timers, work queues, modules.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::clock::{Clock, ClockSnapshot, CpuClass};
+use crate::costs;
+use crate::error::{KError, KResult};
+use crate::input::InputState;
+use crate::net::NetState;
+use crate::pci::PciState;
+use crate::sound::SoundState;
+use crate::usb::UsbState;
+
+/// The execution context of the currently running code.
+///
+/// Mirrors the Linux distinction the paper leans on (§3.1.3): interrupt
+/// handlers and timers run at high priority and must never block, so they
+/// must never invoke the user-level decaf driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecContext {
+    /// Ordinary process context: may block, may call up to user level.
+    Process,
+    /// Softirq context (timers): must not block.
+    SoftIrq,
+    /// Hardware interrupt context: must not block.
+    HardIrq,
+}
+
+/// A rule violation observed by the simulated kernel.
+///
+/// The simulator records violations instead of crashing, so tests can
+/// assert both that correct drivers produce none and that incorrect
+/// constructions (e.g. calling a decaf driver from an IRQ handler) are
+/// detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Classification of the violation.
+    pub kind: ViolationKind,
+    /// Execution context at the time.
+    pub context: ExecContext,
+    /// Virtual time at the time.
+    pub at_ns: u64,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Kinds of kernel-rule violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A blocking operation was attempted in atomic context
+    /// (IRQ/softirq context or while holding a spinlock).
+    BlockingInAtomic,
+    /// A lock was re-acquired by its holder (single-threaded deadlock).
+    SelfDeadlock,
+    /// A semaphore `down` found no available count (would deadlock).
+    WouldDeadlock,
+    /// A user-level upcall (XPC to the decaf driver) was attempted from
+    /// atomic context.
+    UpcallInAtomic,
+}
+
+/// Identifier of a kernel timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(usize);
+
+struct TimerEntry {
+    name: String,
+    callback: Rc<dyn Fn(&Kernel)>,
+    deadline_ns: Option<u64>,
+    period_ns: Option<u64>,
+    live: bool,
+}
+
+/// A registered interrupt handler: name plus callback.
+pub type IrqHandler = Rc<dyn Fn(&Kernel)>;
+
+#[derive(Default)]
+struct IrqLine {
+    handler: Option<(String, IrqHandler)>,
+    disable_depth: u32,
+    pending: bool,
+}
+
+type WorkFn = Box<dyn FnOnce(&Kernel)>;
+
+#[derive(Default)]
+struct WorkState {
+    queue: VecDeque<(String, WorkFn)>,
+    executed: u64,
+}
+
+/// A loaded kernel module record.
+#[derive(Debug, Clone)]
+pub struct LoadedModule {
+    /// Module name.
+    pub name: String,
+    /// Virtual-time latency of `insmod` (module init), in nanoseconds.
+    pub init_latency_ns: u64,
+}
+
+/// Counters exposed for tests and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Hardware interrupts delivered.
+    pub irqs_delivered: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+    /// Work items executed.
+    pub work_executed: u64,
+}
+
+pub(crate) struct Inner {
+    pub(crate) clock: RefCell<Clock>,
+    ctx: Cell<ExecContext>,
+    atomic_depth: Cell<u32>,
+    irqs: RefCell<Vec<IrqLine>>,
+    timers: RefCell<Vec<TimerEntry>>,
+    work: RefCell<WorkState>,
+    modules: RefCell<Vec<LoadedModule>>,
+    violations: RefCell<Vec<Violation>>,
+    stats: Cell<KernelStats>,
+    dispatching: Cell<bool>,
+    pub(crate) net: RefCell<NetState>,
+    pub(crate) sound: RefCell<SoundState>,
+    pub(crate) usb: RefCell<UsbState>,
+    pub(crate) input: RefCell<InputState>,
+    pub(crate) pci: RefCell<PciState>,
+}
+
+/// A cheap-to-clone handle to the simulated kernel.
+///
+/// The kernel is single-threaded: driver code, interrupt handlers, timers
+/// and work items all execute on the (virtual) CPU in a deterministic
+/// order. Devices raise IRQs; delivery happens at *scheduling points*
+/// ([`Kernel::schedule_point`], or implicitly inside [`Kernel::run_for`]).
+///
+/// # Examples
+///
+/// ```
+/// use decaf_simkernel::Kernel;
+/// let kernel = Kernel::new();
+/// kernel.charge_kernel(1_000);
+/// assert_eq!(kernel.now_ns(), 1_000);
+/// ```
+#[derive(Clone)]
+pub struct Kernel {
+    inner: Rc<Inner>,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now_ns", &self.now_ns())
+            .field("context", &self.context())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new()
+    }
+}
+
+impl Kernel {
+    /// Creates a fresh kernel at virtual time zero.
+    pub fn new() -> Self {
+        Kernel {
+            inner: Rc::new(Inner {
+                clock: RefCell::new(Clock::new()),
+                ctx: Cell::new(ExecContext::Process),
+                atomic_depth: Cell::new(0),
+                irqs: RefCell::new(Vec::new()),
+                timers: RefCell::new(Vec::new()),
+                work: RefCell::new(WorkState::default()),
+                modules: RefCell::new(Vec::new()),
+                violations: RefCell::new(Vec::new()),
+                stats: Cell::new(KernelStats::default()),
+                dispatching: Cell::new(false),
+                net: RefCell::new(NetState::default()),
+                sound: RefCell::new(SoundState::default()),
+                usb: RefCell::new(UsbState::default()),
+                input: RefCell::new(InputState::default()),
+                pci: RefCell::new(PciState::default()),
+            }),
+        }
+    }
+
+    // ---------------------------------------------------------- time
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.clock.borrow().now_ns()
+    }
+
+    /// Charges `ns` of busy time to the kernel CPU class.
+    pub fn charge_kernel(&self, ns: u64) {
+        self.inner.clock.borrow_mut().charge(CpuClass::Kernel, ns);
+    }
+
+    /// Charges `ns` of busy time to the user CPU class.
+    pub fn charge_user(&self, ns: u64) {
+        self.inner.clock.borrow_mut().charge(CpuClass::User, ns);
+    }
+
+    /// Charges busy time to the class matching the current context:
+    /// kernel time unless explicitly charged as user.
+    pub fn charge(&self, class: CpuClass, ns: u64) {
+        self.inner.clock.borrow_mut().charge(class, ns);
+    }
+
+    /// Takes a clock snapshot for interval measurements.
+    pub fn snapshot(&self) -> ClockSnapshot {
+        self.inner.clock.borrow().snapshot()
+    }
+
+    /// Advances virtual time by `ns` without charging any CPU class.
+    ///
+    /// Device models use this to represent real-time progress that keeps
+    /// the CPU idle (e.g. a DAC draining a playback buffer).
+    pub fn advance_idle(&self, ns: u64) {
+        self.inner.clock.borrow_mut().advance_idle(ns);
+    }
+
+    // ------------------------------------------------------- context
+
+    /// The current execution context.
+    pub fn context(&self) -> ExecContext {
+        self.inner.ctx.get()
+    }
+
+    /// Whether the CPU is in atomic context (IRQ/softirq or spinlock held).
+    pub fn in_atomic(&self) -> bool {
+        self.inner.ctx.get() != ExecContext::Process || self.inner.atomic_depth.get() > 0
+    }
+
+    /// Whether blocking operations are currently permitted.
+    pub fn may_block(&self) -> bool {
+        !self.in_atomic()
+    }
+
+    /// Records a violation if blocking is not permitted here.
+    ///
+    /// Returns `true` when the operation is legal.
+    pub fn assert_may_block(&self, what: &str) -> bool {
+        if self.may_block() {
+            true
+        } else {
+            self.record_violation(ViolationKind::BlockingInAtomic, what);
+            false
+        }
+    }
+
+    /// Enters atomic context (used by spinlock-like primitives, including
+    /// the XPC combolock in spin mode). Must be balanced by
+    /// [`Kernel::leave_atomic`].
+    pub fn enter_atomic(&self) {
+        self.inner
+            .atomic_depth
+            .set(self.inner.atomic_depth.get() + 1);
+    }
+
+    /// Leaves atomic context.
+    pub fn leave_atomic(&self) {
+        let d = self.inner.atomic_depth.get();
+        debug_assert!(d > 0, "atomic depth underflow");
+        self.inner.atomic_depth.set(d.saturating_sub(1));
+    }
+
+    fn with_context<R>(&self, ctx: ExecContext, f: impl FnOnce() -> R) -> R {
+        let prev = self.inner.ctx.replace(ctx);
+        let r = f();
+        self.inner.ctx.set(prev);
+        r
+    }
+
+    /// Records a rule violation.
+    pub fn record_violation(&self, kind: ViolationKind, detail: impl Into<String>) {
+        self.inner.violations.borrow_mut().push(Violation {
+            kind,
+            context: self.context(),
+            at_ns: self.now_ns(),
+            detail: detail.into(),
+        });
+    }
+
+    /// All violations recorded so far.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.inner.violations.borrow().clone()
+    }
+
+    /// Clears recorded violations (between test phases).
+    pub fn clear_violations(&self) {
+        self.inner.violations.borrow_mut().clear();
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> KernelStats {
+        self.inner.stats.get()
+    }
+
+    fn bump_stats(&self, f: impl FnOnce(&mut KernelStats)) {
+        let mut s = self.inner.stats.get();
+        f(&mut s);
+        self.inner.stats.set(s);
+    }
+
+    // ---------------------------------------------------------- IRQs
+
+    /// Registers `handler` on IRQ `line` (like `request_irq`).
+    pub fn request_irq(
+        &self,
+        line: u32,
+        name: impl Into<String>,
+        handler: Rc<dyn Fn(&Kernel)>,
+    ) -> KResult<()> {
+        let mut irqs = self.inner.irqs.borrow_mut();
+        let line = line as usize;
+        if irqs.len() <= line {
+            irqs.resize_with(line + 1, IrqLine::default);
+        }
+        if irqs[line].handler.is_some() {
+            return Err(KError::Busy);
+        }
+        irqs[line].handler = Some((name.into(), handler));
+        Ok(())
+    }
+
+    /// Unregisters the handler on IRQ `line` (like `free_irq`).
+    pub fn free_irq(&self, line: u32) {
+        if let Some(entry) = self.inner.irqs.borrow_mut().get_mut(line as usize) {
+            entry.handler = None;
+            entry.pending = false;
+        }
+    }
+
+    /// Disables delivery on `line`; nests (like `disable_irq`).
+    ///
+    /// This is the mechanism the nuclear runtime uses to keep the driver
+    /// from interrupting itself while its decaf driver runs (§3.1.3).
+    pub fn disable_irq(&self, line: u32) {
+        let mut irqs = self.inner.irqs.borrow_mut();
+        let line = line as usize;
+        if irqs.len() <= line {
+            irqs.resize_with(line + 1, IrqLine::default);
+        }
+        irqs[line].disable_depth += 1;
+    }
+
+    /// Re-enables delivery on `line`; pending interrupts are delivered at
+    /// the next scheduling point.
+    pub fn enable_irq(&self, line: u32) {
+        if let Some(entry) = self.inner.irqs.borrow_mut().get_mut(line as usize) {
+            entry.disable_depth = entry.disable_depth.saturating_sub(1);
+        }
+    }
+
+    /// Whether `line` currently has undelivered pending interrupts.
+    pub fn irq_pending(&self, line: u32) -> bool {
+        self.inner
+            .irqs
+            .borrow()
+            .get(line as usize)
+            .is_some_and(|l| l.pending)
+    }
+
+    /// Raises IRQ `line` (called by device models).
+    ///
+    /// Delivery is deferred to the next scheduling point, keeping driver
+    /// code re-entrancy-free and the simulation deterministic.
+    pub fn raise_irq(&self, line: u32) {
+        let mut irqs = self.inner.irqs.borrow_mut();
+        let line = line as usize;
+        if irqs.len() <= line {
+            irqs.resize_with(line + 1, IrqLine::default);
+        }
+        irqs[line].pending = true;
+    }
+
+    // -------------------------------------------------------- timers
+
+    /// Creates a timer; it does not fire until armed.
+    pub fn timer_create(&self, name: impl Into<String>, callback: Rc<dyn Fn(&Kernel)>) -> TimerId {
+        let mut timers = self.inner.timers.borrow_mut();
+        timers.push(TimerEntry {
+            name: name.into(),
+            callback,
+            deadline_ns: None,
+            period_ns: None,
+            live: true,
+        });
+        TimerId(timers.len() - 1)
+    }
+
+    /// Arms `timer` to fire once, `delay_ns` from now (like `mod_timer`).
+    pub fn timer_arm(&self, timer: TimerId, delay_ns: u64) {
+        let now = self.now_ns();
+        if let Some(t) = self.inner.timers.borrow_mut().get_mut(timer.0) {
+            if t.live {
+                t.deadline_ns = Some(now + delay_ns);
+                t.period_ns = None;
+            }
+        }
+    }
+
+    /// Arms `timer` to fire every `period_ns` (must be positive).
+    pub fn timer_arm_periodic(&self, timer: TimerId, period_ns: u64) {
+        assert!(period_ns > 0, "periodic timers require a positive period");
+        let now = self.now_ns();
+        if let Some(t) = self.inner.timers.borrow_mut().get_mut(timer.0) {
+            if t.live {
+                t.deadline_ns = Some(now + period_ns);
+                t.period_ns = Some(period_ns);
+            }
+        }
+    }
+
+    /// Disarms and destroys `timer` (like `del_timer_sync`).
+    pub fn timer_del(&self, timer: TimerId) {
+        if let Some(t) = self.inner.timers.borrow_mut().get_mut(timer.0) {
+            t.live = false;
+            t.deadline_ns = None;
+            t.period_ns = None;
+        }
+    }
+
+    /// Whether `timer` is armed.
+    pub fn timer_pending(&self, timer: TimerId) -> bool {
+        self.inner
+            .timers
+            .borrow()
+            .get(timer.0)
+            .is_some_and(|t| t.live && t.deadline_ns.is_some())
+    }
+
+    fn next_timer_deadline(&self) -> Option<u64> {
+        self.inner
+            .timers
+            .borrow()
+            .iter()
+            .filter(|t| t.live)
+            .filter_map(|t| t.deadline_ns)
+            .min()
+    }
+
+    // ---------------------------------------------------- work queue
+
+    /// Schedules a work item to run in process context at the next
+    /// scheduling point (like `schedule_work`).
+    ///
+    /// Work items may block — this is how high-priority code defers
+    /// operations that must reach the decaf driver (§3.1.3).
+    pub fn schedule_work(&self, name: impl Into<String>, f: impl FnOnce(&Kernel) + 'static) {
+        self.inner
+            .work
+            .borrow_mut()
+            .queue
+            .push_back((name.into(), Box::new(f)));
+    }
+
+    /// Number of work items waiting.
+    pub fn work_pending(&self) -> usize {
+        self.inner.work.borrow().queue.len()
+    }
+
+    // ----------------------------------------------------- dispatch
+
+    /// Runs one dispatch round: pending IRQs, due timers, queued work.
+    ///
+    /// Re-entrant calls (from inside a handler) are ignored; the outer
+    /// dispatch loop picks up anything new.
+    pub fn schedule_point(&self) {
+        if self.inner.dispatching.replace(true) {
+            return;
+        }
+        loop {
+            let progressed = self.deliver_one_irq() || self.fire_one_timer() || self.run_one_work();
+            if !progressed {
+                break;
+            }
+        }
+        self.inner.dispatching.set(false);
+    }
+
+    fn deliver_one_irq(&self) -> bool {
+        let found = {
+            let mut irqs = self.inner.irqs.borrow_mut();
+            irqs.iter_mut().enumerate().find_map(|(line, entry)| {
+                if entry.pending && entry.disable_depth == 0 {
+                    if let Some((name, handler)) = &entry.handler {
+                        entry.pending = false;
+                        return Some((line, name.clone(), Rc::clone(handler)));
+                    }
+                    // Pending IRQ with no handler: drop it (spurious).
+                    entry.pending = false;
+                }
+                None
+            })
+        };
+        match found {
+            Some((_line, _name, handler)) => {
+                self.charge_kernel(costs::IRQ_ENTRY_NS);
+                self.bump_stats(|s| s.irqs_delivered += 1);
+                self.with_context(ExecContext::HardIrq, || handler(self));
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn fire_one_timer(&self) -> bool {
+        let now = self.now_ns();
+        let due = {
+            let mut timers = self.inner.timers.borrow_mut();
+            timers.iter_mut().find_map(|t| {
+                if !t.live {
+                    return None;
+                }
+                match t.deadline_ns {
+                    Some(d) if d <= now => {
+                        match t.period_ns {
+                            Some(p) => t.deadline_ns = Some(now + p),
+                            None => t.deadline_ns = None,
+                        }
+                        Some((t.name.clone(), Rc::clone(&t.callback)))
+                    }
+                    _ => None,
+                }
+            })
+        };
+        match due {
+            Some((_name, cb)) => {
+                self.charge_kernel(costs::SOFTIRQ_DISPATCH_NS);
+                self.bump_stats(|s| s.timers_fired += 1);
+                self.with_context(ExecContext::SoftIrq, || cb(self));
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn run_one_work(&self) -> bool {
+        let item = self.inner.work.borrow_mut().queue.pop_front();
+        match item {
+            Some((_name, f)) => {
+                self.charge_kernel(costs::SOFTIRQ_DISPATCH_NS);
+                self.bump_stats(|s| s.work_executed += 1);
+                self.inner.work.borrow_mut().executed += 1;
+                self.with_context(ExecContext::Process, || f(self));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advances virtual time by `ns`, dispatching events as they come due.
+    pub fn run_for(&self, ns: u64) {
+        let end = self.now_ns() + ns;
+        loop {
+            self.schedule_point();
+            let now = self.now_ns();
+            if now >= end {
+                break;
+            }
+            let next = self
+                .next_timer_deadline()
+                .map_or(end, |d| d.clamp(now, end));
+            let step = next.saturating_sub(now);
+            if step == 0 {
+                // A timer is due exactly now; loop to dispatch it.
+                continue;
+            }
+            self.inner.clock.borrow_mut().advance_idle(step);
+        }
+        self.schedule_point();
+    }
+
+    /// Dispatches until no IRQ, timer-due or work remains (bounded by
+    /// `max_ns` of virtual time to guarantee termination).
+    pub fn run_until_idle(&self, max_ns: u64) {
+        let end = self.now_ns() + max_ns;
+        loop {
+            self.schedule_point();
+            let has_work = self.work_pending() > 0;
+            let now = self.now_ns();
+            let next_timer = self.next_timer_deadline();
+            if !has_work && next_timer.is_none() {
+                break;
+            }
+            if now >= end {
+                break;
+            }
+            if let Some(d) = next_timer {
+                let step = d.clamp(now, end).saturating_sub(now);
+                if step > 0 {
+                    self.inner.clock.borrow_mut().advance_idle(step);
+                }
+            }
+            if next_timer.is_none() && !has_work {
+                break;
+            }
+        }
+    }
+
+    // -------------------------------------------------------- modules
+
+    /// Loads a module, running `init` in process context and measuring the
+    /// virtual-time latency of the whole `insmod` (paper §4.2 measures
+    /// driver initialization this way).
+    pub fn insmod(
+        &self,
+        name: impl Into<String>,
+        init: impl FnOnce(&Kernel) -> KResult<()>,
+    ) -> KResult<u64> {
+        let name = name.into();
+        let start = self.now_ns();
+        self.with_context(ExecContext::Process, || init(self))?;
+        let latency = self.now_ns() - start;
+        self.inner.modules.borrow_mut().push(LoadedModule {
+            name,
+            init_latency_ns: latency,
+        });
+        Ok(latency)
+    }
+
+    /// Unloads a module, running `exit` in process context.
+    pub fn rmmod(&self, name: &str, exit: impl FnOnce(&Kernel)) {
+        self.with_context(ExecContext::Process, || exit(self));
+        self.inner.modules.borrow_mut().retain(|m| m.name != name);
+    }
+
+    /// Currently loaded modules.
+    pub fn modules(&self) -> Vec<LoadedModule> {
+        self.inner.modules.borrow().clone()
+    }
+
+    pub(crate) fn inner(&self) -> &Inner {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell as StdCell;
+
+    #[test]
+    fn irq_delivery_at_schedule_point() {
+        let k = Kernel::new();
+        let fired = Rc::new(StdCell::new(0));
+        let f = Rc::clone(&fired);
+        k.request_irq(9, "test", Rc::new(move |_k| f.set(f.get() + 1)))
+            .unwrap();
+        k.raise_irq(9);
+        assert_eq!(fired.get(), 0, "delivery is deferred");
+        k.schedule_point();
+        assert_eq!(fired.get(), 1);
+        assert_eq!(k.stats().irqs_delivered, 1);
+    }
+
+    #[test]
+    fn irq_handler_runs_in_hardirq_context() {
+        let k = Kernel::new();
+        let seen = Rc::new(StdCell::new(ExecContext::Process));
+        let s = Rc::clone(&seen);
+        k.request_irq(3, "ctx", Rc::new(move |k| s.set(k.context())))
+            .unwrap();
+        k.raise_irq(3);
+        k.schedule_point();
+        assert_eq!(seen.get(), ExecContext::HardIrq);
+        assert_eq!(k.context(), ExecContext::Process, "context restored");
+    }
+
+    #[test]
+    fn disable_irq_defers_delivery_until_enable() {
+        let k = Kernel::new();
+        let fired = Rc::new(StdCell::new(0));
+        let f = Rc::clone(&fired);
+        k.request_irq(5, "nic", Rc::new(move |_| f.set(f.get() + 1)))
+            .unwrap();
+        k.disable_irq(5);
+        k.disable_irq(5); // nesting
+        k.raise_irq(5);
+        k.schedule_point();
+        assert_eq!(fired.get(), 0);
+        k.enable_irq(5);
+        k.schedule_point();
+        assert_eq!(fired.get(), 0, "still disabled once");
+        k.enable_irq(5);
+        k.schedule_point();
+        assert_eq!(fired.get(), 1, "pending IRQ delivered after enable");
+    }
+
+    #[test]
+    fn duplicate_request_irq_is_busy() {
+        let k = Kernel::new();
+        k.request_irq(1, "a", Rc::new(|_| {})).unwrap();
+        assert_eq!(k.request_irq(1, "b", Rc::new(|_| {})), Err(KError::Busy));
+        k.free_irq(1);
+        assert!(k.request_irq(1, "b", Rc::new(|_| {})).is_ok());
+    }
+
+    #[test]
+    fn oneshot_timer_fires_once_at_deadline() {
+        let k = Kernel::new();
+        let fired = Rc::new(StdCell::new(0u32));
+        let f = Rc::clone(&fired);
+        let t = k.timer_create("oneshot", Rc::new(move |_| f.set(f.get() + 1)));
+        k.timer_arm(t, 1_000_000);
+        k.run_for(999_999);
+        assert_eq!(fired.get(), 0);
+        k.run_for(2);
+        assert_eq!(fired.get(), 1);
+        k.run_for(10_000_000);
+        assert_eq!(fired.get(), 1, "one-shot does not refire");
+        assert!(!k.timer_pending(t));
+    }
+
+    #[test]
+    fn periodic_timer_fires_repeatedly_until_deleted() {
+        let k = Kernel::new();
+        let fired = Rc::new(StdCell::new(0u32));
+        let f = Rc::clone(&fired);
+        let t = k.timer_create("watchdog", Rc::new(move |_| f.set(f.get() + 1)));
+        // The E1000 watchdog runs every two (virtual) seconds.
+        k.timer_arm_periodic(t, 2_000_000_000);
+        k.run_for(7_000_000_000);
+        assert_eq!(fired.get(), 3);
+        k.timer_del(t);
+        k.run_for(4_000_000_000);
+        assert_eq!(fired.get(), 3);
+    }
+
+    #[test]
+    fn timers_run_in_softirq_context_and_cannot_block() {
+        let k = Kernel::new();
+        let ctx = Rc::new(StdCell::new(ExecContext::Process));
+        let c = Rc::clone(&ctx);
+        let t = k.timer_create(
+            "t",
+            Rc::new(move |k| {
+                c.set(k.context());
+                assert!(!k.may_block());
+                k.assert_may_block("upcall from timer");
+            }),
+        );
+        k.timer_arm(t, 10);
+        k.run_for(20);
+        assert_eq!(ctx.get(), ExecContext::SoftIrq);
+        let v = k.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::BlockingInAtomic);
+        assert_eq!(v[0].context, ExecContext::SoftIrq);
+    }
+
+    #[test]
+    fn work_items_run_in_process_context() {
+        let k = Kernel::new();
+        let ok = Rc::new(StdCell::new(false));
+        let o = Rc::clone(&ok);
+        k.schedule_work("deferred", move |k| {
+            o.set(k.may_block());
+        });
+        assert_eq!(k.work_pending(), 1);
+        k.schedule_point();
+        assert!(ok.get(), "work items may block");
+        assert_eq!(k.work_pending(), 0);
+        assert_eq!(k.stats().work_executed, 1);
+    }
+
+    #[test]
+    fn timer_deferring_to_work_item_reaches_process_context() {
+        // The paper's watchdog pattern: the timer (softirq) enqueues a work
+        // item; the work item (process context) may block / call user mode.
+        let k = Kernel::new();
+        let ran_in = Rc::new(StdCell::new(None::<bool>));
+        let r = Rc::clone(&ran_in);
+        let t = k.timer_create(
+            "watchdog",
+            Rc::new(move |k| {
+                let r2 = Rc::clone(&r);
+                k.schedule_work("watchdog_task", move |k| r2.set(Some(k.may_block())));
+            }),
+        );
+        k.timer_arm(t, 100);
+        k.run_for(200);
+        assert_eq!(ran_in.get(), Some(true));
+    }
+
+    #[test]
+    fn insmod_measures_init_latency() {
+        let k = Kernel::new();
+        let latency = k
+            .insmod("e1000", |k| {
+                k.charge_kernel(400_000);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(latency, 400_000);
+        assert_eq!(k.modules().len(), 1);
+        k.rmmod("e1000", |_| {});
+        assert!(k.modules().is_empty());
+    }
+
+    #[test]
+    fn insmod_propagates_init_errors() {
+        let k = Kernel::new();
+        let err = k.insmod("bad", |_| Err(KError::NoDev)).unwrap_err();
+        assert_eq!(err, KError::NoDev);
+        assert!(k.modules().is_empty());
+    }
+
+    #[test]
+    fn run_for_advances_exactly() {
+        let k = Kernel::new();
+        k.run_for(5_000);
+        assert_eq!(k.now_ns(), 5_000);
+    }
+
+    #[test]
+    fn irq_raised_by_timer_is_delivered_same_round() {
+        let k = Kernel::new();
+        let fired = Rc::new(StdCell::new(false));
+        let f = Rc::clone(&fired);
+        k.request_irq(2, "chained", Rc::new(move |_| f.set(true)))
+            .unwrap();
+        let t = k.timer_create("raiser", Rc::new(move |k| k.raise_irq(2)));
+        k.timer_arm(t, 50);
+        k.run_for(100);
+        assert!(fired.get());
+    }
+
+    #[test]
+    fn run_until_idle_drains_chained_work() {
+        let k = Kernel::new();
+        let count = Rc::new(StdCell::new(0));
+        let c = Rc::clone(&count);
+        k.schedule_work("a", move |k| {
+            c.set(c.get() + 1);
+            let c2 = Rc::clone(&c);
+            k.schedule_work("b", move |_| c2.set(c2.get() + 1));
+        });
+        k.run_until_idle(1_000_000);
+        assert_eq!(count.get(), 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! PCI bus: device discovery and BAR mapping.
+
+use crate::error::{KError, KResult};
+use crate::kernel::Kernel;
+use crate::mmio::MmioHandle;
+
+/// A device present on the simulated PCI bus.
+#[derive(Clone)]
+pub struct PciDevice {
+    /// Vendor id (e.g. `0x8086` for Intel).
+    pub vendor: u16,
+    /// Device id (e.g. `0x100e` for the 82540EM E1000).
+    pub device: u16,
+    /// Interrupt line assigned to the device.
+    pub irq_line: u32,
+    /// Base address registers: handles to the device's register windows.
+    pub bars: Vec<MmioHandle>,
+    /// Human-readable name.
+    pub name: String,
+}
+
+impl std::fmt::Debug for PciDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PciDevice")
+            .field("vendor", &format_args!("{:#06x}", self.vendor))
+            .field("device", &format_args!("{:#06x}", self.device))
+            .field("irq_line", &self.irq_line)
+            .field("bars", &self.bars.len())
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// PCI-subsystem state stored inside the kernel.
+#[derive(Default)]
+pub struct PciState {
+    devices: Vec<PciDevice>,
+}
+
+impl Kernel {
+    /// Plugs a device into the bus (platform/firmware side).
+    pub fn pci_add_device(&self, device: PciDevice) {
+        self.inner().pci.borrow_mut().devices.push(device);
+    }
+
+    /// Finds the first device matching `vendor:device` (like `pci_get_device`).
+    pub fn pci_find(&self, vendor: u16, device: u16) -> KResult<PciDevice> {
+        self.inner()
+            .pci
+            .borrow()
+            .devices
+            .iter()
+            .find(|d| d.vendor == vendor && d.device == device)
+            .cloned()
+            .ok_or(KError::NoDev)
+    }
+
+    /// Lists all devices on the bus.
+    pub fn pci_devices(&self) -> Vec<PciDevice> {
+        self.inner().pci.borrow().devices.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmio::MmioDevice;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Null;
+    impl MmioDevice for Null {
+        fn read32(&mut self, _k: &Kernel, _o: u64) -> u32 {
+            0
+        }
+        fn write32(&mut self, _k: &Kernel, _o: u64, _v: u32) {}
+    }
+
+    #[test]
+    fn find_by_vendor_device() {
+        let k = Kernel::new();
+        let bar: MmioHandle = Rc::new(RefCell::new(Null));
+        k.pci_add_device(PciDevice {
+            vendor: 0x8086,
+            device: 0x100e,
+            irq_line: 11,
+            bars: vec![bar],
+            name: "e1000".into(),
+        });
+        let d = k.pci_find(0x8086, 0x100e).unwrap();
+        assert_eq!(d.irq_line, 11);
+        assert_eq!(d.bars.len(), 1);
+        assert_eq!(k.pci_find(0x10ec, 0x8139).unwrap_err(), KError::NoDev);
+        assert_eq!(k.pci_devices().len(), 1);
+    }
+}

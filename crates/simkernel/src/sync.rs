@@ -1,0 +1,253 @@
+//! Kernel synchronization primitives with rule enforcement.
+//!
+//! These are *model* locks for a single-threaded deterministic simulation:
+//! they charge virtual time, track atomic context, and record rule
+//! violations (self-deadlock, blocking in atomic context) instead of
+//! hanging. Data protection is provided by Rust ownership in driver state;
+//! what these locks model is the *semantics* that force driver code into
+//! the kernel — "driver functions called with a spinlock held would have to
+//! remain in the kernel because invoking the decaf driver would require
+//! invoking the scheduler" (paper §3.1.3).
+
+use std::cell::Cell;
+
+use crate::costs;
+use crate::kernel::{Kernel, ViolationKind};
+
+/// A kernel spinlock: acquisition enters atomic context.
+#[derive(Debug)]
+pub struct SpinLock {
+    name: String,
+    held: Cell<bool>,
+}
+
+impl SpinLock {
+    /// Creates a named spinlock.
+    pub fn new(name: impl Into<String>) -> Self {
+        SpinLock {
+            name: name.into(),
+            held: Cell::new(false),
+        }
+    }
+
+    /// Acquires the lock, entering atomic context until the guard drops.
+    ///
+    /// Re-acquiring a held lock records a [`ViolationKind::SelfDeadlock`]
+    /// (a real kernel would hang).
+    pub fn lock<'a>(&'a self, kernel: &'a Kernel) -> SpinGuard<'a> {
+        kernel.charge_kernel(costs::SPINLOCK_NS);
+        if self.held.replace(true) {
+            kernel.record_violation(
+                ViolationKind::SelfDeadlock,
+                format!("spinlock `{}` re-acquired while held", self.name),
+            );
+        }
+        kernel.enter_atomic();
+        SpinGuard { kernel, lock: self }
+    }
+
+    /// Whether the lock is currently held.
+    pub fn is_held(&self) -> bool {
+        self.held.get()
+    }
+
+    /// The lock's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Guard for a held [`SpinLock`]; releases on drop.
+pub struct SpinGuard<'a> {
+    kernel: &'a Kernel,
+    lock: &'a SpinLock,
+}
+
+impl Drop for SpinGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.held.set(false);
+        self.kernel.leave_atomic();
+        self.kernel.charge_kernel(costs::SPINLOCK_NS);
+    }
+}
+
+/// A kernel mutex: acquisition may block, so it is illegal in atomic
+/// context (recorded as [`ViolationKind::BlockingInAtomic`]).
+#[derive(Debug)]
+pub struct KMutex {
+    name: String,
+    held: Cell<bool>,
+}
+
+impl KMutex {
+    /// Creates a named mutex.
+    pub fn new(name: impl Into<String>) -> Self {
+        KMutex {
+            name: name.into(),
+            held: Cell::new(false),
+        }
+    }
+
+    /// Acquires the mutex.
+    pub fn lock<'a>(&'a self, kernel: &'a Kernel) -> MutexGuard<'a> {
+        kernel.charge_kernel(costs::MUTEX_NS);
+        kernel.assert_may_block(&format!("mutex `{}` lock", self.name));
+        if self.held.replace(true) {
+            kernel.record_violation(
+                ViolationKind::SelfDeadlock,
+                format!("mutex `{}` re-acquired while held", self.name),
+            );
+        }
+        MutexGuard { kernel, lock: self }
+    }
+
+    /// Whether the mutex is currently held.
+    pub fn is_held(&self) -> bool {
+        self.held.get()
+    }
+
+    /// The mutex's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Guard for a held [`KMutex`]; releases on drop.
+pub struct MutexGuard<'a> {
+    kernel: &'a Kernel,
+    lock: &'a KMutex,
+}
+
+impl Drop for MutexGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.held.set(false);
+        self.kernel.charge_kernel(costs::MUTEX_NS);
+    }
+}
+
+/// A counting semaphore (`down` may block).
+#[derive(Debug)]
+pub struct KSemaphore {
+    name: String,
+    count: Cell<u32>,
+}
+
+impl KSemaphore {
+    /// Creates a semaphore with an initial count.
+    pub fn new(name: impl Into<String>, count: u32) -> Self {
+        KSemaphore {
+            name: name.into(),
+            count: Cell::new(count),
+        }
+    }
+
+    /// Decrements the count (`down`).
+    ///
+    /// In this single-threaded model a `down` on a zero count can never be
+    /// satisfied by another runnable thread, so it records a
+    /// [`ViolationKind::WouldDeadlock`] and proceeds.
+    pub fn down(&self, kernel: &Kernel) {
+        kernel.charge_kernel(costs::MUTEX_NS);
+        kernel.assert_may_block(&format!("semaphore `{}` down", self.name));
+        let c = self.count.get();
+        if c == 0 {
+            kernel.record_violation(
+                ViolationKind::WouldDeadlock,
+                format!("semaphore `{}` down with zero count", self.name),
+            );
+        } else {
+            self.count.set(c - 1);
+        }
+    }
+
+    /// Increments the count (`up`).
+    pub fn up(&self, kernel: &Kernel) {
+        kernel.charge_kernel(costs::MUTEX_NS);
+        self.count.set(self.count.get() + 1);
+    }
+
+    /// Current count.
+    pub fn count(&self) -> u32 {
+        self.count.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::ViolationKind;
+
+    #[test]
+    fn spinlock_enters_and_leaves_atomic() {
+        let k = Kernel::new();
+        let l = SpinLock::new("tx_lock");
+        assert!(k.may_block());
+        {
+            let _g = l.lock(&k);
+            assert!(!k.may_block());
+            assert!(l.is_held());
+        }
+        assert!(k.may_block());
+        assert!(!l.is_held());
+        assert!(k.violations().is_empty());
+    }
+
+    #[test]
+    fn spinlock_self_deadlock_detected() {
+        let k = Kernel::new();
+        let l = SpinLock::new("l");
+        let _g1 = l.lock(&k);
+        let _g2 = l.lock(&k);
+        let v = k.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::SelfDeadlock);
+    }
+
+    #[test]
+    fn mutex_illegal_under_spinlock() {
+        let k = Kernel::new();
+        let spin = SpinLock::new("s");
+        let mutex = KMutex::new("m");
+        let _g = spin.lock(&k);
+        let _m = mutex.lock(&k);
+        let v = k.violations();
+        assert!(v.iter().any(|v| v.kind == ViolationKind::BlockingInAtomic));
+    }
+
+    #[test]
+    fn mutex_legal_in_process_context() {
+        let k = Kernel::new();
+        let mutex = KMutex::new("m");
+        {
+            let _m = mutex.lock(&k);
+            assert!(mutex.is_held());
+            // A mutex does not enter atomic context: blocking is allowed.
+            assert!(k.may_block());
+        }
+        assert!(k.violations().is_empty());
+    }
+
+    #[test]
+    fn semaphore_counts_and_detects_deadlock() {
+        let k = Kernel::new();
+        let s = KSemaphore::new("sem", 1);
+        s.down(&k);
+        assert_eq!(s.count(), 0);
+        s.down(&k); // would deadlock
+        assert!(k
+            .violations()
+            .iter()
+            .any(|v| v.kind == ViolationKind::WouldDeadlock));
+        s.up(&k);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn locks_charge_time() {
+        let k = Kernel::new();
+        let l = SpinLock::new("t");
+        let before = k.now_ns();
+        drop(l.lock(&k));
+        assert!(k.now_ns() > before);
+    }
+}

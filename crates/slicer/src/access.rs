@@ -1,0 +1,208 @@
+//! Field-access analysis: which fields does user-level code touch?
+//!
+//! This drives the field-selective marshaling masks: "structures defined
+//! for the kernel's internal use but shared with drivers are passed with
+//! only the driver-accessed fields" (paper §2.3). The analysis walks
+//! every user-partition function, resolves `param->field` accesses to the
+//! parameter's declared struct type, and classifies each as a read or a
+//! write. Explicit `DECAF_XVAR` annotations (§3.2.4) are merged on top —
+//! they exist precisely because fields referenced only from already-ported
+//! managed code are invisible to the C analysis.
+
+use std::collections::HashMap;
+
+use decaf_xdr::mask::{Access, FieldMask, MaskSet};
+
+use crate::ast::{FuncDef, Program};
+use crate::lex::Tok;
+
+/// Raw access kind as written in `DECAF_XVAR` annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawAccess {
+    /// Read.
+    R,
+    /// Write.
+    W,
+    /// Read and write.
+    RW,
+}
+
+impl RawAccess {
+    /// Converts to the marshaling mask access kind.
+    pub fn to_access(self) -> Access {
+        match self {
+            RawAccess::R => Access::Read,
+            RawAccess::W => Access::Write,
+            RawAccess::RW => Access::ReadWrite,
+        }
+    }
+}
+
+/// One observed field access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldAccess {
+    /// Struct type accessed.
+    pub struct_name: String,
+    /// Field name.
+    pub field: String,
+    /// Read or write.
+    pub access: Access,
+    /// Function the access occurs in.
+    pub function: String,
+}
+
+/// Scans one function for `param->field` accesses.
+pub fn accesses_in(f: &FuncDef) -> Vec<FieldAccess> {
+    let mut out = Vec::new();
+    let body = &f.body;
+    let mut i = 0;
+    while i < body.len() {
+        // `DECAF_XVAR(var->field)` annotations are handled separately
+        // below; skip their tokens so the arrow inside is not double
+        // counted as an implicit read.
+        if let Some(Tok::Ident(name)) = body.get(i).map(|t| &t.tok) {
+            if name.starts_with("DECAF_") {
+                i += 6;
+                continue;
+            }
+        }
+        let (var, field) = match (
+            body.get(i).map(|t| &t.tok),
+            body.get(i + 1).map(|t| &t.tok),
+            body.get(i + 2).map(|t| &t.tok),
+        ) {
+            (Some(Tok::Ident(v)), Some(Tok::Arrow), Some(Tok::Ident(fld))) => (v, fld),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let Some(struct_name) = f.param_struct(var) else {
+            i += 1;
+            continue;
+        };
+        // Skip embedded-struct member chains (`a->hw.mac_type`): the
+        // access classifies against the outermost field.
+        let mut j = i + 3;
+        while matches!(body.get(j).map(|t| &t.tok), Some(Tok::Punct('.')))
+            && matches!(body.get(j + 1).map(|t| &t.tok), Some(Tok::Ident(_)))
+        {
+            j += 2;
+        }
+        // Writes: `p->f = ...` (not `==`), `p->f += ...`.
+        let access = match body.get(j).map(|t| &t.tok) {
+            Some(Tok::Punct('=')) => Access::Write,
+            Some(Tok::OpAssign(_)) => Access::ReadWrite,
+            _ => Access::Read,
+        };
+        out.push(FieldAccess {
+            struct_name: struct_name.to_string(),
+            field: field.clone(),
+            access,
+            function: f.name.clone(),
+        });
+        i += 1;
+    }
+    // Explicit annotations.
+    for dv in &f.decaf_vars {
+        if let Some(struct_name) = f.param_struct(&dv.var) {
+            out.push(FieldAccess {
+                struct_name: struct_name.to_string(),
+                field: dv.field.clone(),
+                access: dv.access.to_access(),
+                function: f.name.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Builds the per-type field masks for the user partition.
+///
+/// Only fields accessed by some user function are marshaled; everything
+/// else stays kernel-private.
+pub fn build_masks(program: &Program, user_fns: &[String]) -> MaskSet {
+    let mut per_type: HashMap<String, FieldMask> = HashMap::new();
+    for name in user_fns {
+        let Some(f) = program.find_function(name) else {
+            continue;
+        };
+        for acc in accesses_in(f) {
+            per_type
+                .entry(acc.struct_name)
+                .or_default()
+                .record(acc.field, acc.access);
+        }
+    }
+    let mut masks = MaskSet::selective();
+    for (ty, mask) in per_type {
+        masks.insert(ty, mask);
+    }
+    masks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use decaf_xdr::mask::Direction;
+
+    const SRC: &str = r"
+struct adapter { int msg_enable; int speed; int irq_count; int kernel_private; };
+int user_configure(struct adapter *a, int v) @export {
+    a->msg_enable = v;
+    if (a->speed == 100) { a->msg_enable += 1; }
+    return a->speed;
+}
+int kernel_isr(struct adapter *a) @irq {
+    a->irq_count = a->irq_count + 1;
+    return 0;
+}
+";
+
+    #[test]
+    fn reads_and_writes_classified() {
+        let p = parse(SRC).unwrap();
+        let f = p.find_function("user_configure").unwrap();
+        let acc = accesses_in(f);
+        assert!(acc
+            .iter()
+            .any(|a| a.field == "msg_enable" && a.access == Access::Write));
+        assert!(acc
+            .iter()
+            .any(|a| a.field == "msg_enable" && a.access == Access::ReadWrite));
+        assert!(acc
+            .iter()
+            .any(|a| a.field == "speed" && a.access == Access::Read));
+    }
+
+    #[test]
+    fn masks_cover_only_user_accessed_fields() {
+        let p = parse(SRC).unwrap();
+        let masks = build_masks(&p, &["user_configure".to_string()]);
+        // msg_enable written and read-modified → both directions.
+        assert!(masks.includes("adapter", "msg_enable", Direction::In));
+        assert!(masks.includes("adapter", "msg_enable", Direction::Out));
+        // speed only read → into user only.
+        assert!(masks.includes("adapter", "speed", Direction::In));
+        assert!(!masks.includes("adapter", "speed", Direction::Out));
+        // Fields only the kernel touches never cross.
+        assert!(!masks.includes("adapter", "irq_count", Direction::In));
+        assert!(!masks.includes("adapter", "kernel_private", Direction::In));
+    }
+
+    #[test]
+    fn decaf_annotations_extend_masks() {
+        let src = r"
+struct adapter { int hidden; };
+int entry(struct adapter *a) @export {
+    DECAF_WVAR(a->hidden);
+    return 0;
+}
+";
+        let p = parse(src).unwrap();
+        let masks = build_masks(&p, &["entry".to_string()]);
+        assert!(masks.includes("adapter", "hidden", Direction::Out));
+        assert!(!masks.includes("adapter", "hidden", Direction::In));
+    }
+}

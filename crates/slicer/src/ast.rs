@@ -1,0 +1,212 @@
+//! The mini-C abstract syntax: structures, functions, attributes.
+
+use crate::lex::Token;
+
+/// A C type as the slicer understands it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CType {
+    /// `void`.
+    Void,
+    /// `int` (also stands in for `short`/`char` scalars).
+    Int,
+    /// `unsigned int` / `u32` / `uint32_t`.
+    UInt,
+    /// `long long`.
+    LongLong,
+    /// `unsigned long long` / `u64`.
+    ULongLong,
+    /// `u8`/`char` used as raw byte data.
+    Byte,
+    /// A struct by value: `struct X` embedded.
+    Struct(String),
+    /// A pointer to a struct: `struct X *`.
+    StructPtr(String),
+    /// A pointer to a scalar: `TYPE *` — requires an `@exp(LEN)`
+    /// annotation to marshal (Figure 3's transformation target).
+    ScalarPtr(Box<CType>),
+    /// Fixed-size array: `TYPE name[N]`.
+    Array(Box<CType>, usize),
+}
+
+impl CType {
+    /// Whether this type is (or points to) a struct named `name`.
+    pub fn struct_name(&self) -> Option<&str> {
+        match self {
+            CType::Struct(n) | CType::StructPtr(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Renders the type in C syntax (declarator name supplied separately).
+    pub fn c_syntax(&self) -> String {
+        match self {
+            CType::Void => "void".into(),
+            CType::Int => "int".into(),
+            CType::UInt => "unsigned int".into(),
+            CType::LongLong => "long long".into(),
+            CType::ULongLong => "unsigned long long".into(),
+            CType::Byte => "u8".into(),
+            CType::Struct(n) => format!("struct {n}"),
+            CType::StructPtr(n) => format!("struct {n} *"),
+            CType::ScalarPtr(inner) => format!("{} *", inner.c_syntax()),
+            CType::Array(inner, n) => format!("{}[{n}]", inner.c_syntax()),
+        }
+    }
+}
+
+/// A field of a mini-C struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: CType,
+    /// `@exp(LEN)` marshaling annotation: the pointed-to array length, by
+    /// constant name or literal value.
+    pub exp_len: Option<usize>,
+}
+
+/// A mini-C struct definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields in order.
+    pub fields: Vec<Field>,
+    /// Number of annotated fields (contributes to Table 2's annotation
+    /// count).
+    pub annotation_count: usize,
+}
+
+/// Function attributes: the slicer's configuration surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attr {
+    /// Interrupt handler: critical root, must stay in the kernel.
+    Irq,
+    /// Called with a spinlock held: critical root.
+    SpinlockHeld,
+    /// Timer callback (softirq priority): critical root.
+    Timer,
+    /// High-bandwidth/low-latency data path: critical root.
+    Datapath,
+    /// Explicitly pinned to the kernel (e.g. the paper's four ethtool
+    /// functions with the interrupt data race, §5).
+    KernelOnly,
+    /// Driver-interface function invoked by the kernel (module init,
+    /// netdev ops): an upcall entry point if it moves to user level.
+    Export,
+    /// Stays in C at user level (driver library), not converted to the
+    /// managed language.
+    Library,
+}
+
+impl Attr {
+    /// Whether this attribute makes the function a critical root.
+    pub fn is_critical_root(self) -> bool {
+        matches!(
+            self,
+            Attr::Irq | Attr::SpinlockHeld | Attr::Timer | Attr::Datapath
+        )
+    }
+
+    /// Parses the attribute name (without `@`).
+    pub fn from_name(name: &str) -> Option<Attr> {
+        Some(match name {
+            "irq" => Attr::Irq,
+            "spinlock_held" => Attr::SpinlockHeld,
+            "timer" => Attr::Timer,
+            "datapath" => Attr::Datapath,
+            "kernel_only" => Attr::KernelOnly,
+            "export" => Attr::Export,
+            "library" => Attr::Library,
+            _ => return None,
+        })
+    }
+}
+
+/// An explicit `DECAF_XVAR` marshaling annotation found in a body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecafVar {
+    /// `R`, `W` or `RW`.
+    pub access: crate::access::RawAccess,
+    /// Parameter variable name.
+    pub var: String,
+    /// Field accessed through the variable.
+    pub field: String,
+}
+
+/// A mini-C function definition.
+#[derive(Debug, Clone)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// Parameters in order.
+    pub params: Vec<(CType, String)>,
+    /// Attributes.
+    pub attrs: Vec<Attr>,
+    /// Body tokens (between, not including, the braces).
+    pub body: Vec<Token>,
+    /// The function's full source text (signature through closing brace,
+    /// including the immediately preceding comment block).
+    pub source: String,
+    /// Non-blank source lines of the definition.
+    pub loc: usize,
+    /// 1-based line the definition starts on.
+    pub line: usize,
+    /// Explicit `DECAF_XVAR` annotations found in the body.
+    pub decaf_vars: Vec<DecafVar>,
+}
+
+impl FuncDef {
+    /// Whether the function carries `attr`.
+    pub fn has_attr(&self, attr: Attr) -> bool {
+        self.attrs.contains(&attr)
+    }
+
+    /// The declared struct type of a pointer parameter, if any.
+    pub fn param_struct(&self, var: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(_, n)| n == var)
+            .and_then(|(t, _)| match t {
+                CType::StructPtr(s) => Some(s.as_str()),
+                _ => None,
+            })
+    }
+}
+
+/// A parsed mini-C translation unit.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Struct definitions in order.
+    pub structs: Vec<StructDef>,
+    /// Function definitions in order.
+    pub functions: Vec<FuncDef>,
+    /// Named constants (`const NAME = N;`).
+    pub consts: std::collections::HashMap<String, usize>,
+    /// Total non-blank source lines.
+    pub total_loc: usize,
+}
+
+impl Program {
+    /// Finds a struct definition by name.
+    pub fn find_struct(&self, name: &str) -> Option<&StructDef> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+
+    /// Finds a function definition by name.
+    pub fn find_function(&self, name: &str) -> Option<&FuncDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Total annotations: field `@exp`s, function attributes and
+    /// `DECAF_XVAR`s — the Table 2 "DriverSlicer Annotations" column.
+    pub fn annotation_count(&self) -> usize {
+        let fields: usize = self.structs.iter().map(|s| s.annotation_count).sum();
+        let attrs: usize = self.functions.iter().map(|f| f.attrs.len()).sum();
+        let decafs: usize = self.functions.iter().map(|f| f.decaf_vars.len()).sum();
+        fields + attrs + decafs
+    }
+}

@@ -1,0 +1,403 @@
+//! Error-handling audit (paper §5.1, Figures 4 and 5).
+//!
+//! The paper's biggest concrete benefit from Java was error handling:
+//! converting 92 functions to checked exceptions uncovered 28 cases of
+//! ignored or mishandled error codes and deleted ~675 lines (~8%) of
+//! `if (ret) return ret;` propagation boilerplate from `e1000_hw.c`.
+//! This pass finds both populations statically:
+//!
+//! * **ignored returns** — a call to an error-returning function whose
+//!   result is never tested (neither branched on nor propagated);
+//! * **propagation lines** — `if (ret) return ret;` / `if (ret) goto
+//!   out;` boilerplate that a `Result`/exception regime deletes outright.
+
+use std::collections::HashSet;
+
+use crate::ast::{CType, Program};
+use crate::callgraph::CallGraph;
+use crate::lex::{Tok, Token};
+
+/// One audit finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFinding {
+    /// The function containing the problem.
+    pub function: String,
+    /// The callee whose return value is mishandled.
+    pub callee: String,
+    /// 1-based source line of the call.
+    pub line: usize,
+}
+
+/// Results of the error-handling audit.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Calls whose error return is ignored (the paper found 28 in E1000).
+    pub ignored_returns: Vec<AuditFinding>,
+    /// `if (ret) return/goto` boilerplate lines removable by exceptions
+    /// (the paper deleted ~675 from e1000_hw.c).
+    pub propagation_lines: usize,
+    /// Functions using goto-label cleanup (candidates for the Figure 4
+    /// nested-cleanup conversion).
+    pub goto_cleanup_functions: Vec<String>,
+    /// Error-returning calls that were checked correctly.
+    pub checked_calls: usize,
+}
+
+impl AuditReport {
+    /// Percentage of lines deleted if the propagation boilerplate goes
+    /// away (each `if (ret) ...` pattern is one line in the idiom).
+    pub fn removable_fraction(&self, total_loc: usize) -> f64 {
+        if total_loc == 0 {
+            return 0.0;
+        }
+        self.propagation_lines as f64 / total_loc as f64
+    }
+}
+
+/// The set of functions treated as error-returning: every defined
+/// function returning `int` plus well-known kernel APIs.
+pub fn error_returning_set(program: &Program) -> HashSet<String> {
+    let mut set: HashSet<String> = program
+        .functions
+        .iter()
+        .filter(|f| f.ret == CType::Int)
+        .map(|f| f.name.clone())
+        .collect();
+    for api in [
+        "pci_enable_device",
+        "pci_request_regions",
+        "request_irq",
+        "register_netdev",
+        "snd_card_register",
+        "usb_submit_urb",
+        "input_register_device",
+        "dma_alloc",
+        "kmalloc_checked",
+    ] {
+        set.insert(api.to_string());
+    }
+    set
+}
+
+/// Runs the audit over every function in the program.
+pub fn audit(program: &Program) -> AuditReport {
+    let error_fns = error_returning_set(program);
+    let _graph = CallGraph::build(program);
+    let mut report = AuditReport::default();
+
+    for f in &program.functions {
+        let body = &f.body;
+        let mut has_goto = false;
+        let mut has_label = false;
+        let mut i = 0;
+        while i < body.len() {
+            match &body[i].tok {
+                Tok::Ident(kw) if kw == "goto" => has_goto = true,
+                Tok::Ident(_) if is_label(body, i) => has_label = true,
+                Tok::Ident(kw) if kw == "if" && is_propagation(body, i) => {
+                    report.propagation_lines += 1;
+                }
+                _ => {}
+            }
+
+            // Pattern: `var = callee ( ... )` or bare `callee ( ... ) ;`.
+            if let Some((callee, ret_var, after)) = match_call(body, i, &error_fns) {
+                let line = body[i].line;
+                match ret_var {
+                    None => {
+                        // Bare call: result discarded outright...unless it
+                        // is itself inside a condition or return.
+                        if !in_condition_or_return(body, i) {
+                            report.ignored_returns.push(AuditFinding {
+                                function: f.name.clone(),
+                                callee,
+                                line,
+                            });
+                        } else {
+                            report.checked_calls += 1;
+                        }
+                    }
+                    Some(var) => {
+                        if checked_later(body, after, &var) {
+                            report.checked_calls += 1;
+                        } else {
+                            report.ignored_returns.push(AuditFinding {
+                                function: f.name.clone(),
+                                callee,
+                                line,
+                            });
+                        }
+                    }
+                }
+                i = after;
+                continue;
+            }
+            i += 1;
+        }
+        if has_goto && has_label {
+            report.goto_cleanup_functions.push(f.name.clone());
+        }
+    }
+    report
+}
+
+/// Matches `IDENT :` at statement position (a label).
+fn is_label(body: &[Token], i: usize) -> bool {
+    matches!(body.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+        && (i == 0
+            || matches!(
+                body.get(i - 1).map(|t| &t.tok),
+                Some(Tok::Punct(';')) | Some(Tok::Punct('{')) | Some(Tok::Punct('}'))
+            ))
+}
+
+/// Matches the `if ( var <cmp>? ... ) return/goto` propagation idiom at
+/// an `if` token.
+fn is_propagation(body: &[Token], i: usize) -> bool {
+    if !matches!(body.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('('))) {
+        return false;
+    }
+    // Find the closing paren of the condition.
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    let mut saw_ident = false;
+    while let Some(t) = body.get(j) {
+        match &t.tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Ident(_) => saw_ident = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    if !saw_ident {
+        return false;
+    }
+    matches!(
+        body.get(j + 1).map(|t| &t.tok),
+        Some(Tok::Ident(kw)) if kw == "return" || kw == "goto"
+    )
+}
+
+/// Matches a call to an error-returning function at `i`.
+///
+/// Returns `(callee, Some(assigned var) | None, index after the call)`.
+fn match_call(
+    body: &[Token],
+    i: usize,
+    error_fns: &HashSet<String>,
+) -> Option<(String, Option<String>, usize)> {
+    // `var = callee (`
+    if let (
+        Some(Tok::Ident(var)),
+        Some(Tok::Punct('=')),
+        Some(Tok::Ident(callee)),
+        Some(Tok::Punct('(')),
+    ) = (
+        body.get(i).map(|t| &t.tok),
+        body.get(i + 1).map(|t| &t.tok),
+        body.get(i + 2).map(|t| &t.tok),
+        body.get(i + 3).map(|t| &t.tok),
+    ) {
+        if error_fns.contains(callee) {
+            let after = skip_call(body, i + 3);
+            return Some((callee.clone(), Some(var.clone()), after));
+        }
+    }
+    // `callee (` anywhere else: a call whose result is consumed in place
+    // (condition, return) or discarded (bare statement). Classification
+    // happens at the call site via `in_condition_or_return`.
+    if let (Some(Tok::Ident(callee)), Some(Tok::Punct('('))) =
+        (body.get(i).map(|t| &t.tok), body.get(i + 1).map(|t| &t.tok))
+    {
+        if error_fns.contains(callee) {
+            let after = skip_call(body, i + 1);
+            return Some((callee.clone(), None, after));
+        }
+    }
+    None
+}
+
+/// Returns the index just past a call's closing parenthesis.
+fn skip_call(body: &[Token], open_paren: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open_paren;
+    while let Some(t) = body.get(j) {
+        match &t.tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    body.len()
+}
+
+/// Whether the call at `i` sits inside an `if (...)` condition or a
+/// `return` expression (both consume the result).
+fn in_condition_or_return(body: &[Token], i: usize) -> bool {
+    // Walk backwards past nothing-but-operators to find `if (` or
+    // `return`.
+    let mut j = i;
+    while j > 0 {
+        match &body[j - 1].tok {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => return false,
+            Tok::Ident(kw) if kw == "return" => return true,
+            Tok::Ident(kw) if kw == "if" => return true,
+            _ => j -= 1,
+        }
+    }
+    false
+}
+
+/// Whether `var` is tested or propagated between `from` and either its
+/// reassignment or the end of the function.
+fn checked_later(body: &[Token], from: usize, var: &str) -> bool {
+    let mut i = from;
+    while i < body.len() {
+        match &body[i].tok {
+            Tok::Ident(kw) if kw == "if" => {
+                // Is `var` inside the condition?
+                let mut depth = 0usize;
+                let mut j = i + 1;
+                while let Some(t) = body.get(j) {
+                    match &t.tok {
+                        Tok::Punct('(') => depth += 1,
+                        Tok::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Ident(id) if id == var => return true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            Tok::Ident(kw) if kw == "return" => {
+                // `return var;` propagates the error upward: checked.
+                if matches!(body.get(i + 1).map(|t| &t.tok), Some(Tok::Ident(id)) if id == var) {
+                    return true;
+                }
+            }
+            Tok::Ident(id) if id == var => {
+                // Reassignment kills the pending value.
+                if matches!(body.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('='))) {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    const SRC: &str = r"
+struct hw { int state; };
+
+int read_phy_reg(struct hw *h, int reg) { return 0; }
+int write_phy_reg(struct hw *h, int reg, int val) { return 0; }
+
+/* The Figure 5 idiom: every call checked and propagated by hand. */
+int config_dsp(struct hw *h) {
+    int ret_val;
+    ret_val = read_phy_reg(h, 47);
+    if (ret_val) return ret_val;
+    ret_val = write_phy_reg(h, 47, 3);
+    if (ret_val) return ret_val;
+    ret_val = write_phy_reg(h, 0, 9);
+    if (ret_val) goto err;
+    return 0;
+err:
+    h->state = 0;
+    return ret_val;
+}
+
+/* The bug class the paper found 28 of: errors silently dropped. */
+int sloppy_reset(struct hw *h) {
+    int ret_val;
+    write_phy_reg(h, 1, 2);
+    ret_val = read_phy_reg(h, 5);
+    h->state = 1;
+    return 0;
+}
+
+int fine_direct(struct hw *h) {
+    if (read_phy_reg(h, 9)) { return 1; }
+    return write_phy_reg(h, 9, 1);
+}
+";
+
+    #[test]
+    fn finds_ignored_returns() {
+        let p = parse(SRC).unwrap();
+        let r = audit(&p);
+        let in_sloppy: Vec<_> = r
+            .ignored_returns
+            .iter()
+            .filter(|f| f.function == "sloppy_reset")
+            .collect();
+        assert_eq!(
+            in_sloppy.len(),
+            2,
+            "bare call + never-tested ret_val: {in_sloppy:?}"
+        );
+        assert!(in_sloppy.iter().any(|f| f.callee == "write_phy_reg"));
+        assert!(in_sloppy.iter().any(|f| f.callee == "read_phy_reg"));
+    }
+
+    #[test]
+    fn counts_propagation_boilerplate() {
+        let p = parse(SRC).unwrap();
+        let r = audit(&p);
+        // Three `if (ret_val) return/goto` lines in config_dsp.
+        assert_eq!(r.propagation_lines, 3);
+        assert!(r.removable_fraction(p.total_loc) > 0.0);
+    }
+
+    #[test]
+    fn checked_and_propagated_calls_are_clean() {
+        let p = parse(SRC).unwrap();
+        let r = audit(&p);
+        assert!(!r.ignored_returns.iter().any(|f| f.function == "config_dsp"));
+        assert!(!r
+            .ignored_returns
+            .iter()
+            .any(|f| f.function == "fine_direct"));
+        assert!(r.checked_calls >= 5);
+    }
+
+    #[test]
+    fn goto_cleanup_functions_identified() {
+        let p = parse(SRC).unwrap();
+        let r = audit(&p);
+        assert_eq!(r.goto_cleanup_functions, vec!["config_dsp"]);
+    }
+
+    #[test]
+    fn findings_carry_lines() {
+        let p = parse(SRC).unwrap();
+        let r = audit(&p);
+        for f in &r.ignored_returns {
+            assert!(f.line > 0);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Call-graph construction over mini-C bodies.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::Program;
+use crate::lex::Tok;
+
+/// Control-flow keywords that look like calls but are not.
+const KEYWORDS: &[&str] = &[
+    "if",
+    "else",
+    "while",
+    "for",
+    "switch",
+    "return",
+    "sizeof",
+    "goto",
+    "do",
+    "case",
+    "break",
+    "continue",
+    "DECAF_RVAR",
+    "DECAF_WVAR",
+    "DECAF_RWVAR",
+];
+
+/// The call graph of a program.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// caller → callees (defined and undefined), in first-call order.
+    pub calls: HashMap<String, Vec<String>>,
+    /// callee → callers.
+    pub callers: HashMap<String, Vec<String>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph by scanning every function body for
+    /// `identifier (` call sites.
+    pub fn build(program: &Program) -> Self {
+        let mut graph = CallGraph::default();
+        for f in &program.functions {
+            let mut callees = Vec::new();
+            let mut seen = HashSet::new();
+            let body = &f.body;
+            for i in 0..body.len() {
+                if let Tok::Ident(name) = &body[i].tok {
+                    if KEYWORDS.contains(&name.as_str()) {
+                        continue;
+                    }
+                    if matches!(body.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('('))) {
+                        // Exclude declarations like `struct x (` (none in
+                        // mini-C) and casts; identifier+paren is a call.
+                        if seen.insert(name.clone()) {
+                            callees.push(name.clone());
+                        }
+                        graph
+                            .callers
+                            .entry(name.clone())
+                            .or_default()
+                            .push(f.name.clone());
+                    }
+                }
+            }
+            graph.calls.insert(f.name.clone(), callees);
+        }
+        graph
+    }
+
+    /// The set of functions transitively reachable from `roots`, following
+    /// only edges into *defined* functions.
+    pub fn reachable_from(&self, roots: &[String], program: &Program) -> HashSet<String> {
+        let defined: HashSet<&str> = program.functions.iter().map(|f| f.name.as_str()).collect();
+        let mut visited: HashSet<String> = HashSet::new();
+        let mut stack: Vec<String> = roots
+            .iter()
+            .filter(|r| defined.contains(r.as_str()))
+            .cloned()
+            .collect();
+        while let Some(f) = stack.pop() {
+            if !visited.insert(f.clone()) {
+                continue;
+            }
+            if let Some(callees) = self.calls.get(&f) {
+                for c in callees {
+                    if defined.contains(c.as_str()) && !visited.contains(c) {
+                        stack.push(c.clone());
+                    }
+                }
+            }
+        }
+        visited
+    }
+
+    /// Callees of `f` that have no definition in the program (kernel API
+    /// imports like `readl`, `pci_read_config_word`...).
+    pub fn undefined_callees(&self, f: &str, program: &Program) -> Vec<String> {
+        let defined: HashSet<&str> = program.functions.iter().map(|f| f.name.as_str()).collect();
+        self.calls
+            .get(f)
+            .map(|cs| {
+                cs.iter()
+                    .filter(|c| !defined.contains(c.as_str()))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    const SRC: &str = r"
+struct d { int x; };
+int isr(struct d *p) @irq { handle_rx(p); return 0; }
+int handle_rx(struct d *p) { readl(p); refill(p); return 0; }
+int refill(struct d *p) { return 0; }
+int config(struct d *p) @export { set_speed(p); return 0; }
+int set_speed(struct d *p) { return 0; }
+";
+
+    #[test]
+    fn edges_found() {
+        let p = parse(SRC).unwrap();
+        let g = CallGraph::build(&p);
+        assert_eq!(g.calls["isr"], vec!["handle_rx"]);
+        assert_eq!(g.calls["handle_rx"], vec!["readl", "refill"]);
+        assert_eq!(g.callers["refill"], vec!["handle_rx"]);
+    }
+
+    #[test]
+    fn reachability_follows_defined_edges() {
+        let p = parse(SRC).unwrap();
+        let g = CallGraph::build(&p);
+        let reach = g.reachable_from(&["isr".to_string()], &p);
+        assert!(reach.contains("isr"));
+        assert!(reach.contains("handle_rx"));
+        assert!(reach.contains("refill"));
+        assert!(!reach.contains("config"));
+        assert!(!reach.contains("set_speed"));
+        assert!(
+            !reach.contains("readl"),
+            "undefined callees are not functions"
+        );
+    }
+
+    #[test]
+    fn undefined_callees_are_kernel_imports() {
+        let p = parse(SRC).unwrap();
+        let g = CallGraph::build(&p);
+        assert_eq!(g.undefined_callees("handle_rx", &p), vec!["readl"]);
+        assert!(g.undefined_callees("refill", &p).is_empty());
+    }
+
+    #[test]
+    fn keywords_are_not_calls() {
+        let p = parse("int f(int x) { if (x) { return 0; } while (x) { g(); } return 1; }\nint g() { return 0; }").unwrap();
+        let g = CallGraph::build(&p);
+        assert_eq!(g.calls["f"], vec!["g"]);
+    }
+}

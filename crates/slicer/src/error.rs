@@ -1,0 +1,42 @@
+//! DriverSlicer error type.
+
+use std::fmt;
+
+/// Result alias for slicer operations.
+pub type SliceResult<T> = Result<T, SliceError>;
+
+/// Errors raised while parsing or analysing driver source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SliceError {
+    /// The source failed to tokenize or parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A referenced type or function is missing.
+    Unknown(String),
+    /// XDR generation failed.
+    Xdr(String),
+}
+
+impl fmt::Display for SliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SliceError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            SliceError::Unknown(what) => write!(f, "unknown reference: {what}"),
+            SliceError::Xdr(msg) => write!(f, "xdr generation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SliceError {}
+
+impl From<decaf_xdr::XdrError> for SliceError {
+    fn from(e: decaf_xdr::XdrError) -> Self {
+        SliceError::Xdr(e.to_string())
+    }
+}

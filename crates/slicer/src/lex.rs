@@ -1,0 +1,313 @@
+//! Mini-C tokenizer.
+
+use crate::error::{SliceError, SliceResult};
+
+/// A mini-C token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Num(i64),
+    /// String literal (contents only).
+    Str(String),
+    /// Single punctuation character.
+    Punct(char),
+    /// `->`.
+    Arrow,
+    /// `==`, `!=`, `<=`, `>=`, `&&`, `||`, `<<`, `>>`.
+    Op2([char; 2]),
+    /// Compound assignment: `+=`, `-=`, `|=`, `&=`, `^=`.
+    OpAssign(char),
+    /// `@attr` attribute marker (name without the `@`).
+    AttrMark(String),
+}
+
+/// A token with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+    /// Byte offset of the token start in the source.
+    pub offset: usize,
+}
+
+/// Tokenizes mini-C source. Comments are skipped (the parser recovers
+/// comment text for emission from raw byte spans).
+pub fn lex(src: &str) -> SliceResult<Vec<Token>> {
+    let bytes: Vec<char> = src.chars().collect();
+    // Byte offsets per char index (source is ASCII in practice, but stay
+    // correct for UTF-8).
+    let mut offsets = Vec::with_capacity(bytes.len() + 1);
+    let mut off = 0;
+    for c in &bytes {
+        offsets.push(off);
+        off += c.len_utf8();
+    }
+    offsets.push(off);
+
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = offsets[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            '"' => {
+                i += 1;
+                let s0 = i;
+                while i < bytes.len() && bytes[i] != '"' {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                let text: String = bytes[s0..i].iter().collect();
+                i = (i + 1).min(bytes.len());
+                toks.push(Token {
+                    tok: Tok::Str(text),
+                    line,
+                    offset: start,
+                });
+            }
+            '@' => {
+                i += 1;
+                let s0 = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let name: String = bytes[s0..i].iter().collect();
+                if name.is_empty() {
+                    return Err(SliceError::Parse {
+                        line,
+                        message: "empty attribute".into(),
+                    });
+                }
+                toks.push(Token {
+                    tok: Tok::AttrMark(name),
+                    line,
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let s0 = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Ident(bytes[s0..i].iter().collect()),
+                    line,
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let s0 = i;
+                let hex = c == '0' && matches!(bytes.get(i + 1), Some('x') | Some('X'));
+                if hex {
+                    i += 2;
+                }
+                while i < bytes.len()
+                    && (if hex {
+                        bytes[i].is_ascii_hexdigit()
+                    } else {
+                        bytes[i].is_ascii_digit()
+                    })
+                {
+                    i += 1;
+                }
+                let text: String = bytes[s0..i].iter().collect();
+                let value = if hex {
+                    i64::from_str_radix(&text[2..], 16)
+                } else {
+                    text.parse()
+                }
+                .map_err(|_| SliceError::Parse {
+                    line,
+                    message: format!("bad number `{text}`"),
+                })?;
+                toks.push(Token {
+                    tok: Tok::Num(value),
+                    line,
+                    offset: start,
+                });
+            }
+            '-' if bytes.get(i + 1) == Some(&'>') => {
+                toks.push(Token {
+                    tok: Tok::Arrow,
+                    line,
+                    offset: start,
+                });
+                i += 2;
+            }
+            '=' | '!' | '<' | '>' | '&' | '|'
+                if bytes.get(i + 1) == Some(&'=')
+                    || (bytes.get(i + 1) == Some(&c) && matches!(c, '&' | '|' | '<' | '>')) =>
+            {
+                let c2 = bytes[i + 1];
+                if c2 == '=' && matches!(c, '&' | '|') {
+                    toks.push(Token {
+                        tok: Tok::OpAssign(c),
+                        line,
+                        offset: start,
+                    });
+                } else if c2 == '=' && c == '=' {
+                    toks.push(Token {
+                        tok: Tok::Op2(['=', '=']),
+                        line,
+                        offset: start,
+                    });
+                } else if c2 == '=' {
+                    toks.push(Token {
+                        tok: Tok::Op2([c, '=']),
+                        line,
+                        offset: start,
+                    });
+                } else {
+                    toks.push(Token {
+                        tok: Tok::Op2([c, c2]),
+                        line,
+                        offset: start,
+                    });
+                }
+                i += 2;
+            }
+            '+' | '-' | '*' | '^' | '%' if bytes.get(i + 1) == Some(&'=') => {
+                toks.push(Token {
+                    tok: Tok::OpAssign(c),
+                    line,
+                    offset: start,
+                });
+                i += 2;
+            }
+            '{' | '}' | '(' | ')' | '[' | ']' | ';' | ',' | '=' | '*' | '&' | '!' | '<' | '>'
+            | '+' | '-' | '/' | '%' | '^' | '|' | '~' | '?' | ':' | '.' => {
+                toks.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                    offset: start,
+                });
+                i += 1;
+            }
+            other => {
+                return Err(SliceError::Parse {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        assert_eq!(
+            kinds("int x = 0x1f;"),
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct('='),
+                Tok::Num(31),
+                Tok::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_and_compound_ops() {
+        assert_eq!(
+            kinds("a->b == c; a->b += 1; x |= 2; y && z;"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::Op2(['=', '=']),
+                Tok::Ident("c".into()),
+                Tok::Punct(';'),
+                Tok::Ident("a".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::OpAssign('+'),
+                Tok::Num(1),
+                Tok::Punct(';'),
+                Tok::Ident("x".into()),
+                Tok::OpAssign('|'),
+                Tok::Num(2),
+                Tok::Punct(';'),
+                Tok::Ident("y".into()),
+                Tok::Op2(['&', '&']),
+                Tok::Ident("z".into()),
+                Tok::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_and_comments() {
+        assert_eq!(
+            kinds("/* doc */ int f() @irq // trailing\n{ }"),
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("f".into()),
+                Tok::Punct('('),
+                Tok::Punct(')'),
+                Tok::AttrMark("irq".into()),
+                Tok::Punct('{'),
+                Tok::Punct('}'),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_lines() {
+        let toks = lex("x;\n\"hello\";\ny;").unwrap();
+        assert_eq!(toks[2].tok, Tok::Str("hello".into()));
+        assert_eq!(toks[2].line, 2);
+        assert_eq!(toks[4].tok, Tok::Ident("y".into()));
+        assert_eq!(toks[4].line, 3);
+    }
+
+    #[test]
+    fn shift_ops() {
+        assert_eq!(
+            kinds("a << 2 >> 1"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Op2(['<', '<']),
+                Tok::Num(2),
+                Tok::Op2(['>', '>']),
+                Tok::Num(1),
+            ]
+        );
+    }
+}

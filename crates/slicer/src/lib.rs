@@ -1,0 +1,68 @@
+//! DriverSlicer: creating decaf drivers from annotated C driver source.
+//!
+//! DriverSlicer is the static-analysis half of Decaf Drivers (paper §2.4,
+//! §3.2). Given an existing driver plus a small number of annotations, it
+//!
+//! 1. **partitions** the driver — functions reachable from *critical root
+//!    functions* (interrupt handlers, code called with spinlocks held,
+//!    data-path code) must stay in the kernel; everything else may move to
+//!    user level;
+//! 2. computes the **entry points** where control crosses between the
+//!    driver nucleus and the user-level driver, in both directions;
+//! 3. generates **stubs** and **XDR marshaling specifications** for every
+//!    structure crossing the boundary, including the pointer-to-array →
+//!    pointer-to-wrapped-struct rewrite of Figure 3;
+//! 4. emits two **readable source trees** (nucleus and user) that preserve
+//!    comments and code structure (§3.2.1), unlike the preprocessed output
+//!    of the original Microdrivers slicer;
+//! 5. supports **re-slicing as the driver evolves** — new fields are
+//!    annotated with `DECAF_RVAR/WVAR/RWVAR` and the marshaling code is
+//!    regenerated (§3.2.4, Table 4);
+//! 6. **audits error handling** — the pass behind the paper's case-study
+//!    numbers (28 ignored/incorrect error paths found, ~8% of
+//!    `e1000_hw.c` deleted by converting to exceptions, §5.1).
+//!
+//! The original tool is CIL/OCaml operating on real C. Here the front end
+//! is a *mini-C* dialect: C-like syntax with structured attributes
+//! (`@irq`, `@spinlock_held`, `@timer`, `@datapath`, `@export`,
+//! `@library`, `@kernel_only`) in place of the configuration files and
+//! type signatures the paper's tool consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod ast;
+pub mod audit;
+pub mod callgraph;
+pub mod emit;
+pub mod error;
+pub mod evolve;
+pub mod lex;
+pub mod parse;
+pub mod partition;
+pub mod stubgen;
+pub mod xdrgen;
+
+pub use ast::{Attr, CType, FuncDef, Program, StructDef};
+pub use error::{SliceError, SliceResult};
+pub use partition::{Placement, SliceConfig, SlicePlan};
+
+/// Runs the complete slicing pipeline on mini-C source.
+///
+/// # Examples
+///
+/// ```
+/// let src = r"
+///     struct dev { int irqs; int opens; };
+///     int dev_isr(struct dev *d) @irq { d->irqs = d->irqs + 1; return 0; }
+///     int dev_open(struct dev *d) @export { d->opens = d->opens + 1; return 0; }
+/// ";
+/// let plan = decaf_slicer::slice(src, &decaf_slicer::SliceConfig::default()).unwrap();
+/// assert!(plan.kernel_fns.contains(&"dev_isr".to_string()));
+/// assert!(plan.user_fns.contains(&"dev_open".to_string()));
+/// ```
+pub fn slice(source: &str, config: &SliceConfig) -> SliceResult<SlicePlan> {
+    let program = parse::parse(source)?;
+    partition::partition(&program, config)
+}

@@ -1,0 +1,251 @@
+//! XDR interface-specification generation (paper §3.2.2, Figure 3).
+//!
+//! DriverSlicer "generates an XDR specification for the data types used in
+//! user-level code from the original driver and kernel header files".
+//! XDR cannot express every C shape, so the generator rewrites what it
+//! must: a pointer to a fixed-length array becomes a pointer to a
+//! generated wrapper struct containing that array (same memory layout),
+//! and `long long` becomes `hyper`.
+
+use std::collections::HashSet;
+
+use decaf_xdr::schema::XdrType;
+use decaf_xdr::spec::XdrSpec;
+
+use crate::ast::{CType, Program, StructDef};
+use crate::error::{SliceError, SliceResult};
+
+/// Generates the XDR spec for `roots` and every struct reachable from
+/// them through fields.
+pub fn generate_spec(program: &Program, roots: &[String]) -> SliceResult<XdrSpec> {
+    let mut spec = XdrSpec::empty();
+    let mut visited: HashSet<String> = HashSet::new();
+    let mut queue: Vec<String> = roots.to_vec();
+    // Stable ordering: wrappers get defined before their first use.
+    while let Some(name) = queue.pop() {
+        if !visited.insert(name.clone()) {
+            continue;
+        }
+        let def = program
+            .find_struct(&name)
+            .ok_or_else(|| SliceError::Unknown(format!("struct {name}")))?;
+        let mut fields = Vec::with_capacity(def.fields.len());
+        for field in &def.fields {
+            let ty = lower_field(def, &field.name, &field.ty, field.exp_len, &mut spec)?;
+            // Enqueue referenced structs.
+            for referenced in referenced_structs(&field.ty) {
+                if !visited.contains(&referenced) {
+                    queue.push(referenced);
+                }
+            }
+            fields.push((field.name.clone(), ty));
+        }
+        spec.define_struct(name, fields);
+    }
+    Ok(spec)
+}
+
+fn referenced_structs(ty: &CType) -> Vec<String> {
+    match ty {
+        CType::Struct(n) | CType::StructPtr(n) => vec![n.clone()],
+        CType::Array(inner, _) => referenced_structs(inner),
+        _ => Vec::new(),
+    }
+}
+
+/// The XDR scalar corresponding to a mini-C scalar.
+fn scalar_xdr(ty: &CType) -> Option<XdrType> {
+    Some(match ty {
+        CType::Int => XdrType::Int,
+        CType::UInt => XdrType::UInt,
+        CType::LongLong => XdrType::Hyper, // `long long` → `hyper`
+        CType::ULongLong => XdrType::UHyper,
+        CType::Byte => XdrType::Int, // single bytes widen to int on the wire
+        _ => return None,
+    })
+}
+
+/// The short type name used in generated wrapper names (Figure 3 style:
+/// `array256_uint32_t`).
+fn scalar_short_name(ty: &CType) -> &'static str {
+    match ty {
+        CType::Int => "int",
+        CType::UInt => "uint32_t",
+        CType::LongLong => "hyper",
+        CType::ULongLong => "uhyper",
+        CType::Byte => "u8",
+        _ => "scalar",
+    }
+}
+
+fn lower_field(
+    owner: &StructDef,
+    field_name: &str,
+    ty: &CType,
+    exp_len: Option<usize>,
+    spec: &mut XdrSpec,
+) -> SliceResult<XdrType> {
+    Ok(match ty {
+        CType::Void => XdrType::Void,
+        CType::Struct(n) => XdrType::Struct(n.clone()),
+        CType::StructPtr(n) => XdrType::Optional(Box::new(XdrType::Struct(n.clone()))),
+        CType::Array(inner, n) => match inner.as_ref() {
+            CType::Byte => XdrType::OpaqueFixed(*n),
+            CType::Struct(s) => XdrType::ArrayFixed(Box::new(XdrType::Struct(s.clone())), *n),
+            scalar => {
+                let elem = scalar_xdr(scalar).ok_or_else(|| {
+                    SliceError::Xdr(format!(
+                        "unsupported array element in {}.{field_name}",
+                        owner.name
+                    ))
+                })?;
+                XdrType::ArrayFixed(Box::new(elem), *n)
+            }
+        },
+        CType::ScalarPtr(inner) => {
+            // Figure 3: a pointer to LEN scalars becomes a pointer to a
+            // generated wrapper struct with the same memory layout.
+            let len = exp_len.ok_or_else(|| {
+                SliceError::Xdr(format!(
+                    "field {}.{field_name} is a scalar pointer and needs an \
+                     @exp(LEN) annotation for DriverSlicer to marshal it",
+                    owner.name
+                ))
+            })?;
+            let elem = scalar_xdr(inner).ok_or_else(|| {
+                SliceError::Xdr(format!(
+                    "unsupported pointee in {}.{field_name}",
+                    owner.name
+                ))
+            })?;
+            let short = scalar_short_name(inner);
+            let wrapper = format!("array{len}_{short}");
+            let alias = format!("array{len}_{short}_ptr");
+            if spec.struct_fields(&wrapper).is_err() {
+                let array_ty = match inner.as_ref() {
+                    CType::Byte => XdrType::OpaqueFixed(len),
+                    _ => XdrType::ArrayFixed(Box::new(elem), len),
+                };
+                spec.define_struct(wrapper.clone(), vec![("array".to_string(), array_ty)]);
+                spec.define_alias(
+                    alias.clone(),
+                    XdrType::Optional(Box::new(XdrType::Struct(wrapper.clone()))),
+                );
+            }
+            XdrType::Named(alias)
+        }
+        scalar => scalar_xdr(scalar).ok_or_else(|| {
+            SliceError::Xdr(format!("unsupported type in {}.{field_name}", owner.name))
+        })?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn figure3_transformation() {
+        // The paper's example: `uint32_t *config_space @exp(PCI_LEN)`
+        // becomes a pointer to a generated wrapper struct.
+        let src = r"
+const PCI_LEN = 256;
+struct e1000_tx_ring { int count; };
+struct e1000_adapter {
+    struct e1000_tx_ring test_tx_ring;
+    u32 *config_space @exp(PCI_LEN);
+    int msg_enable;
+};
+";
+        let p = parse(src).unwrap();
+        let spec = generate_spec(&p, &["e1000_adapter".to_string()]).unwrap();
+        let fields = spec.struct_fields("e1000_adapter").unwrap();
+        assert_eq!(fields[0].1, XdrType::Struct("e1000_tx_ring".into()));
+        assert_eq!(fields[1].1, XdrType::Named("array256_uint32_t_ptr".into()));
+        assert_eq!(fields[2].1, XdrType::Int);
+        // The wrapper struct exists with the fixed array inside.
+        let wrapper = spec.struct_fields("array256_uint32_t").unwrap();
+        assert_eq!(
+            wrapper[0].1,
+            XdrType::ArrayFixed(Box::new(XdrType::UInt), 256)
+        );
+        // The alias resolves to an optional pointer to the wrapper.
+        assert_eq!(
+            spec.resolve("array256_uint32_t_ptr").unwrap(),
+            XdrType::Optional(Box::new(XdrType::Struct("array256_uint32_t".into())))
+        );
+        // And the rendered IDL parses back (valid XDR).
+        let idl = spec.to_idl();
+        assert!(
+            decaf_xdr::XdrSpec::parse(&idl).is_ok(),
+            "generated IDL invalid:\n{idl}"
+        );
+    }
+
+    #[test]
+    fn long_long_becomes_hyper() {
+        let src = "struct s { long long a; unsigned long long b; };";
+        let p = parse(src).unwrap();
+        let spec = generate_spec(&p, &["s".to_string()]).unwrap();
+        let f = spec.struct_fields("s").unwrap();
+        assert_eq!(f[0].1, XdrType::Hyper);
+        assert_eq!(f[1].1, XdrType::UHyper);
+    }
+
+    #[test]
+    fn byte_arrays_become_opaque() {
+        let src = "struct s { u8 mac[6]; char name[16]; };";
+        let p = parse(src).unwrap();
+        let spec = generate_spec(&p, &["s".to_string()]).unwrap();
+        let f = spec.struct_fields("s").unwrap();
+        assert_eq!(f[0].1, XdrType::OpaqueFixed(6));
+        assert_eq!(f[1].1, XdrType::OpaqueFixed(16));
+    }
+
+    #[test]
+    fn transitive_closure_follows_pointers() {
+        let src = r"
+struct ring { struct desc *descs; int n; };
+struct desc { int flags; };
+struct adapter { struct ring *tx; };
+";
+        let p = parse(src).unwrap();
+        let spec = generate_spec(&p, &["adapter".to_string()]).unwrap();
+        assert!(spec.struct_fields("ring").is_ok());
+        assert!(spec.struct_fields("desc").is_ok());
+    }
+
+    #[test]
+    fn missing_exp_annotation_is_reported() {
+        let src = "struct s { u32 *raw; };";
+        let p = parse(src).unwrap();
+        let err = generate_spec(&p, &["s".to_string()]).unwrap_err();
+        match err {
+            SliceError::Xdr(msg) => {
+                assert!(
+                    msg.contains("@exp"),
+                    "message should point at the fix: {msg}"
+                )
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrapper_structs_deduplicated() {
+        let src = r"
+const N = 8;
+struct a { u32 *x @exp(N); };
+struct b { u32 *y @exp(N); };
+struct top { struct a *pa; struct b *pb; };
+";
+        let p = parse(src).unwrap();
+        let spec = generate_spec(&p, &["top".to_string()]).unwrap();
+        let wrappers: Vec<_> = spec
+            .type_names()
+            .filter(|n| n.starts_with("array8_"))
+            .collect();
+        assert_eq!(wrappers.len(), 2, "one struct + one alias: {wrappers:?}");
+    }
+}

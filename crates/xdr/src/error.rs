@@ -1,0 +1,114 @@
+//! Error type shared by all XDR operations.
+
+use std::fmt;
+
+/// Result alias for XDR operations.
+pub type XdrResult<T> = Result<T, XdrError>;
+
+/// Errors raised by encoding, decoding, spec parsing or graph marshaling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XdrError {
+    /// A value did not match the schema it was encoded or validated against.
+    TypeMismatch {
+        /// What the schema expected.
+        expected: String,
+        /// What was found instead.
+        found: String,
+    },
+    /// The byte stream ended before a complete value was decoded.
+    UnexpectedEof {
+        /// How many bytes were needed.
+        needed: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// Trailing bytes remained after decoding a complete value.
+    TrailingBytes(usize),
+    /// A fixed-size opaque or array had the wrong length.
+    LengthMismatch {
+        /// Length required by the schema.
+        expected: usize,
+        /// Length of the value.
+        found: usize,
+    },
+    /// A variable-length item exceeded its declared maximum.
+    MaxExceeded {
+        /// Declared maximum.
+        max: usize,
+        /// Actual length.
+        found: usize,
+    },
+    /// A boolean or optional discriminant held an invalid value.
+    InvalidDiscriminant(u32),
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// Padding bytes were not zero.
+    NonZeroPadding,
+    /// A named type was not present in the spec.
+    UnknownType(String),
+    /// A struct field referenced during masking or access was missing.
+    UnknownField {
+        /// Struct type name.
+        type_name: String,
+        /// Missing field.
+        field: String,
+    },
+    /// The spec source failed to parse.
+    SpecParse {
+        /// 1-based line of the error.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A graph operation referenced an address not present in the heap.
+    DanglingAddr(u64),
+    /// A back-reference index did not name a previously decoded object.
+    BadBackRef(u32),
+    /// An enum value was not one of the declared members.
+    InvalidEnumValue {
+        /// Enum type name.
+        type_name: String,
+        /// Offending value.
+        value: i32,
+    },
+}
+
+impl fmt::Display for XdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XdrError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            XdrError::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remain"
+                )
+            }
+            XdrError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            XdrError::LengthMismatch { expected, found } => {
+                write!(f, "length mismatch: expected {expected}, found {found}")
+            }
+            XdrError::MaxExceeded { max, found } => {
+                write!(f, "length {found} exceeds declared maximum {max}")
+            }
+            XdrError::InvalidDiscriminant(d) => write!(f, "invalid discriminant {d}"),
+            XdrError::InvalidUtf8 => write!(f, "string is not valid UTF-8"),
+            XdrError::NonZeroPadding => write!(f, "padding bytes are not zero"),
+            XdrError::UnknownType(name) => write!(f, "unknown type `{name}`"),
+            XdrError::UnknownField { type_name, field } => {
+                write!(f, "struct `{type_name}` has no field `{field}`")
+            }
+            XdrError::SpecParse { line, message } => {
+                write!(f, "spec parse error at line {line}: {message}")
+            }
+            XdrError::DanglingAddr(a) => write!(f, "dangling address {a:#x}"),
+            XdrError::BadBackRef(i) => write!(f, "back-reference to unknown object #{i}"),
+            XdrError::InvalidEnumValue { type_name, value } => {
+                write!(f, "value {value} is not a member of enum `{type_name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XdrError {}

@@ -1,0 +1,880 @@
+//! Cycle-aware marshaling of object graphs with object-tracker hooks.
+//!
+//! C driver structures form graphs: an `e1000_adapter` points at rings that
+//! point back at the adapter; linked lists may be circular; two function
+//! parameters may reference the same third structure. The paper's modified
+//! XDR compilers (§3.2.3) handle this by keeping a table of objects already
+//! marshaled and emitting a reference to the existing copy on re-encounter,
+//! and by consulting the *object tracker* before allocating during
+//! unmarshaling so existing objects are updated in place (§3.1.2).
+//!
+//! This module models "C memory" as an [`ObjHeap`] — structures addressed
+//! by [`CAddr`] whose fields are scalars or pointers — and implements that
+//! exact scheme:
+//!
+//! * pointers encode as a discriminant: `0` null, `1` inline object
+//!   (preceded by its source address for tracker association), `2`
+//!   back-reference to the n-th object of this message;
+//! * [`marshal_args`] shares the seen-table across all parameters of one
+//!   call, so cross-parameter sharing transfers a structure once;
+//! * [`unmarshal_graph`] consults a [`TrackerHook`] before allocating.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::codec::{self, Cursor};
+use crate::error::{XdrError, XdrResult};
+use crate::mask::{Direction, MaskSet};
+use crate::schema::XdrType;
+use crate::spec::XdrSpec;
+use crate::value::XdrValue;
+
+/// The address of a structure in a domain's heap (a C pointer, as an int).
+pub type CAddr = u64;
+
+/// One field of a heap structure: a scalar value or a pointer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldVal {
+    /// A non-pointer value (ints, arrays, opaques, nested value structs...).
+    Scalar(XdrValue),
+    /// A pointer to another heap object, or null.
+    ///
+    /// DriverSlicer rewrites pointers-to-arrays into pointers-to-structs
+    /// (Figure 3), so in well-formed heaps every pointer targets a struct.
+    Ptr(Option<CAddr>),
+}
+
+/// A structure living in an [`ObjHeap`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructObj {
+    /// Name of the struct type (resolved through the spec).
+    pub type_name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<(String, FieldVal)>,
+}
+
+impl StructObj {
+    /// Returns the named field.
+    pub fn field(&self, name: &str) -> Option<&FieldVal> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Returns the named field mutably.
+    pub fn field_mut(&mut self, name: &str) -> Option<&mut FieldVal> {
+        self.fields
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// A heap of addressable structures, modelling one domain's memory.
+///
+/// Addresses are opaque and never reused within a heap's lifetime, like
+/// kernel addresses during a driver's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct ObjHeap {
+    objects: BTreeMap<CAddr, StructObj>,
+    next_addr: CAddr,
+}
+
+impl ObjHeap {
+    /// An empty heap whose first allocation gets address `base`.
+    ///
+    /// Distinct domains use distinct bases so that accidentally mixing
+    /// addresses across domains is detectable in tests.
+    pub fn with_base(base: CAddr) -> Self {
+        ObjHeap {
+            objects: BTreeMap::new(),
+            next_addr: base.max(1),
+        }
+    }
+
+    /// An empty heap based at address `0x1000`.
+    pub fn new() -> Self {
+        ObjHeap::with_base(0x1000)
+    }
+
+    /// Allocates a structure, returning its address.
+    pub fn alloc(
+        &mut self,
+        type_name: impl Into<String>,
+        fields: Vec<(String, FieldVal)>,
+    ) -> CAddr {
+        let addr = self.next_addr;
+        self.next_addr += 0x100;
+        self.objects.insert(
+            addr,
+            StructObj {
+                type_name: type_name.into(),
+                fields,
+            },
+        );
+        addr
+    }
+
+    /// Allocates a structure with schema-default field values.
+    pub fn alloc_default(&mut self, type_name: &str, spec: &XdrSpec) -> XdrResult<CAddr> {
+        let fields = default_fields(type_name, spec)?;
+        Ok(self.alloc(type_name, fields))
+    }
+
+    /// Removes a structure (explicit free — the paper's drivers free shared
+    /// objects explicitly; see §3.1.2).
+    pub fn free(&mut self, addr: CAddr) -> Option<StructObj> {
+        self.objects.remove(&addr)
+    }
+
+    /// Looks up a structure.
+    pub fn get(&self, addr: CAddr) -> XdrResult<&StructObj> {
+        self.objects.get(&addr).ok_or(XdrError::DanglingAddr(addr))
+    }
+
+    /// Looks up a structure mutably.
+    pub fn get_mut(&mut self, addr: CAddr) -> XdrResult<&mut StructObj> {
+        self.objects
+            .get_mut(&addr)
+            .ok_or(XdrError::DanglingAddr(addr))
+    }
+
+    /// Whether `addr` names a live object.
+    pub fn contains(&self, addr: CAddr) -> bool {
+        self.objects.contains_key(&addr)
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Reads a scalar field.
+    pub fn scalar(&self, addr: CAddr, field: &str) -> XdrResult<&XdrValue> {
+        match self.get(addr)?.field(field) {
+            Some(FieldVal::Scalar(v)) => Ok(v),
+            Some(FieldVal::Ptr(_)) => Err(XdrError::TypeMismatch {
+                expected: "scalar field".into(),
+                found: "pointer field".into(),
+            }),
+            None => Err(XdrError::UnknownField {
+                type_name: self.get(addr)?.type_name.clone(),
+                field: field.into(),
+            }),
+        }
+    }
+
+    /// Writes a scalar field.
+    pub fn set_scalar(&mut self, addr: CAddr, field: &str, value: XdrValue) -> XdrResult<()> {
+        let type_name = self.get(addr)?.type_name.clone();
+        match self.get_mut(addr)?.field_mut(field) {
+            Some(FieldVal::Scalar(slot)) => {
+                *slot = value;
+                Ok(())
+            }
+            Some(FieldVal::Ptr(_)) => Err(XdrError::TypeMismatch {
+                expected: "scalar field".into(),
+                found: "pointer field".into(),
+            }),
+            None => Err(XdrError::UnknownField {
+                type_name,
+                field: field.into(),
+            }),
+        }
+    }
+
+    /// Reads a pointer field.
+    pub fn ptr(&self, addr: CAddr, field: &str) -> XdrResult<Option<CAddr>> {
+        match self.get(addr)?.field(field) {
+            Some(FieldVal::Ptr(p)) => Ok(*p),
+            Some(FieldVal::Scalar(_)) => Err(XdrError::TypeMismatch {
+                expected: "pointer field".into(),
+                found: "scalar field".into(),
+            }),
+            None => Err(XdrError::UnknownField {
+                type_name: self.get(addr)?.type_name.clone(),
+                field: field.into(),
+            }),
+        }
+    }
+
+    /// Writes a pointer field.
+    pub fn set_ptr(&mut self, addr: CAddr, field: &str, target: Option<CAddr>) -> XdrResult<()> {
+        let type_name = self.get(addr)?.type_name.clone();
+        match self.get_mut(addr)?.field_mut(field) {
+            Some(FieldVal::Ptr(slot)) => {
+                *slot = target;
+                Ok(())
+            }
+            Some(FieldVal::Scalar(_)) => Err(XdrError::TypeMismatch {
+                expected: "pointer field".into(),
+                found: "scalar field".into(),
+            }),
+            None => Err(XdrError::UnknownField {
+                type_name,
+                field: field.into(),
+            }),
+        }
+    }
+
+    /// Iterates over `(addr, object)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (CAddr, &StructObj)> {
+        self.objects.iter().map(|(a, o)| (*a, o))
+    }
+}
+
+/// Object-tracker consultation during unmarshaling (paper §3.1.2).
+///
+/// The decoder calls [`TrackerHook::lookup`] with the sender's address and
+/// the type name before allocating; on a miss it allocates and calls
+/// [`TrackerHook::associate`]. The type name disambiguates embedded
+/// structures that share one C address.
+pub trait TrackerHook {
+    /// Returns the local address already associated with `remote`, if any.
+    fn lookup(&mut self, remote: CAddr, type_name: &str) -> Option<CAddr>;
+    /// Records that `remote` now corresponds to `local`.
+    fn associate(&mut self, remote: CAddr, type_name: &str, local: CAddr);
+}
+
+/// A tracker that never remembers anything: every object decodes fresh.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracker;
+
+impl TrackerHook for NullTracker {
+    fn lookup(&mut self, _remote: CAddr, _type_name: &str) -> Option<CAddr> {
+        None
+    }
+    fn associate(&mut self, _remote: CAddr, _type_name: &str, _local: CAddr) {}
+}
+
+const PTR_NULL: u32 = 0;
+const PTR_INLINE: u32 = 1;
+const PTR_BACKREF: u32 = 2;
+
+/// Marshals a single rooted graph; equivalent to `marshal_args` with one
+/// argument.
+pub fn marshal_graph(
+    heap: &ObjHeap,
+    root: Option<CAddr>,
+    spec: &XdrSpec,
+    masks: &MaskSet,
+    dir: Direction,
+) -> XdrResult<Vec<u8>> {
+    marshal_args(heap, &[root], spec, masks, dir)
+}
+
+/// Marshals the argument list of one XPC: each root is encoded as a
+/// pointer, and the seen-table is shared across roots so that "passing two
+/// structures that both reference a third results in marshaling the third
+/// structure just once" (paper §3.2.3).
+pub fn marshal_args(
+    heap: &ObjHeap,
+    roots: &[Option<CAddr>],
+    spec: &XdrSpec,
+    masks: &MaskSet,
+    dir: Direction,
+) -> XdrResult<Vec<u8>> {
+    marshal_args_translated(heap, roots, spec, masks, dir, &|a| a)
+}
+
+/// Like [`marshal_args`], but applies `translate` to every object address
+/// written on the wire.
+///
+/// This is the sender-side half of object tracking: a stub "invokes the
+/// object tracker to translate any parameters to their equivalent C
+/// pointers" (paper §3.1.1 step 2). An object that originated in the peer
+/// domain is announced under its *canonical* (origin-domain) address so
+/// the peer recognizes it and updates it in place.
+pub fn marshal_args_translated(
+    heap: &ObjHeap,
+    roots: &[Option<CAddr>],
+    spec: &XdrSpec,
+    masks: &MaskSet,
+    dir: Direction,
+    translate: &dyn Fn(CAddr) -> CAddr,
+) -> XdrResult<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut seen: HashMap<CAddr, u32> = HashMap::new();
+    for root in roots {
+        encode_ptr(
+            heap, *root, spec, masks, dir, &mut seen, &mut out, translate,
+        )?;
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_ptr(
+    heap: &ObjHeap,
+    target: Option<CAddr>,
+    spec: &XdrSpec,
+    masks: &MaskSet,
+    dir: Direction,
+    seen: &mut HashMap<CAddr, u32>,
+    out: &mut Vec<u8>,
+    translate: &dyn Fn(CAddr) -> CAddr,
+) -> XdrResult<()> {
+    match target {
+        None => {
+            out.extend_from_slice(&PTR_NULL.to_be_bytes());
+            Ok(())
+        }
+        Some(addr) => {
+            if let Some(&index) = seen.get(&addr) {
+                out.extend_from_slice(&PTR_BACKREF.to_be_bytes());
+                out.extend_from_slice(&index.to_be_bytes());
+                return Ok(());
+            }
+            out.extend_from_slice(&PTR_INLINE.to_be_bytes());
+            out.extend_from_slice(&translate(addr).to_be_bytes());
+            let index = seen.len() as u32;
+            seen.insert(addr, index);
+            let obj = heap.get(addr)?;
+            let decl = spec.struct_fields(&obj.type_name)?.to_vec();
+            for (fname, fty) in &decl {
+                if !masks.includes(&obj.type_name, fname, dir) {
+                    continue;
+                }
+                let fval = obj.field(fname).ok_or_else(|| XdrError::UnknownField {
+                    type_name: obj.type_name.clone(),
+                    field: fname.clone(),
+                })?;
+                match (fval, pointer_target(fty, spec)?) {
+                    (FieldVal::Ptr(p), Some(_)) => {
+                        encode_ptr(heap, *p, spec, masks, dir, seen, out, translate)?;
+                    }
+                    (FieldVal::Ptr(_), None) => {
+                        return Err(XdrError::TypeMismatch {
+                            expected: fty.idl(),
+                            found: "pointer".into(),
+                        });
+                    }
+                    (FieldVal::Scalar(_), Some(target)) => {
+                        return Err(XdrError::TypeMismatch {
+                            expected: format!("pointer to {target}"),
+                            found: "scalar".into(),
+                        });
+                    }
+                    (FieldVal::Scalar(v), None) => {
+                        codec::encode_into(v, fty, spec, out)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Unmarshals one rooted graph produced by [`marshal_graph`].
+///
+/// Returns the local root address (or `None` for a null root). Objects
+/// found through `tracker` are updated in place; unknown objects are
+/// allocated in `heap` with schema defaults for fields outside the mask.
+pub fn unmarshal_graph(
+    bytes: &[u8],
+    root_type: &str,
+    heap: &mut ObjHeap,
+    spec: &XdrSpec,
+    masks: &MaskSet,
+    dir: Direction,
+    tracker: &mut dyn TrackerHook,
+) -> XdrResult<Option<CAddr>> {
+    let roots = unmarshal_args(bytes, &[root_type], heap, spec, masks, dir, tracker)?;
+    Ok(roots[0])
+}
+
+/// Unmarshals the argument list of one XPC produced by [`marshal_args`].
+pub fn unmarshal_args(
+    bytes: &[u8],
+    root_types: &[&str],
+    heap: &mut ObjHeap,
+    spec: &XdrSpec,
+    masks: &MaskSet,
+    dir: Direction,
+    tracker: &mut dyn TrackerHook,
+) -> XdrResult<Vec<Option<CAddr>>> {
+    let mut cur = Cursor::new(bytes);
+    let mut table: Vec<CAddr> = Vec::new();
+    let mut out = Vec::with_capacity(root_types.len());
+    for root_type in root_types {
+        out.push(decode_ptr(
+            &mut cur, root_type, heap, spec, masks, dir, tracker, &mut table,
+        )?);
+    }
+    if cur.remaining() != 0 {
+        return Err(XdrError::TrailingBytes(cur.remaining()));
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_ptr(
+    cur: &mut Cursor<'_>,
+    type_name: &str,
+    heap: &mut ObjHeap,
+    spec: &XdrSpec,
+    masks: &MaskSet,
+    dir: Direction,
+    tracker: &mut dyn TrackerHook,
+    table: &mut Vec<CAddr>,
+) -> XdrResult<Option<CAddr>> {
+    match cur.read_u32()? {
+        PTR_NULL => Ok(None),
+        PTR_BACKREF => {
+            let index = cur.read_u32()?;
+            table
+                .get(index as usize)
+                .copied()
+                .map(Some)
+                .ok_or(XdrError::BadBackRef(index))
+        }
+        PTR_INLINE => {
+            let remote = {
+                // Manually assemble the u64 source address.
+                let hi = cur.read_u32()? as u64;
+                let lo = cur.read_u32()? as u64;
+                (hi << 32) | lo
+            };
+            // An object announced under an address of *this* heap is one of
+            // our own coming home: update it in place. Otherwise consult
+            // the object tracker before allocating (paper §3.1.2). Domain
+            // heaps use disjoint address bases, so the home check is exact.
+            let local = if heap.contains(remote) {
+                remote
+            } else {
+                match tracker.lookup(remote, type_name) {
+                    Some(existing) if heap.contains(existing) => existing,
+                    _ => {
+                        let fresh = heap.alloc_default(type_name, spec)?;
+                        tracker.associate(remote, type_name, fresh);
+                        fresh
+                    }
+                }
+            };
+            table.push(local);
+            let decl = spec.struct_fields(type_name)?.to_vec();
+            for (fname, fty) in &decl {
+                if !masks.includes(type_name, fname, dir) {
+                    continue;
+                }
+                match pointer_target(fty, spec)? {
+                    Some(target_type) => {
+                        let p =
+                            decode_ptr(cur, &target_type, heap, spec, masks, dir, tracker, table)?;
+                        heap.set_ptr(local, fname, p)?;
+                    }
+                    None => {
+                        let v = codec::decode_from(cur, fty, spec)?;
+                        heap.set_scalar(local, fname, v)?;
+                    }
+                }
+            }
+            Ok(Some(local))
+        }
+        d => Err(XdrError::InvalidDiscriminant(d)),
+    }
+}
+
+/// If `ty` is a pointer-to-struct (possibly through aliases), returns the
+/// target struct name; otherwise `None` (scalar field).
+pub fn pointer_target(ty: &XdrType, spec: &XdrSpec) -> XdrResult<Option<String>> {
+    match ty {
+        XdrType::Optional(inner) => match inner.as_ref() {
+            XdrType::Struct(name) => Ok(Some(name.clone())),
+            XdrType::Named(name) => match spec.resolve(name)? {
+                XdrType::Struct(resolved) => Ok(Some(resolved)),
+                _ => Ok(None),
+            },
+            _ => Ok(None),
+        },
+        XdrType::Named(name) => {
+            let resolved = spec.resolve(name)?;
+            if resolved == *ty {
+                return Ok(None);
+            }
+            pointer_target(&resolved, spec)
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Schema-default fields for a freshly allocated structure.
+pub fn default_fields(type_name: &str, spec: &XdrSpec) -> XdrResult<Vec<(String, FieldVal)>> {
+    let decl = spec.struct_fields(type_name)?.to_vec();
+    let mut fields = Vec::with_capacity(decl.len());
+    for (fname, fty) in decl {
+        let val = match pointer_target(&fty, spec)? {
+            Some(_) => FieldVal::Ptr(None),
+            None => FieldVal::Scalar(default_value(&fty, spec)?),
+        };
+        fields.push((fname, val));
+    }
+    Ok(fields)
+}
+
+/// The schema-default value for a type (zeroes, empty strings, nulls).
+pub fn default_value(ty: &XdrType, spec: &XdrSpec) -> XdrResult<XdrValue> {
+    Ok(match ty {
+        XdrType::Void => XdrValue::Void,
+        XdrType::Int => XdrValue::Int(0),
+        XdrType::UInt => XdrValue::UInt(0),
+        XdrType::Hyper => XdrValue::Hyper(0),
+        XdrType::UHyper => XdrValue::UHyper(0),
+        XdrType::Bool => XdrValue::Bool(false),
+        XdrType::Float => XdrValue::Float(0.0),
+        XdrType::Double => XdrValue::Double(0.0),
+        XdrType::Enum(name) => {
+            let members = spec.enum_members(name)?;
+            XdrValue::Enum(members.first().map_or(0, |(_, v)| *v))
+        }
+        XdrType::OpaqueFixed(n) => XdrValue::Opaque(vec![0; *n]),
+        XdrType::OpaqueVar(_) => XdrValue::Opaque(Vec::new()),
+        XdrType::Str(_) => XdrValue::Str(String::new()),
+        XdrType::ArrayFixed(elem, n) => {
+            let v = default_value(elem, spec)?;
+            XdrValue::Array(vec![v; *n])
+        }
+        XdrType::ArrayVar(_, _) => XdrValue::Array(Vec::new()),
+        XdrType::Struct(name) => {
+            let decl = spec.struct_fields(name)?.to_vec();
+            let mut fields = Vec::with_capacity(decl.len());
+            for (fname, fty) in decl {
+                fields.push((fname, default_value(&fty, spec)?));
+            }
+            XdrValue::Struct {
+                type_name: name.clone(),
+                fields,
+            }
+        }
+        XdrType::Optional(_) => XdrValue::Optional(None),
+        XdrType::Named(name) => default_value(&spec.resolve(name)?, spec)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> XdrSpec {
+        XdrSpec::parse(
+            "struct node { int v; struct node *next; };\n\
+             struct ring { int id; struct shared *owner; };\n\
+             struct shared { int token; };\n\
+             struct pairargs { struct ring *a; struct ring *b; };",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn heap_accessors() {
+        let mut heap = ObjHeap::new();
+        let a = heap.alloc(
+            "node",
+            vec![
+                ("v".into(), FieldVal::Scalar(XdrValue::Int(1))),
+                ("next".into(), FieldVal::Ptr(None)),
+            ],
+        );
+        assert_eq!(heap.scalar(a, "v").unwrap(), &XdrValue::Int(1));
+        heap.set_scalar(a, "v", XdrValue::Int(9)).unwrap();
+        assert_eq!(heap.scalar(a, "v").unwrap(), &XdrValue::Int(9));
+        assert_eq!(heap.ptr(a, "next").unwrap(), None);
+        heap.set_ptr(a, "next", Some(a)).unwrap();
+        assert_eq!(heap.ptr(a, "next").unwrap(), Some(a));
+        assert!(heap.scalar(a, "next").is_err());
+        assert!(heap.ptr(a, "v").is_err());
+        assert!(heap.scalar(0xdead, "v").is_err());
+    }
+
+    #[test]
+    fn acyclic_list_roundtrip() {
+        let s = spec();
+        let mut src = ObjHeap::new();
+        let b = src.alloc(
+            "node",
+            vec![
+                ("v".into(), FieldVal::Scalar(XdrValue::Int(2))),
+                ("next".into(), FieldVal::Ptr(None)),
+            ],
+        );
+        let a = src.alloc(
+            "node",
+            vec![
+                ("v".into(), FieldVal::Scalar(XdrValue::Int(1))),
+                ("next".into(), FieldVal::Ptr(Some(b))),
+            ],
+        );
+        let bytes = marshal_graph(&src, Some(a), &s, &MaskSet::full(), Direction::In).unwrap();
+        let mut dst = ObjHeap::with_base(0x9000_0000);
+        let root = unmarshal_graph(
+            &bytes,
+            "node",
+            &mut dst,
+            &s,
+            &MaskSet::full(),
+            Direction::In,
+            &mut NullTracker,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(dst.scalar(root, "v").unwrap(), &XdrValue::Int(1));
+        let next = dst.ptr(root, "next").unwrap().unwrap();
+        assert_eq!(dst.scalar(next, "v").unwrap(), &XdrValue::Int(2));
+        assert_eq!(dst.ptr(next, "next").unwrap(), None);
+    }
+
+    #[test]
+    fn circular_list_terminates_and_reconnects() {
+        let s = spec();
+        let mut src = ObjHeap::new();
+        let a = src.alloc(
+            "node",
+            vec![
+                ("v".into(), FieldVal::Scalar(XdrValue::Int(1))),
+                ("next".into(), FieldVal::Ptr(None)),
+            ],
+        );
+        let b = src.alloc(
+            "node",
+            vec![
+                ("v".into(), FieldVal::Scalar(XdrValue::Int(2))),
+                ("next".into(), FieldVal::Ptr(Some(a))),
+            ],
+        );
+        src.set_ptr(a, "next", Some(b)).unwrap();
+
+        let bytes = marshal_graph(&src, Some(a), &s, &MaskSet::full(), Direction::In).unwrap();
+        let mut dst = ObjHeap::with_base(0x9000_0000);
+        let root = unmarshal_graph(
+            &bytes,
+            "node",
+            &mut dst,
+            &s,
+            &MaskSet::full(),
+            Direction::In,
+            &mut NullTracker,
+        )
+        .unwrap()
+        .unwrap();
+        let second = dst.ptr(root, "next").unwrap().unwrap();
+        let back = dst.ptr(second, "next").unwrap().unwrap();
+        assert_eq!(back, root, "cycle must close on the decoded side");
+        assert_eq!(dst.len(), 2, "exactly two objects transferred");
+    }
+
+    #[test]
+    fn cross_parameter_sharing_marshals_shared_struct_once() {
+        let s = spec();
+        let mut src = ObjHeap::new();
+        let shared = src.alloc(
+            "shared",
+            vec![("token".into(), FieldVal::Scalar(XdrValue::Int(7)))],
+        );
+        let r1 = src.alloc(
+            "ring",
+            vec![
+                ("id".into(), FieldVal::Scalar(XdrValue::Int(1))),
+                ("owner".into(), FieldVal::Ptr(Some(shared))),
+            ],
+        );
+        let r2 = src.alloc(
+            "ring",
+            vec![
+                ("id".into(), FieldVal::Scalar(XdrValue::Int(2))),
+                ("owner".into(), FieldVal::Ptr(Some(shared))),
+            ],
+        );
+        let bytes = marshal_args(
+            &src,
+            &[Some(r1), Some(r2)],
+            &s,
+            &MaskSet::full(),
+            Direction::In,
+        )
+        .unwrap();
+        let mut dst = ObjHeap::with_base(0x9000_0000);
+        let roots = unmarshal_args(
+            &bytes,
+            &["ring", "ring"],
+            &mut dst,
+            &s,
+            &MaskSet::full(),
+            Direction::In,
+            &mut NullTracker,
+        )
+        .unwrap();
+        let (d1, d2) = (roots[0].unwrap(), roots[1].unwrap());
+        assert_eq!(dst.ptr(d1, "owner").unwrap(), dst.ptr(d2, "owner").unwrap());
+        assert_eq!(dst.len(), 3, "shared struct transferred once");
+    }
+
+    #[test]
+    fn tracker_updates_existing_object_in_place() {
+        let s = spec();
+        let mut src = ObjHeap::new();
+        let a = src.alloc(
+            "shared",
+            vec![("token".into(), FieldVal::Scalar(XdrValue::Int(1)))],
+        );
+
+        // A tiny tracker remembering one association.
+        #[derive(Default)]
+        struct OneShot(HashMap<(CAddr, String), CAddr>);
+        impl TrackerHook for OneShot {
+            fn lookup(&mut self, remote: CAddr, type_name: &str) -> Option<CAddr> {
+                self.0.get(&(remote, type_name.to_string())).copied()
+            }
+            fn associate(&mut self, remote: CAddr, type_name: &str, local: CAddr) {
+                self.0.insert((remote, type_name.to_string()), local);
+            }
+        }
+
+        let mut tracker = OneShot::default();
+        let mut dst = ObjHeap::with_base(0x9000_0000);
+        let masks = MaskSet::full();
+
+        let bytes = marshal_graph(&src, Some(a), &s, &masks, Direction::In).unwrap();
+        let first = unmarshal_graph(
+            &bytes,
+            "shared",
+            &mut dst,
+            &s,
+            &masks,
+            Direction::In,
+            &mut tracker,
+        )
+        .unwrap()
+        .unwrap();
+
+        // Sender mutates and transfers again: the same local object updates.
+        src.set_scalar(a, "token", XdrValue::Int(42)).unwrap();
+        let bytes = marshal_graph(&src, Some(a), &s, &masks, Direction::In).unwrap();
+        let second = unmarshal_graph(
+            &bytes,
+            "shared",
+            &mut dst,
+            &s,
+            &masks,
+            Direction::In,
+            &mut tracker,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(first, second, "tracker hit must reuse the local object");
+        assert_eq!(dst.len(), 1);
+        assert_eq!(dst.scalar(first, "token").unwrap(), &XdrValue::Int(42));
+    }
+
+    #[test]
+    fn field_masks_limit_what_crosses() {
+        let s = spec();
+        let mut src = ObjHeap::new();
+        let shared = src.alloc(
+            "shared",
+            vec![("token".into(), FieldVal::Scalar(XdrValue::Int(9)))],
+        );
+        let r = src.alloc(
+            "ring",
+            vec![
+                ("id".into(), FieldVal::Scalar(XdrValue::Int(5))),
+                ("owner".into(), FieldVal::Ptr(Some(shared))),
+            ],
+        );
+
+        let mut masks = MaskSet::selective();
+        let mut ring_mask = crate::mask::FieldMask::new();
+        ring_mask.record("id", crate::mask::Access::Read);
+        // `owner` is not accessed by the target: the pointer (and the whole
+        // shared struct) must not cross.
+        masks.insert("ring", ring_mask);
+
+        let selective = marshal_graph(&src, Some(r), &s, &masks, Direction::In).unwrap();
+        let full = marshal_graph(&src, Some(r), &s, &MaskSet::full(), Direction::In).unwrap();
+        assert!(selective.len() < full.len());
+
+        let mut dst = ObjHeap::with_base(0x9000_0000);
+        let root = unmarshal_graph(
+            &selective,
+            "ring",
+            &mut dst,
+            &s,
+            &masks,
+            Direction::In,
+            &mut NullTracker,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(dst.scalar(root, "id").unwrap(), &XdrValue::Int(5));
+        assert_eq!(
+            dst.ptr(root, "owner").unwrap(),
+            None,
+            "masked pointer defaults to null"
+        );
+        assert_eq!(dst.len(), 1, "shared struct must not be transferred");
+    }
+
+    #[test]
+    fn null_root_roundtrip() {
+        let s = spec();
+        let src = ObjHeap::new();
+        let bytes = marshal_graph(&src, None, &s, &MaskSet::full(), Direction::In).unwrap();
+        assert_eq!(bytes, vec![0, 0, 0, 0]);
+        let mut dst = ObjHeap::new();
+        let root = unmarshal_graph(
+            &bytes,
+            "node",
+            &mut dst,
+            &s,
+            &MaskSet::full(),
+            Direction::In,
+            &mut NullTracker,
+        )
+        .unwrap();
+        assert_eq!(root, None);
+    }
+
+    #[test]
+    fn bad_backref_rejected() {
+        let s = spec();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u32.to_be_bytes());
+        bytes.extend_from_slice(&5u32.to_be_bytes());
+        let mut dst = ObjHeap::new();
+        let err = unmarshal_graph(
+            &bytes,
+            "node",
+            &mut dst,
+            &s,
+            &MaskSet::full(),
+            Direction::In,
+            &mut NullTracker,
+        )
+        .unwrap_err();
+        assert_eq!(err, XdrError::BadBackRef(5));
+    }
+
+    #[test]
+    fn dangling_pointer_detected_on_marshal() {
+        let s = spec();
+        let mut src = ObjHeap::new();
+        let a = src.alloc(
+            "node",
+            vec![
+                ("v".into(), FieldVal::Scalar(XdrValue::Int(1))),
+                ("next".into(), FieldVal::Ptr(Some(0xdead_beef))),
+            ],
+        );
+        let err = marshal_graph(&src, Some(a), &s, &MaskSet::full(), Direction::In).unwrap_err();
+        assert_eq!(err, XdrError::DanglingAddr(0xdead_beef));
+    }
+
+    #[test]
+    fn default_values_match_schema() {
+        let s = spec();
+        let v = default_value(&XdrType::Struct("node".into()), &s).unwrap();
+        assert_eq!(v.field("v"), Some(&XdrValue::Int(0)));
+        assert_eq!(v.field("next"), Some(&XdrValue::Optional(None)));
+    }
+}

@@ -1,0 +1,262 @@
+//! Combolocks: spinlock in the kernel, semaphore once user mode appears.
+//!
+//! "Decaf Drivers relies on kernel-mode combolocks from Microdrivers to
+//! synchronize access to shared data across domains. When acquired only in
+//! the kernel, a combolock is a spinlock. When acquired from user mode, a
+//! combolock is a semaphore, and subsequent kernel threads must wait for
+//! the semaphore" (paper §3.1.3).
+//!
+//! In the deterministic single-threaded simulation the lock cannot truly
+//! block; what it models is (a) the mode switch and its cost asymmetry,
+//! (b) the atomic-context rules (spin mode enters atomic context; semaphore
+//! mode requires a blocking-legal context), and (c) the guarantee that
+//! "the holder of a lock has the most recent version of the objects it
+//! protects", exposed as an `on_acquire` synchronization hook the XPC
+//! runtime uses to refresh protected objects.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use decaf_simkernel::{costs, Kernel, ViolationKind};
+
+use crate::domain::Domain;
+
+/// Which behaviour the combolock currently exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComboMode {
+    /// Kernel-only so far: spinlock semantics.
+    Spin,
+    /// User mode holds or has held it: semaphore semantics.
+    Semaphore,
+}
+
+/// Acquisition counters for the combolock ablation bench.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ComboStats {
+    /// Acquisitions served in spinlock mode.
+    pub spin_acquires: u64,
+    /// Acquisitions served in semaphore mode.
+    pub sema_acquires: u64,
+    /// Spin → semaphore transitions.
+    pub mode_switches: u64,
+}
+
+type SyncHook = Rc<dyn Fn(&Kernel, Domain)>;
+
+/// A Microdrivers-style combolock.
+pub struct Combolock {
+    name: String,
+    mode: Cell<ComboMode>,
+    holder: Cell<Option<Domain>>,
+    user_holds: Cell<u32>,
+    stats: Cell<ComboStats>,
+    on_acquire: RefCell<Option<SyncHook>>,
+}
+
+impl Combolock {
+    /// Creates a combolock in spinlock mode.
+    pub fn new(name: impl Into<String>) -> Self {
+        Combolock {
+            name: name.into(),
+            mode: Cell::new(ComboMode::Spin),
+            holder: Cell::new(None),
+            user_holds: Cell::new(0),
+            stats: Cell::new(ComboStats::default()),
+            on_acquire: RefCell::new(None),
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> ComboMode {
+        self.mode.get()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ComboStats {
+        self.stats.get()
+    }
+
+    /// The lock's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Installs the object-synchronization hook invoked on every acquire.
+    pub fn set_sync_hook(&self, hook: SyncHook) {
+        *self.on_acquire.borrow_mut() = Some(hook);
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut ComboStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
+
+    fn run_hook(&self, kernel: &Kernel, from: Domain) {
+        let hook = self.on_acquire.borrow().clone();
+        if let Some(h) = hook {
+            h(kernel, from);
+        }
+    }
+
+    /// Acquires the lock from `from`'s context.
+    ///
+    /// User-mode acquisition switches the lock to semaphore mode;
+    /// subsequent kernel acquisitions pay semaphore cost and must be in a
+    /// blocking-legal context. Re-acquisition while held records a
+    /// [`ViolationKind::SelfDeadlock`].
+    pub fn acquire<'a>(&'a self, kernel: &'a Kernel, from: Domain) -> ComboGuard<'a> {
+        if self.holder.get().is_some() {
+            kernel.record_violation(
+                ViolationKind::SelfDeadlock,
+                format!("combolock `{}` re-acquired while held", self.name),
+            );
+        }
+        if from.is_user() {
+            if self.mode.replace(ComboMode::Semaphore) == ComboMode::Spin {
+                self.bump(|s| s.mode_switches += 1);
+            }
+            self.user_holds.set(self.user_holds.get() + 1);
+        }
+        let entered_atomic = match self.mode.get() {
+            ComboMode::Spin => {
+                kernel.charge(from.cpu_class(), costs::SPINLOCK_NS);
+                self.bump(|s| s.spin_acquires += 1);
+                kernel.enter_atomic();
+                true
+            }
+            ComboMode::Semaphore => {
+                kernel.charge(from.cpu_class(), costs::MUTEX_NS);
+                kernel.assert_may_block(&format!("combolock `{}` in semaphore mode", self.name));
+                self.bump(|s| s.sema_acquires += 1);
+                false
+            }
+        };
+        self.holder.set(Some(from));
+        self.run_hook(kernel, from);
+        ComboGuard {
+            kernel,
+            lock: self,
+            from,
+            entered_atomic,
+        }
+    }
+
+    fn release(&self, kernel: &Kernel, from: Domain, entered_atomic: bool) {
+        self.holder.set(None);
+        if entered_atomic {
+            kernel.leave_atomic();
+            kernel.charge(from.cpu_class(), costs::SPINLOCK_NS);
+        } else {
+            kernel.charge(from.cpu_class(), costs::MUTEX_NS);
+        }
+        if from.is_user() {
+            let holds = self.user_holds.get().saturating_sub(1);
+            self.user_holds.set(holds);
+            if holds == 0 {
+                // No user holders remain: revert to cheap spinlock mode.
+                self.mode.set(ComboMode::Spin);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Combolock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Combolock")
+            .field("name", &self.name)
+            .field("mode", &self.mode.get())
+            .field("holder", &self.holder.get())
+            .finish()
+    }
+}
+
+/// Guard for a held [`Combolock`]; releases on drop.
+pub struct ComboGuard<'a> {
+    kernel: &'a Kernel,
+    lock: &'a Combolock,
+    from: Domain,
+    entered_atomic: bool,
+}
+
+impl Drop for ComboGuard<'_> {
+    fn drop(&mut self) {
+        self.lock
+            .release(self.kernel, self.from, self.entered_atomic);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell as StdCell;
+
+    #[test]
+    fn kernel_only_stays_spin() {
+        let k = Kernel::new();
+        let l = Combolock::new("tx");
+        for _ in 0..3 {
+            let g = l.acquire(&k, Domain::Nucleus);
+            assert!(!k.may_block(), "spin mode is atomic");
+            drop(g);
+        }
+        assert_eq!(l.mode(), ComboMode::Spin);
+        let s = l.stats();
+        assert_eq!(s.spin_acquires, 3);
+        assert_eq!(s.sema_acquires, 0);
+        assert_eq!(s.mode_switches, 0);
+        assert!(k.violations().is_empty());
+    }
+
+    #[test]
+    fn user_acquire_switches_to_semaphore_and_back() {
+        let k = Kernel::new();
+        let l = Combolock::new("adapter");
+        {
+            let _g = l.acquire(&k, Domain::Decaf);
+            assert_eq!(l.mode(), ComboMode::Semaphore);
+            assert!(k.may_block(), "semaphore mode is not atomic");
+        }
+        // After the user releases, kernel-only acquisition is spin again.
+        assert_eq!(l.mode(), ComboMode::Spin);
+        let _g = l.acquire(&k, Domain::Nucleus);
+        assert_eq!(l.stats().mode_switches, 1);
+        assert_eq!(l.stats().sema_acquires, 1);
+        assert_eq!(l.stats().spin_acquires, 1);
+    }
+
+    #[test]
+    fn self_deadlock_detected() {
+        let k = Kernel::new();
+        let l = Combolock::new("x");
+        let _a = l.acquire(&k, Domain::Nucleus);
+        let _b = l.acquire(&k, Domain::Nucleus);
+        assert!(k
+            .violations()
+            .iter()
+            .any(|v| v.kind == ViolationKind::SelfDeadlock));
+    }
+
+    #[test]
+    fn sync_hook_runs_on_every_acquire() {
+        let k = Kernel::new();
+        let l = Combolock::new("synced");
+        let count = Rc::new(StdCell::new(0));
+        let c = Rc::clone(&count);
+        l.set_sync_hook(Rc::new(move |_k, _d| c.set(c.get() + 1)));
+        drop(l.acquire(&k, Domain::Nucleus));
+        drop(l.acquire(&k, Domain::Decaf));
+        assert_eq!(count.get(), 2);
+    }
+
+    #[test]
+    fn user_time_charged_to_user_class() {
+        let k = Kernel::new();
+        let l = Combolock::new("t");
+        let before = k.snapshot();
+        drop(l.acquire(&k, Domain::Decaf));
+        let after = k.snapshot();
+        assert!(after.user_busy_ns > before.user_busy_ns);
+        assert_eq!(after.kernel_busy_ns, before.kernel_busy_ns);
+    }
+}

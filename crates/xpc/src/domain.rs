@@ -1,0 +1,80 @@
+//! Protection domains of the Decaf architecture.
+
+use decaf_simkernel::CpuClass;
+use std::fmt;
+
+/// One of the three Decaf protection domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// The driver nucleus: kernel-mode C code (interrupt handlers, data
+    /// path, spinlock-holding code).
+    Nucleus,
+    /// The driver library: user-level C code (migration staging ground and
+    /// helper routines the managed language cannot express).
+    Library,
+    /// The decaf driver: user-level managed-language code (Java in the
+    /// paper, safe Rust here).
+    Decaf,
+}
+
+impl Domain {
+    /// Which CPU class this domain's execution time is charged to.
+    pub fn cpu_class(self) -> CpuClass {
+        match self {
+            Domain::Nucleus => CpuClass::Kernel,
+            Domain::Library | Domain::Decaf => CpuClass::User,
+        }
+    }
+
+    /// Whether the domain runs at user level.
+    pub fn is_user(self) -> bool {
+        !matches!(self, Domain::Nucleus)
+    }
+
+    /// The heap address base for this domain.
+    ///
+    /// Distinct bases keep address spaces disjoint, which is what makes
+    /// the "object coming home" check in graph unmarshaling exact.
+    pub fn heap_base(self) -> u64 {
+        match self {
+            Domain::Nucleus => 0x1000_0000,
+            Domain::Library => 0x4000_0000,
+            Domain::Decaf => 0x8000_0000,
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Nucleus => write!(f, "driver nucleus"),
+            Domain::Library => write!(f, "driver library"),
+            Domain::Decaf => write!(f, "decaf driver"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_classes() {
+        assert_eq!(Domain::Nucleus.cpu_class(), CpuClass::Kernel);
+        assert_eq!(Domain::Library.cpu_class(), CpuClass::User);
+        assert_eq!(Domain::Decaf.cpu_class(), CpuClass::User);
+    }
+
+    #[test]
+    fn bases_are_disjoint_and_ordered() {
+        assert!(Domain::Nucleus.heap_base() < Domain::Library.heap_base());
+        assert!(Domain::Library.heap_base() < Domain::Decaf.heap_base());
+    }
+
+    #[test]
+    fn user_levels() {
+        assert!(!Domain::Nucleus.is_user());
+        assert!(Domain::Library.is_user());
+        assert!(Domain::Decaf.is_user());
+    }
+}

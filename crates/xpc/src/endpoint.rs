@@ -1,0 +1,837 @@
+//! XPC channels: stubs, control transfer and object transfer.
+//!
+//! An [`XpcChannel`] connects two domains. A call performs the six steps
+//! the paper's Jeannie stubs perform (§3.1.1, Figure 2):
+//!
+//! 1. the caller invokes the stub (`XpcChannel::call`);
+//! 2. the stub consults the object tracker to translate parameters to the
+//!    addresses the peer knows them by;
+//! 3. it marshals the parameters with the generated XDR routines
+//!    (field-selective, cycle-aware);
+//! 4. control transfers to the target domain (cost depends on the
+//!    [`Transport`] and whether a protection boundary is crossed);
+//! 5. the target unmarshals, consulting *its* object tracker so existing
+//!    objects update in place, then the handler runs;
+//! 6. out-parameters marshal back and the caller's objects are updated.
+//!
+//! A panic in a user-level handler is caught and surfaced as
+//! [`XpcError::DecafFault`]: the kernel side survives, as it would with a
+//! crashed user process.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+use decaf_simkernel::{costs, Kernel, ViolationKind};
+use decaf_xdr::graph::{self, CAddr, ObjHeap};
+use decaf_xdr::mask::{Direction, MaskSet};
+use decaf_xdr::{XdrSpec, XdrValue};
+
+use crate::domain::Domain;
+use crate::error::{XpcError, XpcResult};
+use crate::tracker::{ObjectTracker, TrackerStats};
+
+/// How control transfers to the target domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Reuse the calling thread (the optimization of paper §2.3 for
+    /// co-located domains).
+    InProc,
+    /// Hand off to a dedicated thread in the target domain; costs a
+    /// scheduler round trip each way.
+    Threaded,
+}
+
+/// Static configuration of a channel.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelConfig {
+    /// Whether the two ends sit in different protection domains
+    /// (kernel/user crossing cost applies).
+    pub domain_crossing: bool,
+    /// Whether the target end is a different language (C↔Java): adds the
+    /// unmarshal-in-C + re-marshal-in-Java conversion cost the paper
+    /// identifies as the dominant initialization overhead (§4.2).
+    pub cross_language: bool,
+    /// Control-transfer mechanism.
+    pub transport: Transport,
+}
+
+impl ChannelConfig {
+    /// The kernel↔user configuration used between nucleus and decaf
+    /// driver in the paper's implementation.
+    pub fn kernel_user() -> Self {
+        ChannelConfig {
+            domain_crossing: true,
+            cross_language: true,
+            transport: Transport::InProc,
+        }
+    }
+
+    /// A same-process C↔Java channel (driver library ↔ decaf driver).
+    pub fn cross_language_only() -> Self {
+        ChannelConfig {
+            domain_crossing: false,
+            cross_language: true,
+            transport: Transport::InProc,
+        }
+    }
+}
+
+/// Counters for one channel.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Completed call/return round trips (the paper's "User/Kernel
+    /// Crossings" column counts these).
+    pub round_trips: u64,
+    /// One-way transfers (2× round trips unless a call faults).
+    pub one_way_crossings: u64,
+    /// Marshaled bytes, caller → target.
+    pub bytes_in: u64,
+    /// Marshaled bytes, target → caller.
+    pub bytes_out: u64,
+    /// Handler panics caught.
+    pub faults: u64,
+}
+
+/// A procedure registered at one end of a channel.
+#[derive(Clone)]
+pub struct ProcDef {
+    /// Procedure name (matches the entry-point name from DriverSlicer).
+    pub name: String,
+    /// Struct type of each object argument, in order.
+    pub arg_types: Vec<String>,
+    /// The implementation.
+    pub handler: ProcHandler,
+}
+
+/// Handler signature: object arguments arrive as local heap addresses,
+/// scalars as XDR values; the scalar return value travels back.
+pub type ProcHandler = Rc<dyn Fn(&Kernel, &XpcChannel, &[Option<CAddr>], &[XdrValue]) -> XdrValue>;
+
+struct DomainEnd {
+    domain: Domain,
+    heap: Rc<RefCell<ObjHeap>>,
+    tracker: RefCell<ObjectTracker>,
+    procs: RefCell<HashMap<String, ProcDef>>,
+}
+
+impl DomainEnd {
+    fn new(domain: Domain) -> Self {
+        DomainEnd {
+            domain,
+            heap: Rc::new(RefCell::new(ObjHeap::with_base(domain.heap_base()))),
+            tracker: RefCell::new(ObjectTracker::new()),
+            procs: RefCell::new(HashMap::new()),
+        }
+    }
+}
+
+/// A two-ended XPC channel.
+pub struct XpcChannel {
+    spec: XdrSpec,
+    masks: MaskSet,
+    config: ChannelConfig,
+    a: DomainEnd,
+    b: DomainEnd,
+    stats: Cell<ChannelStats>,
+}
+
+impl XpcChannel {
+    /// Creates a channel between two domains over a shared interface spec
+    /// and mask set (both produced by DriverSlicer).
+    pub fn new(spec: XdrSpec, masks: MaskSet, config: ChannelConfig, a: Domain, b: Domain) -> Self {
+        assert_ne!(a, b, "a channel needs two distinct domains");
+        XpcChannel {
+            spec,
+            masks,
+            config,
+            a: DomainEnd::new(a),
+            b: DomainEnd::new(b),
+            stats: Cell::new(ChannelStats::default()),
+        }
+    }
+
+    fn end(&self, domain: Domain) -> XpcResult<&DomainEnd> {
+        if self.a.domain == domain {
+            Ok(&self.a)
+        } else if self.b.domain == domain {
+            Ok(&self.b)
+        } else {
+            Err(XpcError::UnknownDomain(domain.to_string()))
+        }
+    }
+
+    fn peer(&self, domain: Domain) -> XpcResult<&DomainEnd> {
+        if self.a.domain == domain {
+            Ok(&self.b)
+        } else if self.b.domain == domain {
+            Ok(&self.a)
+        } else {
+            Err(XpcError::UnknownDomain(domain.to_string()))
+        }
+    }
+
+    /// The heap of one end (driver code allocates its structures here).
+    ///
+    /// # Panics
+    /// Panics if `domain` is not an end of this channel.
+    pub fn heap(&self, domain: Domain) -> Rc<RefCell<ObjHeap>> {
+        Rc::clone(&self.end(domain).expect("domain not on this channel").heap)
+    }
+
+    /// The interface spec this channel marshals against.
+    pub fn spec(&self) -> &XdrSpec {
+        &self.spec
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats.get()
+    }
+
+    /// Object-tracker counters for one end.
+    pub fn tracker_stats(&self, domain: Domain) -> TrackerStats {
+        self.end(domain)
+            .map(|e| e.tracker.borrow().stats())
+            .unwrap_or_default()
+    }
+
+    /// Live tracker associations at one end (test/diagnostic helper).
+    pub fn tracker_len(&self, domain: Domain) -> usize {
+        self.end(domain)
+            .map(|e| e.tracker.borrow().len())
+            .unwrap_or(0)
+    }
+
+    /// Registers a procedure at `domain`'s end.
+    pub fn register_proc(&self, domain: Domain, def: ProcDef) -> XpcResult<()> {
+        self.end(domain)?
+            .procs
+            .borrow_mut()
+            .insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Names of procedures registered at `domain`'s end, sorted.
+    pub fn proc_names(&self, domain: Domain) -> Vec<String> {
+        match self.end(domain) {
+            Ok(e) => {
+                let mut v: Vec<_> = e.procs.borrow().keys().cloned().collect();
+                v.sort();
+                v
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Releases a shared object at one end: drops its tracker association
+    /// and frees it from the heap (the explicit release of §3.1.2).
+    pub fn release_object(&self, domain: Domain, local: CAddr) -> XpcResult<()> {
+        let e = self.end(domain)?;
+        e.tracker.borrow_mut().release_local(local);
+        e.heap.borrow_mut().free(local);
+        Ok(())
+    }
+
+    /// Allocates a schema-default structure in one end's heap.
+    pub fn alloc_shared(&self, domain: Domain, type_name: &str) -> XpcResult<CAddr> {
+        let e = self.end(domain)?;
+        let mut heap = e.heap.borrow_mut();
+        heap.alloc_default(type_name, &self.spec)
+            .map_err(XpcError::Xdr)
+    }
+
+    /// Clears one end's heap and tracker — the decaf-driver restart path
+    /// after a fault.
+    pub fn reset_end(&self, domain: Domain) -> XpcResult<()> {
+        let e = self.end(domain)?;
+        *e.heap.borrow_mut() = ObjHeap::with_base(e.domain.heap_base());
+        *e.tracker.borrow_mut() = ObjectTracker::new();
+        Ok(())
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut ChannelStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
+
+    fn charge_transfer(&self, kernel: &Kernel, payer: Domain, bytes: usize) {
+        self.bump(|s| s.one_way_crossings += 1);
+        let class = payer.cpu_class();
+        if self.config.domain_crossing {
+            kernel.charge(class, costs::DOMAIN_CROSSING_NS);
+        }
+        if let Transport::Threaded = self.config.transport {
+            kernel.charge(class, costs::THREAD_HANDOFF_NS);
+        }
+        kernel.charge(class, bytes as u64 * costs::MARSHAL_BYTE_NS);
+    }
+
+    /// Performs one cross-domain procedure call from `from` to its peer.
+    ///
+    /// `args` are object parameters as addresses in the *caller's* heap;
+    /// `scalars` travel by value. Returns the handler's scalar result.
+    pub fn call(
+        &self,
+        kernel: &Kernel,
+        from: Domain,
+        proc: &str,
+        args: &[Option<CAddr>],
+        scalars: &[XdrValue],
+    ) -> XpcResult<XdrValue> {
+        let caller = self.end(from)?;
+        let target = self.peer(from)?;
+
+        // Upcalls to user level are illegal from atomic context (§3.1.3);
+        // record the violation but keep simulating.
+        if target.domain.is_user() && !kernel.may_block() {
+            kernel.record_violation(
+                ViolationKind::UpcallInAtomic,
+                format!("XPC `{proc}` to {} from atomic context", target.domain),
+            );
+        }
+
+        let def =
+            target
+                .procs
+                .borrow()
+                .get(proc)
+                .cloned()
+                .ok_or_else(|| XpcError::UnknownProc {
+                    domain: target.domain.to_string(),
+                    proc: proc.to_string(),
+                })?;
+
+        // Steps 2+3: tracker translation and argument marshaling.
+        let wire_in = {
+            let heap = caller.heap.borrow();
+            let tracker = &caller.tracker;
+            graph::marshal_args_translated(
+                &heap,
+                args,
+                &self.spec,
+                &self.masks,
+                Direction::In,
+                &|local| tracker.borrow().canonical_for(local).unwrap_or(local),
+            )?
+        };
+        kernel.charge(
+            from.cpu_class(),
+            wire_in.len() as u64 * costs::MARSHAL_BYTE_NS,
+        );
+        self.bump(|s| s.bytes_in += wire_in.len() as u64);
+
+        // Step 4: control transfer.
+        self.charge_transfer(kernel, from, wire_in.len());
+
+        // Step 5: unmarshal at the target, tracker-aware.
+        let arg_type_refs: Vec<&str> = def.arg_types.iter().map(String::as_str).collect();
+        let locals = {
+            let mut heap = target.heap.borrow_mut();
+            let mut tracker = target.tracker.borrow_mut();
+            graph::unmarshal_args(
+                &wire_in,
+                &arg_type_refs,
+                &mut heap,
+                &self.spec,
+                &self.masks,
+                Direction::In,
+                &mut *tracker,
+            )?
+        };
+        kernel.charge(
+            target.domain.cpu_class(),
+            wire_in.len() as u64 * costs::MARSHAL_BYTE_NS,
+        );
+        if self.config.cross_language {
+            // The C-side unmarshal + Java-side re-marshal detour (§4.2).
+            kernel.charge(
+                target.domain.cpu_class(),
+                args.len() as u64 * costs::CROSS_LANGUAGE_OBJECT_NS
+                    + wire_in.len() as u64 * costs::MARSHAL_BYTE_NS,
+            );
+        }
+
+        // Dispatch, catching user-level faults.
+        let handler = Rc::clone(&def.handler);
+        let result = catch_unwind(AssertUnwindSafe(|| handler(kernel, self, &locals, scalars)));
+        let ret = match result {
+            Ok(v) => v,
+            Err(payload) => {
+                self.bump(|s| s.faults += 1);
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "panic".to_string());
+                return Err(XpcError::DecafFault(msg));
+            }
+        };
+
+        // Step 6: marshal out-parameters back and update caller objects.
+        let wire_out = {
+            let heap = target.heap.borrow();
+            let tracker = &target.tracker;
+            graph::marshal_args_translated(
+                &heap,
+                &locals,
+                &self.spec,
+                &self.masks,
+                Direction::Out,
+                &|local| tracker.borrow().canonical_for(local).unwrap_or(local),
+            )?
+        };
+        kernel.charge(
+            target.domain.cpu_class(),
+            wire_out.len() as u64 * costs::MARSHAL_BYTE_NS,
+        );
+        self.bump(|s| s.bytes_out += wire_out.len() as u64);
+        self.charge_transfer(kernel, target.domain, wire_out.len());
+
+        {
+            let mut heap = caller.heap.borrow_mut();
+            let mut tracker = caller.tracker.borrow_mut();
+            graph::unmarshal_args(
+                &wire_out,
+                &arg_type_refs,
+                &mut heap,
+                &self.spec,
+                &self.masks,
+                Direction::Out,
+                &mut *tracker,
+            )?;
+        }
+        kernel.charge(
+            from.cpu_class(),
+            wire_out.len() as u64 * costs::MARSHAL_BYTE_NS,
+        );
+
+        self.bump(|s| s.round_trips += 1);
+        Ok(ret)
+    }
+}
+
+/// An owned shared object that releases itself when dropped.
+///
+/// The paper manages shared objects manually but proposes custom
+/// finalizers so "the Java garbage collector frees the object" and the
+/// associated kernel memory with it (§5.1, *Potential Benefit: Garbage
+/// collection*). Rust's `Drop` is that finalizer: when the guard goes out
+/// of scope the tracker association is removed and the heap object freed,
+/// which "can simplify exception-handling code and prevent resource leaks
+/// on error paths, a common driver problem".
+pub struct SharedObject {
+    channel: Rc<XpcChannel>,
+    domain: Domain,
+    addr: CAddr,
+}
+
+impl SharedObject {
+    /// Allocates a schema-default structure owned by this guard.
+    pub fn new(
+        channel: Rc<XpcChannel>,
+        domain: Domain,
+        type_name: &str,
+    ) -> XpcResult<SharedObject> {
+        let addr = channel.alloc_shared(domain, type_name)?;
+        Ok(SharedObject {
+            channel,
+            domain,
+            addr,
+        })
+    }
+
+    /// The heap address of the object (pass as an XPC argument).
+    pub fn addr(&self) -> CAddr {
+        self.addr
+    }
+
+    /// The domain owning the object.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Releases ownership without freeing (hand the object to the driver
+    /// for its full lifetime).
+    pub fn into_raw(self) -> CAddr {
+        let addr = self.addr;
+        std::mem::forget(self);
+        addr
+    }
+}
+
+impl Drop for SharedObject {
+    fn drop(&mut self) {
+        let _ = self.channel.release_object(self.domain, self.addr);
+    }
+}
+
+impl std::fmt::Debug for SharedObject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedObject")
+            .field("domain", &self.domain)
+            .field("addr", &format_args!("{:#x}", self.addr))
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for XpcChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("XpcChannel")
+            .field("a", &self.a.domain)
+            .field("b", &self.b.domain)
+            .field("stats", &self.stats.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decaf_xdr::graph::FieldVal;
+    use decaf_xdr::mask::{Access, FieldMask};
+
+    fn spec() -> XdrSpec {
+        XdrSpec::parse(
+            "struct adapter { int msg_enable; int link_up; struct ring *tx; };\n\
+             struct ring { int count; };",
+        )
+        .unwrap()
+    }
+
+    fn channel() -> XpcChannel {
+        XpcChannel::new(
+            spec(),
+            MaskSet::full(),
+            ChannelConfig::kernel_user(),
+            Domain::Nucleus,
+            Domain::Decaf,
+        )
+    }
+
+    fn alloc_adapter(ch: &XpcChannel) -> CAddr {
+        let heap = ch.heap(Domain::Nucleus);
+        let mut h = heap.borrow_mut();
+        let ring = h.alloc(
+            "ring",
+            vec![("count".into(), FieldVal::Scalar(XdrValue::Int(256)))],
+        );
+        h.alloc(
+            "adapter",
+            vec![
+                ("msg_enable".into(), FieldVal::Scalar(XdrValue::Int(0))),
+                ("link_up".into(), FieldVal::Scalar(XdrValue::Int(0))),
+                ("tx".into(), FieldVal::Ptr(Some(ring))),
+            ],
+        )
+    }
+
+    #[test]
+    fn upcall_executes_handler_and_returns_scalar() {
+        let k = Kernel::new();
+        let ch = channel();
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "e1000_probe".into(),
+                arg_types: vec!["adapter".into()],
+                handler: Rc::new(|_k, ch, args, _scalars| {
+                    let heap = ch.heap(Domain::Decaf);
+                    let h = heap.borrow();
+                    let a = args[0].unwrap();
+                    // The decaf driver sees the marshaled ring through the
+                    // adapter pointer.
+                    let ring = h.ptr(a, "tx").unwrap().unwrap();
+                    h.scalar(ring, "count").unwrap().clone()
+                }),
+            },
+        )
+        .unwrap();
+        let adapter = alloc_adapter(&ch);
+        let ret = ch
+            .call(&k, Domain::Nucleus, "e1000_probe", &[Some(adapter)], &[])
+            .unwrap();
+        assert_eq!(ret, XdrValue::Int(256));
+        let s = ch.stats();
+        assert_eq!(s.round_trips, 1);
+        assert_eq!(s.one_way_crossings, 2);
+        assert!(s.bytes_in > 0);
+    }
+
+    #[test]
+    fn out_parameters_update_caller_objects_in_place() {
+        let k = Kernel::new();
+        let ch = channel();
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "set_link".into(),
+                arg_types: vec!["adapter".into()],
+                handler: Rc::new(|_k, ch, args, _| {
+                    let heap = ch.heap(Domain::Decaf);
+                    let mut h = heap.borrow_mut();
+                    h.set_scalar(args[0].unwrap(), "link_up", XdrValue::Int(1))
+                        .unwrap();
+                    XdrValue::Int(0)
+                }),
+            },
+        )
+        .unwrap();
+        let adapter = alloc_adapter(&ch);
+        ch.call(&k, Domain::Nucleus, "set_link", &[Some(adapter)], &[])
+            .unwrap();
+        let heap = ch.heap(Domain::Nucleus);
+        let h = heap.borrow();
+        assert_eq!(h.scalar(adapter, "link_up").unwrap(), &XdrValue::Int(1));
+    }
+
+    #[test]
+    fn repeated_calls_reuse_target_objects() {
+        let k = Kernel::new();
+        let ch = channel();
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "touch".into(),
+                arg_types: vec!["adapter".into()],
+                handler: Rc::new(|_, _, _, _| XdrValue::Int(0)),
+            },
+        )
+        .unwrap();
+        let adapter = alloc_adapter(&ch);
+        for _ in 0..3 {
+            ch.call(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+                .unwrap();
+        }
+        // Adapter + embedded ring: exactly two objects at the decaf end,
+        // no matter how many calls were made.
+        assert_eq!(ch.heap(Domain::Decaf).borrow().len(), 2);
+        let ts = ch.tracker_stats(Domain::Decaf);
+        assert_eq!(ts.associations, 2);
+        assert!(ts.hits >= 4, "subsequent calls hit the tracker");
+    }
+
+    #[test]
+    fn nested_downcall_from_handler_works() {
+        let k = Kernel::new();
+        let ch = Rc::new(channel());
+        ch.register_proc(
+            Domain::Nucleus,
+            ProcDef {
+                name: "pci_read_config".into(),
+                arg_types: vec![],
+                handler: Rc::new(|_, _, _, scalars| {
+                    XdrValue::Int(scalars[0].as_int().unwrap() + 0x100)
+                }),
+            },
+        )
+        .unwrap();
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "probe".into(),
+                arg_types: vec![],
+                handler: Rc::new(|k, ch, _, _| {
+                    // The decaf driver calls back into the kernel.
+                    ch.call(
+                        k,
+                        Domain::Decaf,
+                        "pci_read_config",
+                        &[],
+                        &[XdrValue::Int(4)],
+                    )
+                    .unwrap()
+                }),
+            },
+        )
+        .unwrap();
+        let ret = ch.call(&k, Domain::Nucleus, "probe", &[], &[]).unwrap();
+        assert_eq!(ret, XdrValue::Int(0x104));
+        assert_eq!(ch.stats().round_trips, 2);
+    }
+
+    #[test]
+    fn unknown_proc_reported() {
+        let k = Kernel::new();
+        let ch = channel();
+        let err = ch.call(&k, Domain::Nucleus, "nope", &[], &[]).unwrap_err();
+        assert!(matches!(err, XpcError::UnknownProc { .. }));
+    }
+
+    #[test]
+    fn decaf_fault_is_contained() {
+        let k = Kernel::new();
+        let ch = channel();
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "crash".into(),
+                arg_types: vec![],
+                handler: Rc::new(|_, _, _, _| panic!("null deref in decaf driver")),
+            },
+        )
+        .unwrap();
+        let err = ch.call(&k, Domain::Nucleus, "crash", &[], &[]).unwrap_err();
+        match err {
+            XpcError::DecafFault(msg) => assert!(msg.contains("null deref")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ch.stats().faults, 1);
+        // The channel still works after resetting the faulted end.
+        ch.reset_end(Domain::Decaf).unwrap();
+        assert_eq!(ch.heap(Domain::Decaf).borrow().len(), 0);
+    }
+
+    #[test]
+    fn upcall_from_atomic_context_flagged() {
+        let k = Kernel::new();
+        let ch = channel();
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "bad".into(),
+                arg_types: vec![],
+                handler: Rc::new(|_, _, _, _| XdrValue::Void),
+            },
+        )
+        .unwrap();
+        k.enter_atomic();
+        ch.call(&k, Domain::Nucleus, "bad", &[], &[]).unwrap();
+        k.leave_atomic();
+        assert!(k
+            .violations()
+            .iter()
+            .any(|v| v.kind == ViolationKind::UpcallInAtomic));
+    }
+
+    #[test]
+    fn field_masks_reduce_traffic() {
+        let k = Kernel::new();
+        let mut masks = MaskSet::selective();
+        let mut m = FieldMask::new();
+        m.record("msg_enable", Access::Read);
+        masks.insert("adapter", m);
+        let ch = XpcChannel::new(
+            spec(),
+            masks,
+            ChannelConfig::kernel_user(),
+            Domain::Nucleus,
+            Domain::Decaf,
+        );
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "peek".into(),
+                arg_types: vec!["adapter".into()],
+                handler: Rc::new(|_, _, _, _| XdrValue::Int(0)),
+            },
+        )
+        .unwrap();
+        let adapter = alloc_adapter(&ch);
+        ch.call(&k, Domain::Nucleus, "peek", &[Some(adapter)], &[])
+            .unwrap();
+        let s = ch.stats();
+        // Only one int + the object header cross; the ring never does.
+        assert!(
+            s.bytes_in < 32,
+            "selective masks keep traffic tiny: {}",
+            s.bytes_in
+        );
+        assert_eq!(ch.heap(Domain::Decaf).borrow().len(), 1);
+    }
+
+    #[test]
+    fn user_and_kernel_time_both_charged() {
+        let k = Kernel::new();
+        let ch = channel();
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "noop".into(),
+                arg_types: vec!["adapter".into()],
+                handler: Rc::new(|_, _, _, _| XdrValue::Void),
+            },
+        )
+        .unwrap();
+        let adapter = alloc_adapter(&ch);
+        let before = k.snapshot();
+        ch.call(&k, Domain::Nucleus, "noop", &[Some(adapter)], &[])
+            .unwrap();
+        let after = k.snapshot();
+        assert!(after.kernel_busy_ns > before.kernel_busy_ns);
+        assert!(after.user_busy_ns > before.user_busy_ns);
+    }
+
+    #[test]
+    fn shared_object_guard_frees_on_drop() {
+        // The finalizer pattern of paper §5.1: dropping the guard releases
+        // the object even on early-return error paths.
+        let k = Kernel::new();
+        let ch = Rc::new(channel());
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "touch".into(),
+                arg_types: vec!["adapter".into()],
+                handler: Rc::new(|_, _, _, _| XdrValue::Void),
+            },
+        )
+        .unwrap();
+        let heap_len_before = ch.heap(Domain::Nucleus).borrow().len();
+        {
+            let obj = SharedObject::new(Rc::clone(&ch), Domain::Nucleus, "adapter").unwrap();
+            ch.call(&k, Domain::Nucleus, "touch", &[Some(obj.addr())], &[])
+                .unwrap();
+            assert_eq!(ch.heap(Domain::Nucleus).borrow().len(), heap_len_before + 1);
+        }
+        // Guard dropped: nucleus copy freed, association released.
+        assert_eq!(ch.heap(Domain::Nucleus).borrow().len(), heap_len_before);
+    }
+
+    #[test]
+    fn shared_object_into_raw_keeps_it_alive() {
+        let ch = Rc::new(channel());
+        let obj = SharedObject::new(Rc::clone(&ch), Domain::Nucleus, "ring").unwrap();
+        let addr = obj.into_raw();
+        assert!(ch.heap(Domain::Nucleus).borrow().contains(addr));
+    }
+
+    #[test]
+    fn release_object_forgets_association() {
+        let k = Kernel::new();
+        let ch = channel();
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "touch".into(),
+                arg_types: vec!["adapter".into()],
+                handler: Rc::new(|_, _, _, _| XdrValue::Void),
+            },
+        )
+        .unwrap();
+        let adapter = alloc_adapter(&ch);
+        ch.call(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+        let decaf_heap_len = ch.heap(Domain::Decaf).borrow().len();
+        assert_eq!(decaf_heap_len, 2);
+        // Release the decaf-side adapter object explicitly.
+        let assoc: Vec<_> = {
+            let heap = ch.heap(Domain::Decaf);
+            let h = heap.borrow();
+            h.iter().map(|(a, o)| (a, o.type_name.clone())).collect()
+        };
+        let adapter_local = assoc
+            .iter()
+            .find(|(_, t)| t == "adapter")
+            .map(|(a, _)| *a)
+            .unwrap();
+        ch.release_object(Domain::Decaf, adapter_local).unwrap();
+        assert_eq!(ch.heap(Domain::Decaf).borrow().len(), 1);
+        // The next call re-allocates it fresh.
+        ch.call(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+        assert_eq!(ch.heap(Domain::Decaf).borrow().len(), 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! XPC error type.
+
+use decaf_xdr::XdrError;
+use std::fmt;
+
+/// Result alias for XPC operations.
+pub type XpcResult<T> = Result<T, XpcError>;
+
+/// Errors surfaced by cross-domain calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XpcError {
+    /// Marshaling or unmarshaling failed.
+    Xdr(XdrError),
+    /// The named procedure is not registered in the target domain.
+    UnknownProc {
+        /// Target domain name.
+        domain: String,
+        /// Procedure that was requested.
+        proc: String,
+    },
+    /// The user-level handler panicked; the kernel survives, the decaf
+    /// driver needs recovery.
+    DecafFault(String),
+    /// A call was attempted to a domain with no registered state.
+    UnknownDomain(String),
+}
+
+impl fmt::Display for XpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XpcError::Xdr(e) => write!(f, "marshaling error: {e}"),
+            XpcError::UnknownProc { domain, proc } => {
+                write!(f, "no procedure `{proc}` registered in {domain}")
+            }
+            XpcError::DecafFault(msg) => write!(f, "decaf driver fault: {msg}"),
+            XpcError::UnknownDomain(d) => write!(f, "unknown domain `{d}`"),
+        }
+    }
+}
+
+impl std::error::Error for XpcError {}
+
+impl From<XdrError> for XpcError {
+    fn from(e: XdrError) -> Self {
+        XpcError::Xdr(e)
+    }
+}

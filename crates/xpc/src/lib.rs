@@ -1,0 +1,45 @@
+//! Extension Procedure Call (XPC) for Decaf Drivers.
+//!
+//! XPC, originally built for the Nooks driver-isolation subsystem and
+//! extended by Microdrivers and Decaf, provides procedure calls between
+//! protection domains with five services (paper §2.3):
+//!
+//! 1. **Control transfer** — procedure-call semantics across the
+//!    kernel/user boundary (block and wait), optionally reusing the calling
+//!    thread rather than scheduling a new one.
+//! 2. **Object transfer** — field-selective XDR marshaling of structures
+//!    ([`decaf_xdr`]).
+//! 3. **Object sharing** — an [`tracker::ObjectTracker`] records each
+//!    shared object so the same object is updated, never duplicated, when
+//!    it crosses a boundary again; a type tag disambiguates embedded
+//!    structures that share a C address (§3.1.2).
+//! 4. **Synchronization** — [`combolock::Combolock`]: a spinlock while
+//!    only the kernel uses it, a semaphore once user mode participates
+//!    (§3.1.3).
+//! 5. **Stubs** — [`endpoint::XpcChannel`] performs the six stub steps of
+//!    §3.1.1 (tracker translation, marshal, transfer, unmarshal, dispatch,
+//!    out-parameter return).
+//!
+//! Domains are [`domain::Domain::Nucleus`] (kernel),
+//! [`domain::Domain::Library`] (user-level C) and
+//! [`domain::Domain::Decaf`] (user-level managed language). The decaf
+//! driver runs at user level; the [`runtime::NuclearRuntime`] disables the
+//! device's interrupt while user-level code runs so the driver never
+//! interrupts itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combolock;
+pub mod domain;
+pub mod endpoint;
+pub mod error;
+pub mod runtime;
+pub mod tracker;
+
+pub use combolock::{ComboStats, Combolock};
+pub use domain::Domain;
+pub use endpoint::{ChannelConfig, ChannelStats, ProcDef, SharedObject, Transport, XpcChannel};
+pub use error::{XpcError, XpcResult};
+pub use runtime::{DecafRuntime, NuclearRuntime};
+pub use tracker::{ObjectTracker, TrackerStats};

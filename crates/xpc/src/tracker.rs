@@ -1,0 +1,182 @@
+//! The object tracker: shared-object identity across domains.
+//!
+//! "Decaf Drivers XPC uses an object tracker that records each shared
+//! object, extended to support two user-level domains. When transferring
+//! objects into a domain, XPC consults the object tracker to find whether
+//! the object already exists" (paper §2.3). Two C-vs-Java representation
+//! problems drive the design (§3.1.2):
+//!
+//! * Java objects have no address, so the user-level tracker keys objects
+//!   by reference — here, by the local heap address standing in for one.
+//! * One C pointer may correspond to several objects (a struct embedded
+//!   first in another shares its address), so every association carries a
+//!   *type tag*; the paper uses the address of the type's XDR marshaling
+//!   function, we use the type name.
+
+use std::collections::HashMap;
+
+use decaf_xdr::graph::CAddr;
+use decaf_xdr::TrackerHook;
+
+/// Counters describing tracker behaviour (used by tests and benches).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TrackerStats {
+    /// Lookups that found an existing association.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Associations recorded.
+    pub associations: u64,
+    /// Associations removed.
+    pub releases: u64,
+}
+
+/// A per-domain object tracker mapping peer (canonical) addresses to local
+/// objects, disambiguated by type tag.
+#[derive(Debug, Default)]
+pub struct ObjectTracker {
+    by_remote: HashMap<(CAddr, String), CAddr>,
+    by_local: HashMap<CAddr, (CAddr, String)>,
+    stats: TrackerStats,
+}
+
+impl ObjectTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        ObjectTracker::default()
+    }
+
+    /// Number of live associations.
+    pub fn len(&self) -> usize {
+        self.by_remote.len()
+    }
+
+    /// Whether the tracker holds no associations.
+    pub fn is_empty(&self) -> bool {
+        self.by_remote.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TrackerStats {
+        self.stats
+    }
+
+    /// The canonical (peer) address a local object corresponds to, if the
+    /// object originated elsewhere.
+    ///
+    /// Used by the sending stub to "translate any parameters to their
+    /// equivalent C pointers" (paper §3.1.1).
+    pub fn canonical_for(&self, local: CAddr) -> Option<CAddr> {
+        self.by_local.get(&local).map(|(remote, _)| *remote)
+    }
+
+    /// Removes the association for a local object (explicit free; the
+    /// paper's decaf drivers release shared objects explicitly, §3.1.2).
+    ///
+    /// Returns the canonical address that was associated, if any.
+    pub fn release_local(&mut self, local: CAddr) -> Option<CAddr> {
+        let (remote, tag) = self.by_local.remove(&local)?;
+        self.by_remote.remove(&(remote, tag));
+        self.stats.releases += 1;
+        Some(remote)
+    }
+
+    /// Removes the association for a remote object of a given type.
+    pub fn release_remote(&mut self, remote: CAddr, type_tag: &str) -> Option<CAddr> {
+        let local = self.by_remote.remove(&(remote, type_tag.to_string()))?;
+        self.by_local.remove(&local);
+        self.stats.releases += 1;
+        Some(local)
+    }
+
+    /// All associations as `(remote, type, local)` triples (test helper).
+    pub fn associations(&self) -> Vec<(CAddr, String, CAddr)> {
+        let mut v: Vec<_> = self
+            .by_remote
+            .iter()
+            .map(|((r, t), l)| (*r, t.clone(), *l))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+impl TrackerHook for ObjectTracker {
+    fn lookup(&mut self, remote: CAddr, type_name: &str) -> Option<CAddr> {
+        match self.by_remote.get(&(remote, type_name.to_string())) {
+            Some(local) => {
+                self.stats.hits += 1;
+                Some(*local)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn associate(&mut self, remote: CAddr, type_name: &str, local: CAddr) {
+        self.by_remote
+            .insert((remote, type_name.to_string()), local);
+        self.by_local.insert(local, (remote, type_name.to_string()));
+        self.stats.associations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut t = ObjectTracker::new();
+        assert_eq!(t.lookup(0x1000, "e1000_adapter"), None);
+        t.associate(0x1000, "e1000_adapter", 0x8000_0000);
+        assert_eq!(t.lookup(0x1000, "e1000_adapter"), Some(0x8000_0000));
+        let s = t.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.associations, 1);
+    }
+
+    #[test]
+    fn embedded_structs_disambiguated_by_type_tag() {
+        // A struct embedded first in another shares its C address; the
+        // type tag keeps the two associations apart (paper §3.1.2).
+        let mut t = ObjectTracker::new();
+        t.associate(0x2000, "outer", 0x8000_0000);
+        t.associate(0x2000, "inner", 0x8000_0100);
+        assert_eq!(t.lookup(0x2000, "outer"), Some(0x8000_0000));
+        assert_eq!(t.lookup(0x2000, "inner"), Some(0x8000_0100));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn canonical_reverse_lookup() {
+        let mut t = ObjectTracker::new();
+        t.associate(0x3000, "ring", 0x8000_0000);
+        assert_eq!(t.canonical_for(0x8000_0000), Some(0x3000));
+        assert_eq!(t.canonical_for(0x9999), None);
+    }
+
+    #[test]
+    fn release_removes_both_directions() {
+        let mut t = ObjectTracker::new();
+        t.associate(0x3000, "ring", 0x8000_0000);
+        assert_eq!(t.release_local(0x8000_0000), Some(0x3000));
+        assert_eq!(t.lookup(0x3000, "ring"), None);
+        assert_eq!(t.canonical_for(0x8000_0000), None);
+        assert!(t.is_empty());
+        assert_eq!(t.stats().releases, 1);
+    }
+
+    #[test]
+    fn release_remote_by_type() {
+        let mut t = ObjectTracker::new();
+        t.associate(0x2000, "outer", 0x8000_0000);
+        t.associate(0x2000, "inner", 0x8000_0100);
+        assert_eq!(t.release_remote(0x2000, "outer"), Some(0x8000_0000));
+        assert_eq!(t.lookup(0x2000, "inner"), Some(0x8000_0100));
+        assert_eq!(t.len(), 1);
+    }
+}

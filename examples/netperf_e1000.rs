@@ -1,0 +1,55 @@
+//! netperf on the E1000, native vs decaf — the Table 3 experiment for
+//! one driver, end to end.
+//!
+//! Run with: `cargo run --release --example netperf_e1000`
+
+use decaf_core::drivers::workloads;
+use decaf_core::simkernel::Kernel;
+
+fn main() {
+    let seconds = 3;
+    let pps = 4_000;
+    let pkt = 1_500;
+
+    // Native baseline.
+    let kn = Kernel::new();
+    let native = decaf_core::drivers::e1000::native::install(&kn, "eth0").expect("native");
+    kn.netdev_open("eth0").expect("open");
+    kn.schedule_point();
+    let n = workloads::netperf_send(&kn, "eth0", seconds, pps, pkt).expect("netperf");
+
+    // Decaf build.
+    let kd = Kernel::new();
+    let decaf = decaf_core::drivers::e1000::decaf::install(&kd, "eth0").expect("decaf");
+    kd.netdev_open("eth0").expect("open");
+    kd.schedule_point();
+    let init_crossings = decaf.crossings();
+    let d = workloads::netperf_send(&kd, "eth0", seconds, pps, pkt).expect("netperf");
+
+    println!("E1000 netperf-send ({seconds} virtual s, {pps} pps, {pkt} B)");
+    println!("                      native      decaf");
+    println!(
+        "throughput (Mb/s)   {:8.1}   {:8.1}",
+        n.throughput_mbps(),
+        d.throughput_mbps()
+    );
+    println!(
+        "CPU utilization     {:7.1}%   {:7.1}%",
+        n.cpu_util * 100.0,
+        d.cpu_util * 100.0
+    );
+    println!(
+        "init latency (ms)   {:8.3}   {:8.3}",
+        native.init_latency_ns as f64 / 1e6,
+        decaf.init_latency_ns as f64 / 1e6
+    );
+    println!("init crossings             -   {init_crossings:8}");
+    println!(
+        "relative perf       {:8.3}   (paper: 0.99-1.00)",
+        d.throughput_mbps() / n.throughput_mbps()
+    );
+    println!(
+        "watchdog upcalls during run: {} (one per 2 s)",
+        decaf.crossings() - init_crossings
+    );
+}

@@ -1,0 +1,33 @@
+//! MP3-style playback through the decaf ens1371: the decaf driver is
+//! invoked only at stream start and end (paper §4.2: 15 calls).
+//!
+//! Run with: `cargo run --example sound_playback`
+
+use decaf_core::drivers::workloads;
+use decaf_core::simkernel::Kernel;
+
+fn main() {
+    let kernel = Kernel::new();
+    let drv = decaf_core::drivers::ens1371::install_decaf(&kernel, "card0").expect("install");
+    println!("insmod crossings            : {}", drv.crossings());
+
+    let before = drv.crossings();
+    let stats = workloads::mpg123(&kernel, "card0", 3).expect("playback");
+    let during = drv.crossings() - before;
+
+    println!("frames played               : {}", stats.ops);
+    println!(
+        "virtual time                : {:.2} s",
+        stats.elapsed_ns as f64 / 1e9
+    );
+    println!(
+        "CPU utilization             : {:.2}% (paper: ~0%)",
+        stats.cpu_util * 100.0
+    );
+    println!("decaf calls during playback : {during} (open/close only; paper: 15)");
+    println!(
+        "DAC frames consumed         : {}",
+        drv.dev.borrow().frames_played()
+    );
+    assert!(kernel.violations().is_empty());
+}

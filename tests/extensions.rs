@@ -1,0 +1,255 @@
+//! Tests for the paper's secondary mechanisms: incremental conversion
+//! through the driver library (§5.3), the sound-core locking change
+//! (§3.1.3), the GC-finalizer analogue (§5.1), UDP small-packet behaviour
+//! (§4.2), and DriverSlicer invariants across all five drivers.
+
+use std::rc::Rc;
+
+use decaf_core::drivers::DriverKind;
+use decaf_core::simkernel::sound::SoundLockMode;
+use decaf_core::simkernel::{Kernel, ViolationKind};
+use decaf_core::slicer::callgraph::CallGraph;
+use decaf_core::slicer::{parse, slice, SliceConfig};
+use decaf_core::xdr::mask::Direction;
+use decaf_core::xdr::XdrValue;
+use decaf_core::xpc::{ChannelConfig, Domain, ProcDef, SharedObject, XpcChannel};
+
+/// §5.3: "when migrating code to Java, it is convenient to move one
+/// function at a time and then test the system" — the same entry point
+/// can execute as user-level C (driver library) first, then as managed
+/// code (decaf driver), with identical observable behaviour.
+#[test]
+fn incremental_conversion_library_then_decaf() {
+    let spec = decaf_core::xdr::XdrSpec::parse("struct st { int calls; int value; };").unwrap();
+    let run = |target: Domain| -> (i32, i32) {
+        let kernel = Kernel::new();
+        let ch = Rc::new(XpcChannel::new(
+            spec.clone(),
+            decaf_core::xdr::mask::MaskSet::full(),
+            // Library staging: same process, still C → no cross-language
+            // conversion cost; Decaf: full configuration.
+            if target == Domain::Library {
+                ChannelConfig {
+                    domain_crossing: true,
+                    cross_language: false,
+                    transport: decaf_core::xpc::Transport::InProc,
+                }
+            } else {
+                ChannelConfig::kernel_user()
+            },
+            Domain::Nucleus,
+            target,
+        ));
+        // The *same logic*, registered at whichever user-level domain is
+        // hosting it during the migration.
+        ch.register_proc(
+            target,
+            ProcDef {
+                name: "configure".into(),
+                arg_types: vec!["st".into()],
+                handler: Rc::new(move |_, ch, args, scalars| {
+                    let obj = args[0].unwrap();
+                    let heap = ch.heap(target);
+                    let mut h = heap.borrow_mut();
+                    let calls = h.scalar(obj, "calls").unwrap().as_int().unwrap();
+                    h.set_scalar(obj, "calls", XdrValue::Int(calls + 1))
+                        .unwrap();
+                    h.set_scalar(
+                        obj,
+                        "value",
+                        XdrValue::Int(scalars[0].as_int().unwrap() * 2),
+                    )
+                    .unwrap();
+                    XdrValue::Int(0)
+                }),
+            },
+        )
+        .unwrap();
+        let obj = ch.alloc_shared(Domain::Nucleus, "st").unwrap();
+        ch.call(
+            &kernel,
+            Domain::Nucleus,
+            "configure",
+            &[Some(obj)],
+            &[XdrValue::Int(21)],
+        )
+        .unwrap();
+        let heap = ch.heap(Domain::Nucleus);
+        let h = heap.borrow();
+        (
+            h.scalar(obj, "calls").unwrap().as_int().unwrap(),
+            h.scalar(obj, "value").unwrap().as_int().unwrap(),
+        )
+    };
+    // "eliminate any new bugs in our Java implementation by comparing its
+    // behavior to that of the original C code".
+    let c_version = run(Domain::Library);
+    let managed_version = run(Domain::Decaf);
+    assert_eq!(c_version, managed_version);
+    assert_eq!(c_version, (1, 42));
+}
+
+/// §3.1.3: with the *original* spinlock-holding sound core, invoking a
+/// blocking decaf driver records a violation; with the paper's
+/// mutex-based core it is clean. This is why they modified the kernel.
+#[test]
+fn sound_core_spinlock_ablation() {
+    for (mode, expect_violation) in [
+        (SoundLockMode::Mutex, false),
+        (SoundLockMode::Spinlock, true),
+    ] {
+        let k = Kernel::new();
+        let _drv = decaf_core::drivers::ens1371::install_decaf(&k, "card0").unwrap();
+        k.snd_set_lock_mode("card0", mode).unwrap();
+        k.clear_violations();
+        let _ = k.snd_pcm_open("card0");
+        let has_violation = k.violations().iter().any(|v| {
+            matches!(
+                v.kind,
+                ViolationKind::BlockingInAtomic | ViolationKind::UpcallInAtomic
+            )
+        });
+        assert_eq!(
+            has_violation,
+            expect_violation,
+            "mode {mode:?}: violations {:?}",
+            k.violations()
+        );
+        let _ = k.snd_pcm_close("card0");
+    }
+}
+
+/// §4.2: E1000 UDP with 1-byte messages — throughput parity with native,
+/// the decaf build works at the smallest packet sizes too.
+#[test]
+fn e1000_udp_one_byte_messages() {
+    let run = |decaf: bool| {
+        let k = Kernel::new();
+        if decaf {
+            let _ = decaf_core::drivers::e1000::decaf::install(&k, "eth0").unwrap();
+        } else {
+            let _ = decaf_core::drivers::e1000::native::install(&k, "eth0").unwrap();
+        }
+        k.netdev_open("eth0").unwrap();
+        k.schedule_point();
+        decaf_core::drivers::workloads::netperf_send(&k, "eth0", 1, 2_000, 1).unwrap()
+    };
+    let native = run(false);
+    let decaf = run(true);
+    assert_eq!(native.ops, decaf.ops, "same packet count");
+    let ratio = decaf.ops as f64 / native.ops as f64;
+    assert!((0.99..=1.01).contains(&ratio));
+    // CPU is "slightly higher" for decaf in the paper: allow equal or a
+    // bit above, never lower by more than noise.
+    assert!(decaf.cpu_util >= native.cpu_util * 0.95);
+}
+
+/// Partition invariants that must hold for every driver source:
+/// completeness, closure of the kernel set, masks referring to real
+/// fields, and entry points living in the user partition.
+#[test]
+fn slicer_invariants_hold_for_all_drivers() {
+    for kind in DriverKind::all() {
+        let program = parse::parse(kind.minic_source()).unwrap();
+        let plan = slice(kind.minic_source(), &SliceConfig::default()).unwrap();
+
+        // Completeness: every function is placed exactly once.
+        let placed = plan.kernel_fns.len() + plan.library_fns.len() + plan.decaf_fns.len();
+        assert_eq!(placed, program.functions.len(), "{}", kind.name());
+
+        // Closure: a kernel function never calls a user function except
+        // through an upcall entry point.
+        let graph = CallGraph::build(&program);
+        let user: std::collections::HashSet<_> = plan.user_fns.iter().map(String::as_str).collect();
+        let entry: std::collections::HashSet<_> = plan
+            .user_entry_points
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect();
+        for kfn in &plan.kernel_fns {
+            for callee in graph.calls.get(kfn).into_iter().flatten() {
+                if user.contains(callee.as_str()) {
+                    assert!(
+                        entry.contains(callee.as_str()),
+                        "{}: kernel `{kfn}` calls user `{callee}` without an entry point",
+                        kind.name()
+                    );
+                }
+            }
+        }
+
+        // Masks only name fields that exist in their structs.
+        for s in &plan.boundary_structs {
+            if let Some(mask) = plan.masks.mask(s) {
+                let def = program.find_struct(s).unwrap();
+                for (field, _) in mask.iter() {
+                    assert!(
+                        def.fields.iter().any(|f| f.name == field),
+                        "{}: mask field `{s}.{field}` does not exist",
+                        kind.name()
+                    );
+                }
+            }
+        }
+
+        // Upcall entry points are user functions; downcall entry points
+        // are kernel functions.
+        for ep in &plan.user_entry_points {
+            assert!(
+                user.contains(ep.name.as_str()),
+                "{}: {}",
+                kind.name(),
+                ep.name
+            );
+        }
+        for ep in &plan.kernel_entry_points {
+            assert!(
+                plan.kernel_fns.contains(&ep.name),
+                "{}: {}",
+                kind.name(),
+                ep.name
+            );
+        }
+    }
+}
+
+/// The masks of every driver spec transfer at least one field in each
+/// direction (otherwise the split driver could not communicate results).
+#[test]
+fn every_driver_has_bidirectional_masks() {
+    for kind in DriverKind::all() {
+        let plan = slice(kind.minic_source(), &SliceConfig::default()).unwrap();
+        let program = parse::parse(kind.minic_source()).unwrap();
+        let mut any_in = false;
+        let mut any_out = false;
+        for s in &plan.boundary_structs {
+            let def = program.find_struct(s).unwrap();
+            for f in &def.fields {
+                any_in |= plan.masks.includes(s, &f.name, Direction::In);
+                any_out |= plan.masks.includes(s, &f.name, Direction::Out);
+            }
+        }
+        assert!(any_in, "{}: nothing crosses inward", kind.name());
+        assert!(any_out, "{}: nothing crosses outward", kind.name());
+    }
+}
+
+/// SharedObject guards compose with real driver channels: allocating a
+/// scratch object for a one-off diagnostic call and dropping it leaks
+/// nothing.
+#[test]
+fn shared_object_guard_with_real_driver() {
+    let k = Kernel::new();
+    let drv = decaf_core::drivers::e1000::decaf::install(&k, "eth0").unwrap();
+    let before = drv.channel.heap(Domain::Nucleus).borrow().len();
+    {
+        let scratch =
+            SharedObject::new(Rc::clone(&drv.channel), Domain::Nucleus, "e1000_tx_ring").unwrap();
+        assert!(drv
+            .channel
+            .heap(Domain::Nucleus)
+            .borrow()
+            .contains(scratch.addr()));
+    }
+    assert_eq!(drv.channel.heap(Domain::Nucleus).borrow().len(), before);
+}
