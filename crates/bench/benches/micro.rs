@@ -12,7 +12,7 @@ use decaf_core::simkernel::Kernel;
 use decaf_core::xdr::graph::{self, NullTracker, ObjHeap};
 use decaf_core::xdr::mask::{Access, Direction, FieldMask, MaskSet};
 use decaf_core::xdr::{codec, XdrSpec, XdrType, XdrValue};
-use decaf_core::xpc::{ChannelConfig, Combolock, Domain, ProcDef, Transport, XpcChannel};
+use decaf_core::xpc::{ChannelConfig, Combolock, Domain, ProcDef, TransportKind, XpcChannel};
 
 fn adapter_spec() -> XdrSpec {
     XdrSpec::parse(
@@ -119,7 +119,8 @@ fn bench_xpc_call(c: &mut Criterion) {
     let (kernel, ch, a) = channel(ChannelConfig {
         domain_crossing: true,
         cross_language: true,
-        transport: Transport::InProc,
+        transport: TransportKind::InProc,
+        delta: false,
     });
     c.bench_function("xpc/roundtrip_inproc", |b| {
         b.iter(|| {
@@ -130,7 +131,8 @@ fn bench_xpc_call(c: &mut Criterion) {
     let (kernel, ch, a) = channel(ChannelConfig {
         domain_crossing: true,
         cross_language: true,
-        transport: Transport::Threaded,
+        transport: TransportKind::Threaded,
+        delta: false,
     });
     c.bench_function("xpc/roundtrip_threaded_model", |b| {
         b.iter(|| {
@@ -142,7 +144,8 @@ fn bench_xpc_call(c: &mut Criterion) {
     let (kernel, ch, a) = channel(ChannelConfig {
         domain_crossing: true,
         cross_language: false,
-        transport: Transport::InProc,
+        transport: TransportKind::InProc,
+        delta: false,
     });
     c.bench_function("xpc/roundtrip_no_crosslang", |b| {
         b.iter(|| {
@@ -150,6 +153,18 @@ fn bench_xpc_call(c: &mut Criterion) {
                 .unwrap()
         })
     });
+}
+
+fn bench_transport_ablation(c: &mut Criterion) {
+    // Ablation: mask-only vs mask+delta vs mask+delta+batch on the
+    // repeated-configuration workload (the decaf control-path shape).
+    // Each iteration runs the full deterministic sequence, so wall time
+    // tracks the simulated marshal + dispatch work each layer removes.
+    for (label, config) in decaf_core::experiments::transport_ablation_configs() {
+        c.bench_function(&format!("xpc/repeat_config[{label}]"), |b| {
+            b.iter(|| decaf_core::experiments::repeated_config_run(config, 10))
+        });
+    }
 }
 
 fn bench_combolock(c: &mut Criterion) {
@@ -180,6 +195,7 @@ criterion_group!(
     bench_xdr_codec,
     bench_graph_marshal,
     bench_xpc_call,
+    bench_transport_ablation,
     bench_combolock,
     bench_slicer
 );

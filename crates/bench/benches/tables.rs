@@ -7,6 +7,7 @@ fn main() {
     table1();
     table2();
     table3();
+    transport_ablation();
     table4();
 }
 
@@ -77,7 +78,7 @@ fn table3() {
     println!("Table 3: Performance of Decaf Drivers on common workloads");
     println!("==================================================================");
     println!(
-        "{:<10} {:<15} {:>8} | {:>7} {:>7} | {:>9} {:>9} | {:>9} | {:>6}",
+        "{:<10} {:<15} {:>8} | {:>7} {:>7} | {:>9} {:>9} | {:>9} {:>8} {:>7} | {:>6}",
         "Driver",
         "Workload",
         "RelPerf",
@@ -86,11 +87,13 @@ fn table3() {
         "Init n.",
         "Init d.",
         "Crossings",
+        "InBytes",
+        "Batched",
         "Invoc"
     );
     for row in experiments::table3() {
         println!(
-            "{:<10} {:<15} {:>8.3} | {:>6.1}% {:>6.1}% | {:>7.3}ms {:>7.3}ms | {:>9} | {:>6}",
+            "{:<10} {:<15} {:>8.3} | {:>6.1}% {:>6.1}% | {:>7.3}ms {:>7.3}ms | {:>9} {:>8} {:>7} | {:>6}",
             row.driver,
             row.workload,
             row.relative_perf,
@@ -99,6 +102,8 @@ fn table3() {
             row.init_native_s * 1e3,
             row.init_decaf_s * 1e3,
             row.init_crossings,
+            row.init_bytes_in,
+            row.init_batched_calls,
             row.workload_invocations,
         );
     }
@@ -106,7 +111,36 @@ fn table3() {
         "(paper: relative performance 0.99-1.03, CPU within a point or two,\n\
          decaf init several times slower, crossings 24-237 per driver;\n\
          init latencies here are virtual-time and reflect crossing+marshal\n\
-         overhead, not JVM start-up — see EXPERIMENTS.md)"
+         overhead, not JVM start-up — see EXPERIMENTS.md. InBytes/Batched\n\
+         show the batched transport + delta marshaling at work during init)"
+    );
+}
+
+fn transport_ablation() {
+    println!("\n==================================================================");
+    println!("Transport ablation: the same repeated-configuration sequence");
+    println!("==================================================================");
+    println!(
+        "{:<24} {:>6} {:>6} {:>8} {:>8} | {:>7} {:>7} {:>7} | {:>10}",
+        "Configuration", "RT", "1-way", "B.in", "B.out", "Flush", "Batch", "Elided", "Virt. µs"
+    );
+    for row in experiments::transport_ablation() {
+        println!(
+            "{:<24} {:>6} {:>6} {:>8} {:>8} | {:>7} {:>7} {:>7} | {:>10.1}",
+            row.label,
+            row.round_trips,
+            row.one_way_crossings,
+            row.bytes_in,
+            row.bytes_out,
+            row.flushes,
+            row.batched_calls,
+            row.delta_fields_elided,
+            row.virtual_ns as f64 / 1e3,
+        );
+    }
+    println!(
+        "(each layer stacks on field-selective masks: delta cuts bytes,\n\
+         batching cuts crossings — see DESIGN.md's ablation matrix)"
     );
 }
 

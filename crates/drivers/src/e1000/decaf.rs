@@ -398,8 +398,10 @@ fn register_decaf_handlers(channel: &Rc<XpcChannel>) -> decaf_xpc::XpcResult<()>
                         .and_then(|v| v.as_uint())
                         .unwrap_or(0)
                 };
+                // PHY writes are posted: defer them so a whole DSP
+                // programming sequence crosses in one batched flush.
                 let phy_write = |k: &Kernel, reg: u32, val: u32| {
-                    let _ = ch.call(
+                    let _ = ch.call_deferred(
                         k,
                         Domain::Decaf,
                         "phy_write",
@@ -463,7 +465,7 @@ fn register_decaf_handlers(channel: &Rc<XpcChannel>) -> decaf_xpc::XpcResult<()>
                 }
                 // Power up the PHY and start the data path.
                 let _ = ch.call(k, Domain::Decaf, "phy_read", &[], &[XdrValue::UInt(0)]);
-                let _ = ch.call(
+                let _ = ch.call_deferred(
                     k,
                     Domain::Decaf,
                     "phy_write",

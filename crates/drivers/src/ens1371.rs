@@ -385,9 +385,10 @@ pub fn install_decaf(kernel: &Kernel, card: &str) -> KResult<DecafEns> {
                         let _ = h.set_scalar(chip, "volume_left", XdrValue::Int(10));
                         let _ = h.set_scalar(chip, "volume_right", XdrValue::Int(10));
                     }
-                    // 1371 mixer: three codec writes.
+                    // 1371 mixer: three codec writes, posted — the batch
+                    // crosses once when the card-register downcall flushes.
                     for (reg, val) in [(2u32, 0x0a0a_u32), (24, 0x0a0a), (26, 0x0a0a)] {
-                        let _ = ch.call(
+                        let _ = ch.call_deferred(
                             k,
                             Domain::Decaf,
                             "codec_write",
@@ -438,8 +439,9 @@ pub fn install_decaf(kernel: &Kernel, card: &str) -> KResult<DecafEns> {
                         return XdrValue::Int(-22);
                     };
                     decaf_writel(k, ch, hwreg::CTRL, 0);
-                    // Power down the codec.
-                    let _ = ch.call(
+                    // Power down the codec (posted, batched with the
+                    // control-register write above).
+                    let _ = ch.call_deferred(
                         k,
                         Domain::Decaf,
                         "codec_write",
@@ -473,7 +475,7 @@ pub fn install_decaf(kernel: &Kernel, card: &str) -> KResult<DecafEns> {
                         let _ = h.set_scalar(chip, "volume_left", XdrValue::Int(left));
                         let _ = h.set_scalar(chip, "volume_right", XdrValue::Int(right));
                     }
-                    let _ = ch.call(
+                    let _ = ch.call_deferred(
                         k,
                         Domain::Decaf,
                         "codec_write",

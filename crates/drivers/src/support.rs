@@ -9,11 +9,25 @@ use decaf_xpc::{ChannelConfig, Domain, ProcDef, XpcChannel, XpcResult};
 /// Builds an [`XpcChannel`] between nucleus and decaf driver from a
 /// DriverSlicer plan — the spec and masks are exactly what the slicer
 /// generated from the driver's mini-C source.
+///
+/// All five decaf driver builds route their configuration/control paths
+/// through the batched transport with delta marshaling: register writes
+/// defer into the transport queue and flush in one crossing, and a shared
+/// structure that crosses repeatedly marshals only its dirty fields.
 pub fn channel_from_plan(plan: &decaf_slicer::SlicePlan) -> Rc<XpcChannel> {
+    channel_from_plan_with(plan, ChannelConfig::kernel_user_batched())
+}
+
+/// Like [`channel_from_plan`] with an explicit configuration — used by
+/// the transport ablation to rebuild the seed per-call `InProc` path.
+pub fn channel_from_plan_with(
+    plan: &decaf_slicer::SlicePlan,
+    config: ChannelConfig,
+) -> Rc<XpcChannel> {
     Rc::new(XpcChannel::new(
         plan.spec.clone(),
         plan.masks.clone(),
-        ChannelConfig::kernel_user(),
+        config,
         Domain::Nucleus,
         Domain::Decaf,
     ))
@@ -69,8 +83,14 @@ pub fn decaf_readl(kernel: &Kernel, ch: &XpcChannel, off: u64) -> u32 {
 }
 
 /// Writes a register through the channel from the decaf side (downcall).
+///
+/// Register writes are posted — nothing reads their result — so they go
+/// through [`XpcChannel::call_deferred`]: on a batched transport they park
+/// in the queue and cross with the next flush (any subsequent synchronous
+/// call, e.g. a register *read*, flushes first, preserving device-visible
+/// ordering); on other transports they execute immediately.
 pub fn decaf_writel(kernel: &Kernel, ch: &XpcChannel, off: u64, val: u32) {
-    let _ = ch.call(
+    let _ = ch.call_deferred(
         kernel,
         Domain::Decaf,
         "writel",

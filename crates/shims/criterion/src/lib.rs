@@ -1,0 +1,88 @@
+//! Offline shim of the `criterion` benchmark harness.
+//!
+//! The container this repo builds in has no network access to crates.io,
+//! so this crate provides the small API subset our benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple wall-clock
+//! measurement loop instead of criterion's statistical machinery. Swap the
+//! workspace `criterion` path dependency for the registry crate to get the
+//! real harness; no bench source changes are required.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_TIME: Duration = Duration::from_millis(200);
+/// Iteration cap so pathological benches terminate.
+const MAX_ITERS: u64 = 1_000_000;
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// One benchmark's measurement state.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly until the time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_TIME && self.iters < MAX_ITERS {
+            let t = Instant::now();
+            black_box(f());
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_nanos() as f64 / b.iters as f64
+        };
+        println!("{name:<44} {:>12.1} ns/iter ({} iters)", mean_ns, b.iters);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,95 @@
+//! Offline shim of the `proptest` property-testing framework.
+//!
+//! The build container has no network access, so this crate implements the
+//! API subset our property tests use: `any::<T>()` for primitives, the
+//! `Strategy` combinators (`prop_map`, `prop_flat_map`, `prop_recursive`,
+//! `boxed`), `prop_oneof!`, `collection::vec`, `option::of`, `Just`,
+//! char-class string strategies (`"[a-z]{0,20}"`), tuple and range
+//! strategies, and the `proptest!`/`prop_assert*` macros.
+//!
+//! Semantics: each `proptest!` test runs a fixed number of cases with a
+//! deterministic seeded RNG (SplitMix64). There is **no shrinking**: a
+//! failing case panics with the assertion message directly. Swapping the
+//! workspace `proptest` path dependency for the registry crate restores
+//! full shrinking behaviour without source changes.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// A strategy producing `None` about a quarter of the time and
+    /// `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Everything a test file normally imports.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// The number of cases each `proptest!` test executes.
+pub const CASES: u64 = 64;
+
+/// Runs a block for [`CASES`] deterministic cases. Used via [`proptest!`].
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::CASES {
+                    let mut __rng = $crate::test_runner::TestRng::seeded(
+                        0xDECAF ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    );
+                    $(let $pat = $crate::strategy::Strategy::gen_value(&$strat, &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking: plain panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property (no shrinking: plain panic).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Chooses uniformly among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,44 @@
+//! Deterministic RNG driving case generation.
+
+/// A SplitMix64 generator: deterministic, seedable, two lines of state.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator.
+    pub fn seeded(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 for an empty bound.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        self.next_u64() % bound
+    }
+
+    /// Uniform usize in `[lo, hi)`; `lo` when the range is empty.
+    pub fn in_range(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// A uniformly random bool.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}

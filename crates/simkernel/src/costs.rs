@@ -35,3 +35,13 @@ pub const MARSHAL_BYTE_NS: u64 = 6;
 /// conversion: the extra unmarshal-in-C + remarshal-in-Java step the paper
 /// identifies as its main initialization cost (§4.2).
 pub const CROSS_LANGUAGE_OBJECT_NS: u64 = 25_000;
+/// Appending one deferred call to a batched transport's shared ring
+/// (a couple of cache-line writes, no crossing).
+pub const BATCH_ENQUEUE_NS: u64 = 40;
+/// The doorbell write that triggers a batched flush — charged once per
+/// crossing on a batched transport, taking the §2.3 thread-reuse
+/// optimization one step further: many calls, one doorbell.
+pub const BATCH_DOORBELL_NS: u64 = 250;
+/// Per-object generation-counter bookkeeping when delta marshaling
+/// decides which fields to elide.
+pub const DELTA_TRACK_NS: u64 = 60;

@@ -64,6 +64,9 @@ pub enum XdrError {
     DanglingAddr(u64),
     /// A back-reference index did not name a previously decoded object.
     BadBackRef(u32),
+    /// A delta-encoded object arrived for which the receiver holds no
+    /// prior state (it was released or the end was reset mid-stream).
+    DeltaForUnknown(u64),
     /// An enum value was not one of the declared members.
     InvalidEnumValue {
         /// Enum type name.
@@ -104,6 +107,12 @@ impl fmt::Display for XdrError {
             }
             XdrError::DanglingAddr(a) => write!(f, "dangling address {a:#x}"),
             XdrError::BadBackRef(i) => write!(f, "back-reference to unknown object #{i}"),
+            XdrError::DeltaForUnknown(a) => {
+                write!(
+                    f,
+                    "delta update for object {a:#x} with no local prior state"
+                )
+            }
             XdrError::InvalidEnumValue { type_name, value } => {
                 write!(f, "value {value} is not a member of enum `{type_name}`")
             }

@@ -15,6 +15,9 @@
 //! * pointers encode as a discriminant: `0` null, `1` inline object
 //!   (preceded by its source address for tracker association), `2`
 //!   back-reference to the n-th object of this message;
+//! * every inline object carries a mode word: `0` full (all masked
+//!   fields follow) or `1` delta (a dirty-field bitmap follows and only
+//!   the flagged fields are present — see [`DeltaHook`]);
 //! * [`marshal_args`] shares the seen-table across all parameters of one
 //!   call, so cross-parameter sharing transfers a structure once;
 //! * [`unmarshal_graph`] consults a [`TrackerHook`] before allocating.
@@ -71,10 +74,23 @@ impl StructObj {
 ///
 /// Addresses are opaque and never reused within a heap's lifetime, like
 /// kernel addresses during a driver's lifetime.
+///
+/// The heap also keeps **dirty-field generation counters**: a global
+/// generation is bumped on every mutation, and each field remembers the
+/// generation of its last write. Delta marshaling (see [`DeltaHook`])
+/// uses these to transfer only the fields written since an object last
+/// crossed a channel.
 #[derive(Debug, Clone, Default)]
 pub struct ObjHeap {
     objects: BTreeMap<CAddr, StructObj>,
     next_addr: CAddr,
+    /// Bumped on every mutating operation.
+    generation: u64,
+    /// Generation at which each object was allocated.
+    birth_gens: HashMap<CAddr, u64>,
+    /// Generation of the last tracked write, per field. Fields absent
+    /// here were last written at the object's birth generation.
+    field_gens: HashMap<CAddr, HashMap<String, u64>>,
 }
 
 impl ObjHeap {
@@ -86,6 +102,9 @@ impl ObjHeap {
         ObjHeap {
             objects: BTreeMap::new(),
             next_addr: base.max(1),
+            generation: 0,
+            birth_gens: HashMap::new(),
+            field_gens: HashMap::new(),
         }
     }
 
@@ -109,6 +128,8 @@ impl ObjHeap {
                 fields,
             },
         );
+        self.generation += 1;
+        self.birth_gens.insert(addr, self.generation);
         addr
     }
 
@@ -121,6 +142,8 @@ impl ObjHeap {
     /// Removes a structure (explicit free — the paper's drivers free shared
     /// objects explicitly; see §3.1.2).
     pub fn free(&mut self, addr: CAddr) -> Option<StructObj> {
+        self.birth_gens.remove(&addr);
+        self.field_gens.remove(&addr);
         self.objects.remove(&addr)
     }
 
@@ -130,10 +153,58 @@ impl ObjHeap {
     }
 
     /// Looks up a structure mutably.
+    ///
+    /// Because the caller may mutate any field through the returned
+    /// reference, every field of the object is conservatively marked
+    /// dirty. Prefer [`ObjHeap::set_scalar`]/[`ObjHeap::set_ptr`], which
+    /// track exactly one field.
     pub fn get_mut(&mut self, addr: CAddr) -> XdrResult<&mut StructObj> {
+        if let Some(obj) = self.objects.get(&addr) {
+            self.generation += 1;
+            let gens = self.field_gens.entry(addr).or_default();
+            for (name, _) in &obj.fields {
+                gens.insert(name.clone(), self.generation);
+            }
+        }
         self.objects
             .get_mut(&addr)
             .ok_or(XdrError::DanglingAddr(addr))
+    }
+
+    /// Looks up a structure mutably without touching dirty tracking.
+    /// Internal: used by the tracked setters and the quiet decode path.
+    fn get_mut_untracked(&mut self, addr: CAddr) -> XdrResult<&mut StructObj> {
+        self.objects
+            .get_mut(&addr)
+            .ok_or(XdrError::DanglingAddr(addr))
+    }
+
+    /// The current global write generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The generation at which `field` of `addr` was last written (the
+    /// object's allocation counts as a write of every field).
+    pub fn field_gen(&self, addr: CAddr, field: &str) -> u64 {
+        self.field_gens
+            .get(&addr)
+            .and_then(|m| m.get(field))
+            .copied()
+            .unwrap_or_else(|| self.birth_gens.get(&addr).copied().unwrap_or(0))
+    }
+
+    /// Whether `field` of `addr` was written after generation `since`.
+    pub fn dirty_since(&self, addr: CAddr, field: &str, since: u64) -> bool {
+        self.field_gen(addr, field) > since
+    }
+
+    fn mark_field_written(&mut self, addr: CAddr, field: &str) {
+        self.generation += 1;
+        self.field_gens
+            .entry(addr)
+            .or_default()
+            .insert(field.to_string(), self.generation);
     }
 
     /// Whether `addr` names a live object.
@@ -168,8 +239,17 @@ impl ObjHeap {
 
     /// Writes a scalar field.
     pub fn set_scalar(&mut self, addr: CAddr, field: &str, value: XdrValue) -> XdrResult<()> {
+        self.set_scalar_quiet(addr, field, value)?;
+        self.mark_field_written(addr, field);
+        Ok(())
+    }
+
+    /// Writes a scalar field without marking it dirty. Used when decoding
+    /// a transfer: the received value matches the sender's, so it must not
+    /// be echoed back by the next delta.
+    fn set_scalar_quiet(&mut self, addr: CAddr, field: &str, value: XdrValue) -> XdrResult<()> {
         let type_name = self.get(addr)?.type_name.clone();
-        match self.get_mut(addr)?.field_mut(field) {
+        match self.get_mut_untracked(addr)?.field_mut(field) {
             Some(FieldVal::Scalar(slot)) => {
                 *slot = value;
                 Ok(())
@@ -202,8 +282,15 @@ impl ObjHeap {
 
     /// Writes a pointer field.
     pub fn set_ptr(&mut self, addr: CAddr, field: &str, target: Option<CAddr>) -> XdrResult<()> {
+        self.set_ptr_quiet(addr, field, target)?;
+        self.mark_field_written(addr, field);
+        Ok(())
+    }
+
+    /// Writes a pointer field without marking it dirty (decode path).
+    fn set_ptr_quiet(&mut self, addr: CAddr, field: &str, target: Option<CAddr>) -> XdrResult<()> {
         let type_name = self.get(addr)?.type_name.clone();
-        match self.get_mut(addr)?.field_mut(field) {
+        match self.get_mut_untracked(addr)?.field_mut(field) {
             Some(FieldVal::Ptr(slot)) => {
                 *slot = target;
                 Ok(())
@@ -249,9 +336,54 @@ impl TrackerHook for NullTracker {
     fn associate(&mut self, _remote: CAddr, _type_name: &str, _local: CAddr) {}
 }
 
+/// Delta-marshaling consultation during encoding.
+///
+/// The sender keeps, per channel end and direction, the heap generation at
+/// which each local object last crossed. An object with a recorded
+/// generation is **delta-encoded**: only fields written since then are
+/// transferred (pointer fields are always walked, so dirtiness anywhere in
+/// the reachable subgraph still propagates). An object never sent before
+/// is encoded in full.
+pub trait DeltaHook {
+    /// The heap generation at which `local` was last sent in `dir`.
+    fn last_sent(&mut self, local: CAddr, dir: Direction) -> Option<u64>;
+    /// Records that `local` has now been sent at generation `gen`.
+    fn mark_sent(&mut self, local: CAddr, dir: Direction, gen: u64);
+}
+
+/// A hook that never deltas: every object encodes in full, nothing is
+/// remembered. This reproduces the paper's per-call re-marshaling.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoDelta;
+
+impl DeltaHook for NoDelta {
+    fn last_sent(&mut self, _local: CAddr, _dir: Direction) -> Option<u64> {
+        None
+    }
+    fn mark_sent(&mut self, _local: CAddr, _dir: Direction, _gen: u64) {}
+}
+
+/// Counters describing one delta-aware marshal.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Objects encoded in full (first transfer, or too many fields).
+    pub full_objects: u64,
+    /// Objects encoded as dirty-field deltas.
+    pub delta_objects: u64,
+    /// Masked scalar fields skipped because they were clean.
+    pub fields_elided: u64,
+}
+
 const PTR_NULL: u32 = 0;
 const PTR_INLINE: u32 = 1;
 const PTR_BACKREF: u32 = 2;
+
+/// Object-body encoding modes following the `PTR_INLINE` address.
+const ENC_FULL: u32 = 0;
+const ENC_DELTA: u32 = 1;
+/// Delta encoding carries a `u32` field bitmap, so types with more masked
+/// fields fall back to full encoding.
+const DELTA_MAX_FIELDS: usize = 32;
 
 /// Marshals a single rooted graph; equivalent to `marshal_args` with one
 /// argument.
@@ -295,74 +427,219 @@ pub fn marshal_args_translated(
     dir: Direction,
     translate: &dyn Fn(CAddr) -> CAddr,
 ) -> XdrResult<Vec<u8>> {
-    let mut out = Vec::new();
-    let mut seen: HashMap<CAddr, u32> = HashMap::new();
-    for root in roots {
-        encode_ptr(
-            heap, *root, spec, masks, dir, &mut seen, &mut out, translate,
-        )?;
-    }
-    Ok(out)
+    marshal_args_delta(heap, roots, spec, masks, dir, translate, &mut NoDelta)
+        .map(|(bytes, _)| bytes)
 }
 
+/// Like [`marshal_args_translated`], but consults `delta` so that objects
+/// the peer has already seen transfer only their dirty fields.
+///
+/// This is the second layer of traffic reduction: field-selective masks
+/// decide which fields *can* cross; the delta hook elides those that did
+/// not change since the object's last crossing.
 #[allow(clippy::too_many_arguments)]
-fn encode_ptr(
+pub fn marshal_args_delta(
     heap: &ObjHeap,
-    target: Option<CAddr>,
+    roots: &[Option<CAddr>],
     spec: &XdrSpec,
     masks: &MaskSet,
     dir: Direction,
-    seen: &mut HashMap<CAddr, u32>,
-    out: &mut Vec<u8>,
     translate: &dyn Fn(CAddr) -> CAddr,
-) -> XdrResult<()> {
-    match target {
-        None => {
-            out.extend_from_slice(&PTR_NULL.to_be_bytes());
-            Ok(())
-        }
-        Some(addr) => {
-            if let Some(&index) = seen.get(&addr) {
-                out.extend_from_slice(&PTR_BACKREF.to_be_bytes());
-                out.extend_from_slice(&index.to_be_bytes());
+    delta: &mut dyn DeltaHook,
+) -> XdrResult<(Vec<u8>, DeltaStats)> {
+    let mut out = Vec::new();
+    let mut seen: HashMap<CAddr, u32> = HashMap::new();
+    let mut stats = DeltaStats::default();
+    let mut enc = Encoder {
+        heap,
+        spec,
+        masks,
+        dir,
+        translate,
+        delta,
+        stats: &mut stats,
+        sent_gen: heap.generation(),
+        clean_memo: HashMap::new(),
+        sent: Vec::new(),
+    };
+    for root in roots {
+        enc.encode_ptr(*root, &mut seen, &mut out)?;
+    }
+    // Only now that the whole message encoded does the delta map advance:
+    // a mid-marshal error discards the wire, and recording sends for it
+    // would make every later delta silently elide fields the peer never
+    // received.
+    let Encoder {
+        delta,
+        sent,
+        sent_gen,
+        ..
+    } = enc;
+    for addr in sent {
+        delta.mark_sent(addr, dir, sent_gen);
+    }
+    Ok((out, stats))
+}
+
+/// Encoder state threaded through the graph walk.
+struct Encoder<'a> {
+    heap: &'a ObjHeap,
+    spec: &'a XdrSpec,
+    masks: &'a MaskSet,
+    dir: Direction,
+    translate: &'a dyn Fn(CAddr) -> CAddr,
+    delta: &'a mut dyn DeltaHook,
+    stats: &'a mut DeltaStats,
+    /// Generation recorded for every object sent in this marshal.
+    sent_gen: u64,
+    /// Dirty-reachability memo shared across the whole marshal: the heap
+    /// cannot change mid-marshal, and `mark_sent` only makes objects
+    /// cleaner, so a cached `false` is at worst conservative (the object
+    /// re-encodes as a cheap back-reference).
+    clean_memo: HashMap<CAddr, bool>,
+    /// Objects encoded by this marshal, committed to the delta hook only
+    /// after the whole message encodes successfully.
+    sent: Vec<CAddr>,
+}
+
+impl Encoder<'_> {
+    fn encode_ptr(
+        &mut self,
+        target: Option<CAddr>,
+        seen: &mut HashMap<CAddr, u32>,
+        out: &mut Vec<u8>,
+    ) -> XdrResult<()> {
+        let addr = match target {
+            None => {
+                out.extend_from_slice(&PTR_NULL.to_be_bytes());
                 return Ok(());
             }
-            out.extend_from_slice(&PTR_INLINE.to_be_bytes());
-            out.extend_from_slice(&translate(addr).to_be_bytes());
-            let index = seen.len() as u32;
-            seen.insert(addr, index);
-            let obj = heap.get(addr)?;
-            let decl = spec.struct_fields(&obj.type_name)?.to_vec();
-            for (fname, fty) in &decl {
-                if !masks.includes(&obj.type_name, fname, dir) {
-                    continue;
-                }
-                let fval = obj.field(fname).ok_or_else(|| XdrError::UnknownField {
-                    type_name: obj.type_name.clone(),
-                    field: fname.clone(),
-                })?;
-                match (fval, pointer_target(fty, spec)?) {
-                    (FieldVal::Ptr(p), Some(_)) => {
-                        encode_ptr(heap, *p, spec, masks, dir, seen, out, translate)?;
+            Some(addr) => addr,
+        };
+        if let Some(&index) = seen.get(&addr) {
+            out.extend_from_slice(&PTR_BACKREF.to_be_bytes());
+            out.extend_from_slice(&index.to_be_bytes());
+            return Ok(());
+        }
+        out.extend_from_slice(&PTR_INLINE.to_be_bytes());
+        out.extend_from_slice(&(self.translate)(addr).to_be_bytes());
+        let index = seen.len() as u32;
+        seen.insert(addr, index);
+        let obj = self.heap.get(addr)?;
+        let decl = self.spec.struct_fields(&obj.type_name)?.to_vec();
+        let masked: Vec<&(String, XdrType)> = decl
+            .iter()
+            .filter(|(fname, _)| self.masks.includes(&obj.type_name, fname, self.dir))
+            .collect();
+
+        let prior = self.delta.last_sent(addr, self.dir);
+        let as_delta = prior.is_some() && masked.len() <= DELTA_MAX_FIELDS;
+        self.sent.push(addr);
+
+        if as_delta {
+            let since = prior.unwrap_or(0);
+            self.stats.delta_objects += 1;
+            out.extend_from_slice(&ENC_DELTA.to_be_bytes());
+            // A scalar field is present when written since `since`; a
+            // pointer field when the pointer itself changed or anything
+            // reachable through it did (so nested dirtiness propagates
+            // while clean subgraphs cost nothing at all).
+            let mut bitmap = 0u32;
+            for (i, (fname, fty)) in masked.iter().enumerate() {
+                let is_ptr = pointer_target(fty, self.spec)?.is_some();
+                let present = if self.heap.dirty_since(addr, fname, since) {
+                    true
+                } else if is_ptr {
+                    match obj.field(fname) {
+                        Some(FieldVal::Ptr(Some(p))) => !self.subgraph_clean(*p)?,
+                        _ => false,
                     }
-                    (FieldVal::Ptr(_), None) => {
-                        return Err(XdrError::TypeMismatch {
-                            expected: fty.idl(),
-                            found: "pointer".into(),
-                        });
-                    }
-                    (FieldVal::Scalar(_), Some(target)) => {
-                        return Err(XdrError::TypeMismatch {
-                            expected: format!("pointer to {target}"),
-                            found: "scalar".into(),
-                        });
-                    }
-                    (FieldVal::Scalar(v), None) => {
-                        codec::encode_into(v, fty, spec, out)?;
-                    }
+                } else {
+                    false
+                };
+                if present {
+                    bitmap |= 1 << i;
+                } else {
+                    self.stats.fields_elided += 1;
                 }
             }
-            Ok(())
+            out.extend_from_slice(&bitmap.to_be_bytes());
+            for (i, (fname, fty)) in masked.iter().enumerate() {
+                if bitmap & (1 << i) != 0 {
+                    self.encode_field(obj, fname, fty, seen, out)?;
+                }
+            }
+        } else {
+            self.stats.full_objects += 1;
+            out.extend_from_slice(&ENC_FULL.to_be_bytes());
+            for (fname, fty) in &masked {
+                self.encode_field(obj, fname, fty, seen, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `addr` and everything reachable from it through masked
+    /// pointer fields is unchanged since its last transfer. Unsent
+    /// objects count as dirty; cycles are broken by treating in-progress
+    /// nodes as clean (a cycle alone cannot introduce dirtiness).
+    fn subgraph_clean(&mut self, addr: CAddr) -> XdrResult<bool> {
+        if let Some(&clean) = self.clean_memo.get(&addr) {
+            return Ok(clean);
+        }
+        // In-progress sentinel: assume clean to close cycles; overwritten
+        // with the real verdict as the walk unwinds.
+        self.clean_memo.insert(addr, true);
+        let since = match self.delta.last_sent(addr, self.dir) {
+            Some(g) => g,
+            None => {
+                self.clean_memo.insert(addr, false);
+                return Ok(false);
+            }
+        };
+        let obj = self.heap.get(addr)?;
+        let decl = self.spec.struct_fields(&obj.type_name)?.to_vec();
+        for (fname, _) in &decl {
+            if !self.masks.includes(&obj.type_name, fname, self.dir) {
+                continue;
+            }
+            if self.heap.dirty_since(addr, fname, since) {
+                self.clean_memo.insert(addr, false);
+                return Ok(false);
+            }
+            if let Some(FieldVal::Ptr(Some(p))) = obj.field(fname) {
+                if !self.subgraph_clean(*p)? {
+                    self.clean_memo.insert(addr, false);
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn encode_field(
+        &mut self,
+        obj: &StructObj,
+        fname: &str,
+        fty: &XdrType,
+        seen: &mut HashMap<CAddr, u32>,
+        out: &mut Vec<u8>,
+    ) -> XdrResult<()> {
+        let fval = obj.field(fname).ok_or_else(|| XdrError::UnknownField {
+            type_name: obj.type_name.clone(),
+            field: fname.into(),
+        })?;
+        match (fval, pointer_target(fty, self.spec)?) {
+            (FieldVal::Ptr(p), Some(_)) => self.encode_ptr(*p, seen, out),
+            (FieldVal::Ptr(_), None) => Err(XdrError::TypeMismatch {
+                expected: fty.idl(),
+                found: "pointer".into(),
+            }),
+            (FieldVal::Scalar(_), Some(target)) => Err(XdrError::TypeMismatch {
+                expected: format!("pointer to {target}"),
+                found: "scalar".into(),
+            }),
+            (FieldVal::Scalar(v), None) => codec::encode_into(v, fty, self.spec, out),
         }
     }
 }
@@ -441,6 +718,7 @@ fn decode_ptr(
             // our own coming home: update it in place. Otherwise consult
             // the object tracker before allocating (paper §3.1.2). Domain
             // heaps use disjoint address bases, so the home check is exact.
+            let mut fresh_alloc = false;
             let local = if heap.contains(remote) {
                 remote
             } else {
@@ -449,25 +727,44 @@ fn decode_ptr(
                     _ => {
                         let fresh = heap.alloc_default(type_name, spec)?;
                         tracker.associate(remote, type_name, fresh);
+                        fresh_alloc = true;
                         fresh
                     }
                 }
             };
             table.push(local);
+            let mode = cur.read_u32()?;
             let decl = spec.struct_fields(type_name)?.to_vec();
-            for (fname, fty) in &decl {
-                if !masks.includes(type_name, fname, dir) {
-                    continue;
+            let masked: Vec<&(String, XdrType)> = decl
+                .iter()
+                .filter(|(fname, _)| masks.includes(type_name, fname, dir))
+                .collect();
+            let bitmap = match mode {
+                ENC_FULL => u32::MAX,
+                ENC_DELTA => {
+                    if fresh_alloc {
+                        // A delta presumes we hold the object's prior
+                        // state; surfacing the desync beats silently
+                        // merging onto schema defaults.
+                        return Err(XdrError::DeltaForUnknown(remote));
+                    }
+                    cur.read_u32()?
+                }
+                d => return Err(XdrError::InvalidDiscriminant(d)),
+            };
+            for (i, (fname, fty)) in masked.iter().enumerate() {
+                if mode == ENC_DELTA && bitmap & (1 << i) == 0 {
+                    continue; // clean field: local copy is already current
                 }
                 match pointer_target(fty, spec)? {
                     Some(target_type) => {
                         let p =
                             decode_ptr(cur, &target_type, heap, spec, masks, dir, tracker, table)?;
-                        heap.set_ptr(local, fname, p)?;
+                        heap.set_ptr_quiet(local, fname, p)?;
                     }
                     None => {
                         let v = codec::decode_from(cur, fty, spec)?;
-                        heap.set_scalar(local, fname, v)?;
+                        heap.set_scalar_quiet(local, fname, v)?;
                     }
                 }
             }

@@ -58,7 +58,7 @@ pub mod spec;
 pub mod value;
 
 pub use error::{XdrError, XdrResult};
-pub use graph::{FieldVal, ObjHeap, StructObj, TrackerHook};
+pub use graph::{DeltaHook, DeltaStats, FieldVal, NoDelta, ObjHeap, StructObj, TrackerHook};
 pub use mask::{Access, FieldMask};
 pub use schema::XdrType;
 pub use spec::XdrSpec;

@@ -22,7 +22,7 @@ pub enum Access {
 }
 
 /// Transfer direction relative to the *target* domain of a call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Arguments travelling into the target domain (target will read).
     In,

@@ -1,7 +1,10 @@
-//! Property-based tests for the XDR codec and graph marshaler.
+//! Property-based tests for the XDR codec and graph marshaler,
+//! including convergence of dirty-field delta marshaling.
+
+use std::collections::HashMap;
 
 use decaf_xdr::codec;
-use decaf_xdr::graph::{self, FieldVal, NullTracker, ObjHeap};
+use decaf_xdr::graph::{self, CAddr, DeltaHook, FieldVal, NullTracker, ObjHeap, TrackerHook};
 use decaf_xdr::mask::{Direction, MaskSet};
 use decaf_xdr::schema::XdrType;
 use decaf_xdr::spec::XdrSpec;
@@ -170,5 +173,216 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+// ----------------------------------------------------- delta marshaling
+
+/// A random mutation applied to the source heap between delta transfers.
+#[derive(Debug, Clone)]
+enum WriteOp {
+    /// Overwrite node i's scalar `v`.
+    SetV(usize, i32),
+    /// Replace node i's variable array `xs` (possibly with an empty one).
+    SetXs(usize, Vec<i32>),
+    /// Rewire node i's `l` pointer to node j (or null).
+    SetL(usize, Option<usize>),
+    /// Rewire node i's `r` pointer to node j (or null).
+    SetR(usize, Option<usize>),
+}
+
+#[derive(Debug, Clone)]
+struct DeltaCase {
+    values: Vec<i32>,
+    edges: Vec<(Option<usize>, Option<usize>)>,
+    root: usize,
+    /// Rounds of writes; after each round the graph is delta-transferred
+    /// and the destination must equal the source.
+    rounds: Vec<Vec<WriteOp>>,
+}
+
+fn write_op(n: usize) -> BoxedStrategy<WriteOp> {
+    prop_oneof![
+        (0..n, any::<i32>()).prop_map(|(i, v)| WriteOp::SetV(i, v)),
+        (0..n, proptest::collection::vec(any::<i32>(), 0..4))
+            .prop_map(|(i, xs)| WriteOp::SetXs(i, xs)),
+        (0..n, proptest::option::of(0..n)).prop_map(|(i, j)| WriteOp::SetL(i, j)),
+        (0..n, proptest::option::of(0..n)).prop_map(|(i, j)| WriteOp::SetR(i, j)),
+    ]
+    .boxed()
+}
+
+fn delta_case() -> impl Strategy<Value = DeltaCase> {
+    (1usize..6).prop_flat_map(|n| {
+        let targets = proptest::option::of(0..n);
+        (
+            proptest::collection::vec(any::<i32>(), n),
+            proptest::collection::vec((targets.clone(), targets), n),
+            0..n,
+            proptest::collection::vec(proptest::collection::vec(write_op(n), 0..6), 1..5),
+        )
+            .prop_map(|(values, edges, root, rounds)| DeltaCase {
+                values,
+                edges,
+                root,
+                rounds,
+            })
+    })
+}
+
+fn delta_spec() -> XdrSpec {
+    XdrSpec::parse("struct dnode { int v; int xs<8>; struct dnode *l; struct dnode *r; };").unwrap()
+}
+
+/// The sender-side delta map, as the XPC channel keeps per end.
+#[derive(Default)]
+struct TestDelta(HashMap<(CAddr, Direction), u64>);
+
+impl DeltaHook for TestDelta {
+    fn last_sent(&mut self, local: CAddr, dir: Direction) -> Option<u64> {
+        self.0.get(&(local, dir)).copied()
+    }
+    fn mark_sent(&mut self, local: CAddr, dir: Direction, gen: u64) {
+        self.0.insert((local, dir), gen);
+    }
+}
+
+/// A persistent receiver-side tracker, as the XPC channel keeps per end.
+#[derive(Default)]
+struct TestTracker(HashMap<(CAddr, String), CAddr>);
+
+impl TrackerHook for TestTracker {
+    fn lookup(&mut self, remote: CAddr, type_name: &str) -> Option<CAddr> {
+        self.0.get(&(remote, type_name.to_string())).copied()
+    }
+    fn associate(&mut self, remote: CAddr, type_name: &str, local: CAddr) {
+        self.0.insert((remote, type_name.to_string()), local);
+    }
+}
+
+/// Parallel DFS asserting the destination's reachable subgraph equals the
+/// source's: same `v`, same `xs` (including emptiness), same pointer
+/// shape, consistent bijection (so cycles close identically).
+fn assert_graphs_equal(src: &ObjHeap, sroot: CAddr, dst: &ObjHeap, droot: CAddr) {
+    let mut mapping = HashMap::new();
+    let mut stack = vec![(sroot, droot)];
+    while let Some((s, d)) = stack.pop() {
+        match mapping.get(&s) {
+            Some(&prev) => {
+                assert_eq!(prev, d, "bijection must be consistent");
+                continue;
+            }
+            None => {
+                mapping.insert(s, d);
+            }
+        }
+        assert_eq!(src.scalar(s, "v").unwrap(), dst.scalar(d, "v").unwrap());
+        assert_eq!(src.scalar(s, "xs").unwrap(), dst.scalar(d, "xs").unwrap());
+        for field in ["l", "r"] {
+            let sp = src.ptr(s, field).unwrap();
+            let dp = dst.ptr(d, field).unwrap();
+            match (sp, dp) {
+                (None, None) => {}
+                (Some(sn), Some(dn)) => stack.push((sn, dn)),
+                _ => panic!("pointer shape differs on `{field}`"),
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Delta-decode(delta-encode(heap)) converges to full-state equality
+    /// across random write sequences — scalar overwrites, empty and
+    /// non-empty array replacements, and pointer rewirings that create
+    /// and break cycles.
+    #[test]
+    fn delta_transfers_converge_to_full_state(case in delta_case()) {
+        let spec = delta_spec();
+        let masks = MaskSet::full();
+        let mut src = ObjHeap::new();
+        let addrs: Vec<_> = case
+            .values
+            .iter()
+            .map(|v| {
+                src.alloc("dnode", vec![
+                    ("v".into(), FieldVal::Scalar(XdrValue::Int(*v))),
+                    ("xs".into(), FieldVal::Scalar(XdrValue::Array(Vec::new()))),
+                    ("l".into(), FieldVal::Ptr(None)),
+                    ("r".into(), FieldVal::Ptr(None)),
+                ])
+            })
+            .collect();
+        for (i, (l, r)) in case.edges.iter().enumerate() {
+            src.set_ptr(addrs[i], "l", l.map(|t| addrs[t])).unwrap();
+            src.set_ptr(addrs[i], "r", r.map(|t| addrs[t])).unwrap();
+        }
+        let root = addrs[case.root];
+
+        let mut dst = ObjHeap::with_base(0x7000_0000);
+        let mut delta = TestDelta::default();
+        let mut tracker = TestTracker::default();
+        let transfer = |src: &ObjHeap,
+                            dst: &mut ObjHeap,
+                            delta: &mut TestDelta,
+                            tracker: &mut TestTracker| {
+            let (bytes, _) = graph::marshal_args_delta(
+                src, &[Some(root)], &spec, &masks, Direction::In, &|a| a, delta,
+            )
+            .unwrap();
+            let roots = graph::unmarshal_args(
+                &bytes, &["dnode"], dst, &spec, &masks, Direction::In, tracker,
+            )
+            .unwrap();
+            (bytes.len(), roots[0].unwrap())
+        };
+
+        // Initial transfer is full; every later one is a delta.
+        let (first_len, droot) = transfer(&src, &mut dst, &mut delta, &mut tracker);
+        assert_graphs_equal(&src, root, &dst, droot);
+
+        for round in &case.rounds {
+            for op in round {
+                match op {
+                    WriteOp::SetV(i, v) => {
+                        src.set_scalar(addrs[*i], "v", XdrValue::Int(*v)).unwrap();
+                    }
+                    WriteOp::SetXs(i, xs) => {
+                        let arr = XdrValue::Array(xs.iter().map(|v| XdrValue::Int(*v)).collect());
+                        src.set_scalar(addrs[*i], "xs", arr).unwrap();
+                    }
+                    WriteOp::SetL(i, j) => {
+                        src.set_ptr(addrs[*i], "l", j.map(|t| addrs[t])).unwrap();
+                    }
+                    WriteOp::SetR(i, j) => {
+                        src.set_ptr(addrs[*i], "r", j.map(|t| addrs[t])).unwrap();
+                    }
+                }
+            }
+            let (len, droot) = transfer(&src, &mut dst, &mut delta, &mut tracker);
+            assert_graphs_equal(&src, root, &dst, droot);
+            // Against a full re-marshal of the *current* graph, a delta
+            // round costs at most the extra bitmap word per object.
+            let full_now = graph::marshal_args(
+                &src, &[Some(root)], &spec, &masks, Direction::In,
+            )
+            .unwrap()
+            .len();
+            prop_assert!(
+                len <= full_now + 4 * case.values.len(),
+                "delta round ({len} B) should not blow past a full re-marshal ({full_now} B)"
+            );
+        }
+
+        // A quiescent repeat transfers headers only and changes nothing.
+        let (quiet_len, droot) = transfer(&src, &mut dst, &mut delta, &mut tracker);
+        assert_graphs_equal(&src, root, &dst, droot);
+        let full_now = graph::marshal_args(&src, &[Some(root)], &spec, &masks, Direction::In)
+            .unwrap()
+            .len();
+        prop_assert!(
+            quiet_len < full_now,
+            "clean repeat ({quiet_len} B) must undercut a full re-marshal ({full_now} B)"
+        );
+        let _ = first_len;
     }
 }

@@ -1,18 +1,34 @@
-//! XPC channels: stubs, control transfer and object transfer.
+//! XPC channels: the stub layer over pluggable transports.
 //!
-//! An [`XpcChannel`] connects two domains. A call performs the six steps
-//! the paper's Jeannie stubs perform (§3.1.1, Figure 2):
+//! An [`XpcChannel`] connects two domains. It is split into two layers:
 //!
-//! 1. the caller invokes the stub (`XpcChannel::call`);
+//! * the **stub layer** (this module) performs the six steps the paper's
+//!   Jeannie stubs perform (§3.1.1, Figure 2) — tracker translation,
+//!   marshal, transfer, unmarshal, dispatch, out-parameter return;
+//! * the **[`Transport`]** (see [`crate::transport`]) decides how control
+//!   reaches the other side: thread reuse ([`TransportKind::InProc`]),
+//!   dedicated-thread handoff ([`TransportKind::Threaded`]), or deferred
+//!   batching ([`TransportKind::Batched`]).
+//!
+//! A call performs:
+//!
+//! 1. the caller invokes the stub (`XpcChannel::call`, or
+//!    `XpcChannel::call_deferred` for result-free calls);
 //! 2. the stub consults the object tracker to translate parameters to the
 //!    addresses the peer knows them by;
 //! 3. it marshals the parameters with the generated XDR routines
-//!    (field-selective, cycle-aware);
-//! 4. control transfers to the target domain (cost depends on the
+//!    (field-selective, cycle-aware, and — when `ChannelConfig::delta` is
+//!    on — dirty-field deltas for objects the peer has already seen);
+//! 4. control transfers to the target domain (cost priced by the
 //!    [`Transport`] and whether a protection boundary is crossed);
 //! 5. the target unmarshals, consulting *its* object tracker so existing
 //!    objects update in place, then the handler runs;
 //! 6. out-parameters marshal back and the caller's objects are updated.
+//!
+//! On a batched transport, deferred calls park in the transport's queue;
+//! the whole batch later crosses in a *single* round trip — its arguments
+//! share one seen-table (cross-call structure sharing) and the flush is
+//! charged one crossing, not one per call.
 //!
 //! A panic in a user-level handler is caught and surfaced as
 //! [`XpcError::DecafFault`]: the kernel side survives, as it would with a
@@ -24,24 +40,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
 use decaf_simkernel::{costs, Kernel, ViolationKind};
-use decaf_xdr::graph::{self, CAddr, ObjHeap};
+use decaf_xdr::graph::{self, CAddr, DeltaHook, NoDelta, ObjHeap};
 use decaf_xdr::mask::{Direction, MaskSet};
 use decaf_xdr::{XdrSpec, XdrValue};
 
 use crate::domain::Domain;
 use crate::error::{XpcError, XpcResult};
 use crate::tracker::{ObjectTracker, TrackerStats};
-
-/// How control transfers to the target domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Transport {
-    /// Reuse the calling thread (the optimization of paper §2.3 for
-    /// co-located domains).
-    InProc,
-    /// Hand off to a dedicated thread in the target domain; costs a
-    /// scheduler round trip each way.
-    Threaded,
-}
+use crate::transport::{self, DeferredCall, Transport, TransportKind};
 
 /// Static configuration of a channel.
 #[derive(Debug, Clone, Copy)]
@@ -54,17 +60,34 @@ pub struct ChannelConfig {
     /// identifies as the dominant initialization overhead (§4.2).
     pub cross_language: bool,
     /// Control-transfer mechanism.
-    pub transport: Transport,
+    pub transport: TransportKind,
+    /// Whether repeat transfers of an object marshal only fields written
+    /// since its last crossing (dirty-field delta marshaling).
+    pub delta: bool,
 }
 
 impl ChannelConfig {
     /// The kernel↔user configuration used between nucleus and decaf
-    /// driver in the paper's implementation.
+    /// driver in the paper's implementation: thread reuse, per-call
+    /// re-marshaling.
     pub fn kernel_user() -> Self {
         ChannelConfig {
             domain_crossing: true,
             cross_language: true,
-            transport: Transport::InProc,
+            transport: TransportKind::InProc,
+            delta: false,
+        }
+    }
+
+    /// The optimized kernel↔user configuration: batched transport plus
+    /// dirty-field delta marshaling. Used by the decaf driver builds for
+    /// their configuration/control paths.
+    pub fn kernel_user_batched() -> Self {
+        ChannelConfig {
+            domain_crossing: true,
+            cross_language: true,
+            transport: TransportKind::Batched,
+            delta: true,
         }
     }
 
@@ -73,7 +96,8 @@ impl ChannelConfig {
         ChannelConfig {
             domain_crossing: false,
             cross_language: true,
-            transport: Transport::InProc,
+            transport: TransportKind::InProc,
+            delta: false,
         }
     }
 }
@@ -82,7 +106,8 @@ impl ChannelConfig {
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ChannelStats {
     /// Completed call/return round trips (the paper's "User/Kernel
-    /// Crossings" column counts these).
+    /// Crossings" column counts these). A batched flush is one round
+    /// trip no matter how many calls it carries.
     pub round_trips: u64,
     /// One-way transfers (2× round trips unless a call faults).
     pub one_way_crossings: u64,
@@ -92,6 +117,18 @@ pub struct ChannelStats {
     pub bytes_out: u64,
     /// Handler panics caught.
     pub faults: u64,
+    /// Calls parked in the transport queue instead of crossing alone.
+    pub deferred_calls: u64,
+    /// Deferred calls executed by flushes.
+    pub batched_calls: u64,
+    /// Batched flushes performed (each cost one round trip).
+    pub flushes: u64,
+    /// Objects transferred in full (first crossing or wide structs).
+    pub full_objects: u64,
+    /// Objects transferred as dirty-field deltas.
+    pub delta_objects: u64,
+    /// Masked fields elided by delta marshaling.
+    pub delta_fields_elided: u64,
 }
 
 /// A procedure registered at one end of a channel.
@@ -109,11 +146,39 @@ pub struct ProcDef {
 /// scalars as XDR values; the scalar return value travels back.
 pub type ProcHandler = Rc<dyn Fn(&Kernel, &XpcChannel, &[Option<CAddr>], &[XdrValue]) -> XdrValue>;
 
+/// Sender-side delta state for one channel end: the heap generation at
+/// which each local object last crossed, per direction.
+#[derive(Debug, Default)]
+struct DeltaMap {
+    sent: HashMap<(CAddr, Direction), u64>,
+}
+
+impl DeltaMap {
+    fn clear(&mut self) {
+        self.sent.clear();
+    }
+
+    /// Forgets everything known about one local object.
+    fn forget(&mut self, local: CAddr) {
+        self.sent.retain(|(addr, _), _| *addr != local);
+    }
+}
+
+impl DeltaHook for DeltaMap {
+    fn last_sent(&mut self, local: CAddr, dir: Direction) -> Option<u64> {
+        self.sent.get(&(local, dir)).copied()
+    }
+    fn mark_sent(&mut self, local: CAddr, dir: Direction, gen: u64) {
+        self.sent.insert((local, dir), gen);
+    }
+}
+
 struct DomainEnd {
     domain: Domain,
     heap: Rc<RefCell<ObjHeap>>,
     tracker: RefCell<ObjectTracker>,
     procs: RefCell<HashMap<String, ProcDef>>,
+    delta: RefCell<DeltaMap>,
 }
 
 impl DomainEnd {
@@ -123,15 +188,17 @@ impl DomainEnd {
             heap: Rc::new(RefCell::new(ObjHeap::with_base(domain.heap_base()))),
             tracker: RefCell::new(ObjectTracker::new()),
             procs: RefCell::new(HashMap::new()),
+            delta: RefCell::new(DeltaMap::default()),
         }
     }
 }
 
-/// A two-ended XPC channel.
+/// A two-ended XPC channel: stub layer plus a pluggable transport.
 pub struct XpcChannel {
     spec: XdrSpec,
     masks: MaskSet,
     config: ChannelConfig,
+    transport: Box<dyn Transport>,
     a: DomainEnd,
     b: DomainEnd,
     stats: Cell<ChannelStats>,
@@ -146,10 +213,21 @@ impl XpcChannel {
             spec,
             masks,
             config,
+            transport: transport::build(config.transport),
             a: DomainEnd::new(a),
             b: DomainEnd::new(b),
             stats: Cell::new(ChannelStats::default()),
         }
+    }
+
+    /// The transport kind this channel crosses with.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.transport.kind()
+    }
+
+    /// Deferred calls currently parked in the transport queue.
+    pub fn pending_deferred(&self) -> usize {
+        self.transport.pending()
     }
 
     fn end(&self, domain: Domain) -> XpcResult<&DomainEnd> {
@@ -227,10 +305,30 @@ impl XpcChannel {
 
     /// Releases a shared object at one end: drops its tracker association
     /// and frees it from the heap (the explicit release of §3.1.2).
+    ///
+    /// Delta hygiene: the peer must not delta-encode against state this
+    /// end no longer holds, so the peer's delta entries for its copy of
+    /// the object are forgotten too.
     pub fn release_object(&self, domain: Domain, local: CAddr) -> XpcResult<()> {
         let e = self.end(domain)?;
-        e.tracker.borrow_mut().release_local(local);
+        let peer = self.peer(domain)?;
+        let canonical = e.tracker.borrow_mut().release_local(local);
         e.heap.borrow_mut().free(local);
+        e.delta.borrow_mut().forget(local);
+        match canonical {
+            // The object originated at the peer: its canonical address IS
+            // the peer's local address.
+            Some(remote) => peer.delta.borrow_mut().forget(remote),
+            // The object originated here: find the peer's copy through the
+            // peer's tracker (release is a rare, configuration-path event).
+            None => {
+                for (remote, _ty, peer_local) in peer.tracker.borrow().associations() {
+                    if remote == local {
+                        peer.delta.borrow_mut().forget(peer_local);
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -243,11 +341,16 @@ impl XpcChannel {
     }
 
     /// Clears one end's heap and tracker — the decaf-driver restart path
-    /// after a fault.
+    /// after a fault. Both ends' delta maps are cleared (neither side may
+    /// assume the other still holds prior state), and deferred calls
+    /// queued by the reset end are dropped.
     pub fn reset_end(&self, domain: Domain) -> XpcResult<()> {
         let e = self.end(domain)?;
         *e.heap.borrow_mut() = ObjHeap::with_base(e.domain.heap_base());
         *e.tracker.borrow_mut() = ObjectTracker::new();
+        e.delta.borrow_mut().clear();
+        self.peer(domain)?.delta.borrow_mut().clear();
+        self.transport.retain(&|c| c.from != domain);
         Ok(())
     }
 
@@ -260,20 +363,142 @@ impl XpcChannel {
     fn charge_transfer(&self, kernel: &Kernel, payer: Domain, bytes: usize) {
         self.bump(|s| s.one_way_crossings += 1);
         let class = payer.cpu_class();
-        if self.config.domain_crossing {
-            kernel.charge(class, costs::DOMAIN_CROSSING_NS);
-        }
-        if let Transport::Threaded = self.config.transport {
-            kernel.charge(class, costs::THREAD_HANDOFF_NS);
-        }
+        self.transport
+            .charge_crossing(kernel, class, self.config.domain_crossing);
         kernel.charge(class, bytes as u64 * costs::MARSHAL_BYTE_NS);
+    }
+
+    /// Stub steps 2+3: tracker translation and delta-aware marshaling of
+    /// `roots` out of `end`'s heap.
+    fn marshal_from(
+        &self,
+        kernel: &Kernel,
+        end: &DomainEnd,
+        roots: &[Option<CAddr>],
+        dir: Direction,
+    ) -> XpcResult<Vec<u8>> {
+        let heap = end.heap.borrow();
+        let tracker = &end.tracker;
+        let translate = |local| tracker.borrow().canonical_for(local).unwrap_or(local);
+        let mut no_delta = NoDelta;
+        let mut delta_map;
+        let hook: &mut dyn DeltaHook = if self.config.delta {
+            delta_map = end.delta.borrow_mut();
+            &mut *delta_map
+        } else {
+            &mut no_delta
+        };
+        let (wire, dstats) = graph::marshal_args_delta(
+            &heap,
+            roots,
+            &self.spec,
+            &self.masks,
+            dir,
+            &translate,
+            hook,
+        )?;
+        let class = end.domain.cpu_class();
+        kernel.charge(class, wire.len() as u64 * costs::MARSHAL_BYTE_NS);
+        if self.config.delta {
+            // Generation-counter bookkeeping happens only on delta
+            // channels; charging it unconditionally would tax the
+            // non-delta baseline the ablation compares against.
+            kernel.charge(
+                class,
+                (dstats.full_objects + dstats.delta_objects) * costs::DELTA_TRACK_NS,
+            );
+        }
+        self.bump(|s| {
+            s.full_objects += dstats.full_objects;
+            s.delta_objects += dstats.delta_objects;
+            s.delta_fields_elided += dstats.fields_elided;
+        });
+        Ok(wire)
+    }
+
+    /// Stub step 5 (and the caller-side half of step 6): tracker-aware
+    /// unmarshaling of `wire` into `end`'s heap.
+    fn unmarshal_into(
+        &self,
+        kernel: &Kernel,
+        end: &DomainEnd,
+        wire: &[u8],
+        types: &[&str],
+        dir: Direction,
+        object_args: usize,
+    ) -> XpcResult<Vec<Option<CAddr>>> {
+        let locals = {
+            let mut heap = end.heap.borrow_mut();
+            let mut tracker = end.tracker.borrow_mut();
+            graph::unmarshal_args(
+                wire,
+                types,
+                &mut heap,
+                &self.spec,
+                &self.masks,
+                dir,
+                &mut *tracker,
+            )?
+        };
+        let class = end.domain.cpu_class();
+        kernel.charge(class, wire.len() as u64 * costs::MARSHAL_BYTE_NS);
+        if self.config.cross_language && dir == Direction::In {
+            // The C-side unmarshal + Java-side re-marshal detour (§4.2).
+            kernel.charge(
+                class,
+                object_args as u64 * costs::CROSS_LANGUAGE_OBJECT_NS
+                    + wire.len() as u64 * costs::MARSHAL_BYTE_NS,
+            );
+        }
+        Ok(locals)
+    }
+
+    fn record_atomic_violation(&self, kernel: &Kernel, target: &DomainEnd, what: &str) {
+        // Upcalls to user level are illegal from atomic context (§3.1.3);
+        // record the violation but keep simulating.
+        if target.domain.is_user() && !kernel.may_block() {
+            kernel.record_violation(
+                ViolationKind::UpcallInAtomic,
+                format!("XPC `{what}` to {} from atomic context", target.domain),
+            );
+        }
+    }
+
+    fn lookup_proc(&self, target: &DomainEnd, proc: &str) -> XpcResult<ProcDef> {
+        target
+            .procs
+            .borrow()
+            .get(proc)
+            .cloned()
+            .ok_or_else(|| XpcError::UnknownProc {
+                domain: target.domain.to_string(),
+                proc: proc.to_string(),
+            })
     }
 
     /// Performs one cross-domain procedure call from `from` to its peer.
     ///
     /// `args` are object parameters as addresses in the *caller's* heap;
     /// `scalars` travel by value. Returns the handler's scalar result.
+    ///
+    /// Any deferred calls parked in the transport flush first, so a
+    /// synchronous call always observes the effects of earlier deferred
+    /// work (program order is preserved).
     pub fn call(
+        &self,
+        kernel: &Kernel,
+        from: Domain,
+        proc: &str,
+        args: &[Option<CAddr>],
+        scalars: &[XdrValue],
+    ) -> XpcResult<XdrValue> {
+        self.flush(kernel)?;
+        self.call_inner(kernel, from, proc, args, scalars)
+    }
+
+    /// The six stub steps, without the flush prologue. Also the fallback
+    /// path for deferred calls whose batch failed to marshal.
+    fn call_inner(
         &self,
         kernel: &Kernel,
         from: Domain,
@@ -283,44 +508,11 @@ impl XpcChannel {
     ) -> XpcResult<XdrValue> {
         let caller = self.end(from)?;
         let target = self.peer(from)?;
+        self.record_atomic_violation(kernel, target, proc);
+        let def = self.lookup_proc(target, proc)?;
 
-        // Upcalls to user level are illegal from atomic context (§3.1.3);
-        // record the violation but keep simulating.
-        if target.domain.is_user() && !kernel.may_block() {
-            kernel.record_violation(
-                ViolationKind::UpcallInAtomic,
-                format!("XPC `{proc}` to {} from atomic context", target.domain),
-            );
-        }
-
-        let def =
-            target
-                .procs
-                .borrow()
-                .get(proc)
-                .cloned()
-                .ok_or_else(|| XpcError::UnknownProc {
-                    domain: target.domain.to_string(),
-                    proc: proc.to_string(),
-                })?;
-
-        // Steps 2+3: tracker translation and argument marshaling.
-        let wire_in = {
-            let heap = caller.heap.borrow();
-            let tracker = &caller.tracker;
-            graph::marshal_args_translated(
-                &heap,
-                args,
-                &self.spec,
-                &self.masks,
-                Direction::In,
-                &|local| tracker.borrow().canonical_for(local).unwrap_or(local),
-            )?
-        };
-        kernel.charge(
-            from.cpu_class(),
-            wire_in.len() as u64 * costs::MARSHAL_BYTE_NS,
-        );
+        // Steps 2+3: translate and marshal.
+        let wire_in = self.marshal_from(kernel, caller, args, Direction::In)?;
         self.bump(|s| s.bytes_in += wire_in.len() as u64);
 
         // Step 4: control transfer.
@@ -328,31 +520,14 @@ impl XpcChannel {
 
         // Step 5: unmarshal at the target, tracker-aware.
         let arg_type_refs: Vec<&str> = def.arg_types.iter().map(String::as_str).collect();
-        let locals = {
-            let mut heap = target.heap.borrow_mut();
-            let mut tracker = target.tracker.borrow_mut();
-            graph::unmarshal_args(
-                &wire_in,
-                &arg_type_refs,
-                &mut heap,
-                &self.spec,
-                &self.masks,
-                Direction::In,
-                &mut *tracker,
-            )?
-        };
-        kernel.charge(
-            target.domain.cpu_class(),
-            wire_in.len() as u64 * costs::MARSHAL_BYTE_NS,
-        );
-        if self.config.cross_language {
-            // The C-side unmarshal + Java-side re-marshal detour (§4.2).
-            kernel.charge(
-                target.domain.cpu_class(),
-                args.len() as u64 * costs::CROSS_LANGUAGE_OBJECT_NS
-                    + wire_in.len() as u64 * costs::MARSHAL_BYTE_NS,
-            );
-        }
+        let locals = self.unmarshal_into(
+            kernel,
+            target,
+            &wire_in,
+            &arg_type_refs,
+            Direction::In,
+            args.len(),
+        )?;
 
         // Dispatch, catching user-level faults.
         let handler = Rc::clone(&def.handler);
@@ -370,46 +545,171 @@ impl XpcChannel {
             }
         };
 
+        // Deferred calls the handler parked must land before it returns.
+        self.flush(kernel)?;
+
         // Step 6: marshal out-parameters back and update caller objects.
-        let wire_out = {
-            let heap = target.heap.borrow();
-            let tracker = &target.tracker;
-            graph::marshal_args_translated(
-                &heap,
-                &locals,
-                &self.spec,
-                &self.masks,
-                Direction::Out,
-                &|local| tracker.borrow().canonical_for(local).unwrap_or(local),
-            )?
-        };
-        kernel.charge(
-            target.domain.cpu_class(),
-            wire_out.len() as u64 * costs::MARSHAL_BYTE_NS,
-        );
+        let wire_out = self.marshal_from(kernel, target, &locals, Direction::Out)?;
         self.bump(|s| s.bytes_out += wire_out.len() as u64);
         self.charge_transfer(kernel, target.domain, wire_out.len());
-
-        {
-            let mut heap = caller.heap.borrow_mut();
-            let mut tracker = caller.tracker.borrow_mut();
-            graph::unmarshal_args(
-                &wire_out,
-                &arg_type_refs,
-                &mut heap,
-                &self.spec,
-                &self.masks,
-                Direction::Out,
-                &mut *tracker,
-            )?;
-        }
-        kernel.charge(
-            from.cpu_class(),
-            wire_out.len() as u64 * costs::MARSHAL_BYTE_NS,
-        );
+        self.unmarshal_into(kernel, caller, &wire_out, &arg_type_refs, Direction::Out, 0)?;
 
         self.bump(|s| s.round_trips += 1);
         Ok(ret)
+    }
+
+    /// Parks a result-free call in the transport's deferred queue (the
+    /// doorbell pattern). On a non-batching transport this degrades to a
+    /// synchronous [`XpcChannel::call`] whose result is discarded, so
+    /// drivers use one code path and the transport decides the policy.
+    ///
+    /// Deferred calls execute at the next flush — triggered by queue
+    /// capacity, an explicit [`XpcChannel::flush`], or any synchronous
+    /// call on the channel. Handler faults during a flush are counted in
+    /// [`ChannelStats::faults`] but not propagated (there is no caller
+    /// waiting for the result).
+    pub fn call_deferred(
+        &self,
+        kernel: &Kernel,
+        from: Domain,
+        proc: &str,
+        args: &[Option<CAddr>],
+        scalars: &[XdrValue],
+    ) -> XpcResult<()> {
+        // Validate eagerly: at flush time the error could not be
+        // attributed to this call site.
+        let target = self.peer(from)?;
+        self.lookup_proc(target, proc)?;
+        let call = DeferredCall {
+            from,
+            proc: proc.to_string(),
+            args: args.to_vec(),
+            scalars: scalars.to_vec(),
+        };
+        match self.transport.offer(kernel, from.cpu_class(), call) {
+            Ok(()) => {
+                self.bump(|s| s.deferred_calls += 1);
+                if self.transport.flush_due() {
+                    self.flush(kernel)?;
+                }
+                Ok(())
+            }
+            Err(call) => self
+                .call(kernel, from, &call.proc, &call.args, &call.scalars)
+                .map(|_| ()),
+        }
+    }
+
+    /// Flushes every deferred call through the boundary. Consecutive
+    /// calls from the same domain cross together: one round trip, one
+    /// shared seen-table, one out-parameter return.
+    ///
+    /// A group that fails to marshal as a batch (say, one call's object
+    /// argument was freed between defer and flush) neither takes its
+    /// neighbors down nor surfaces its error on an unrelated later
+    /// synchronous call: the group's calls re-execute one by one, and
+    /// individual failures are counted as faults — deferred calls have
+    /// no caller waiting to receive an error.
+    pub fn flush(&self, kernel: &Kernel) -> XpcResult<()> {
+        // A flushed handler may defer again; bound the ping-pong.
+        for _ in 0..64 {
+            let queue = self.transport.drain();
+            if queue.is_empty() {
+                return Ok(());
+            }
+            let mut i = 0;
+            while i < queue.len() {
+                let from = queue[i].from;
+                let end = queue[i..]
+                    .iter()
+                    .position(|c| c.from != from)
+                    .map_or(queue.len(), |p| i + p);
+                if self.flush_group(kernel, &queue[i..end]).is_err() {
+                    for call in &queue[i..end] {
+                        let one = self.call_inner(
+                            kernel,
+                            call.from,
+                            &call.proc,
+                            &call.args,
+                            &call.scalars,
+                        );
+                        match one {
+                            Ok(_) => {}
+                            // A handler panic already counted itself.
+                            Err(XpcError::DecafFault(_)) => {}
+                            Err(_) => self.bump(|s| s.faults += 1),
+                        }
+                    }
+                }
+                i = end;
+            }
+        }
+        // Handlers kept re-deferring past the bound: surface the broken
+        // ordering guarantee instead of silently leaving calls parked.
+        Err(XpcError::FlushDiverged(self.transport.pending()))
+    }
+
+    /// Executes one same-direction batch of deferred calls as a single
+    /// crossing.
+    fn flush_group(&self, kernel: &Kernel, group: &[DeferredCall]) -> XpcResult<()> {
+        let from = group[0].from;
+        let caller = self.end(from)?;
+        let target = self.peer(from)?;
+        self.record_atomic_violation(kernel, target, "batched flush");
+
+        let defs: Vec<ProcDef> = group
+            .iter()
+            .map(|c| self.lookup_proc(target, &c.proc))
+            .collect::<XpcResult<_>>()?;
+
+        // One wire message for the whole batch: roots share a seen-table,
+        // so an object repeated across calls crosses once.
+        let all_roots: Vec<Option<CAddr>> = group.iter().flat_map(|c| c.args.clone()).collect();
+        let all_types: Vec<&str> = defs
+            .iter()
+            .flat_map(|d| d.arg_types.iter().map(String::as_str))
+            .collect();
+        let wire_in = self.marshal_from(kernel, caller, &all_roots, Direction::In)?;
+        self.bump(|s| s.bytes_in += wire_in.len() as u64);
+        self.charge_transfer(kernel, from, wire_in.len());
+
+        let locals = self.unmarshal_into(
+            kernel,
+            target,
+            &wire_in,
+            &all_types,
+            Direction::In,
+            all_roots.len(),
+        )?;
+
+        // Dispatch each call in queue order; results are discarded and
+        // faults contained (deferred calls have no waiting caller).
+        let mut offset = 0;
+        for (def, call) in defs.iter().zip(group) {
+            let arity = def.arg_types.len();
+            let call_locals = &locals[offset..offset + arity];
+            offset += arity;
+            let handler = Rc::clone(&def.handler);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                handler(kernel, self, call_locals, &call.scalars)
+            }));
+            if result.is_err() {
+                self.bump(|s| s.faults += 1);
+            }
+        }
+
+        // One return crossing updates every caller-side object.
+        let wire_out = self.marshal_from(kernel, target, &locals, Direction::Out)?;
+        self.bump(|s| s.bytes_out += wire_out.len() as u64);
+        self.charge_transfer(kernel, target.domain, wire_out.len());
+        self.unmarshal_into(kernel, caller, &wire_out, &all_types, Direction::Out, 0)?;
+
+        self.bump(|s| {
+            s.round_trips += 1;
+            s.flushes += 1;
+            s.batched_calls += group.len() as u64;
+        });
+        Ok(())
     }
 }
 
@@ -788,6 +1088,278 @@ mod tests {
         }
         // Guard dropped: nucleus copy freed, association released.
         assert_eq!(ch.heap(Domain::Nucleus).borrow().len(), heap_len_before);
+    }
+
+    fn batched_channel() -> XpcChannel {
+        XpcChannel::new(
+            spec(),
+            MaskSet::full(),
+            ChannelConfig::kernel_user_batched(),
+            Domain::Nucleus,
+            Domain::Decaf,
+        )
+    }
+
+    fn register_noop(ch: &XpcChannel, name: &str) {
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: name.into(),
+                arg_types: vec!["adapter".into()],
+                handler: Rc::new(|_, _, _, _| XdrValue::Void),
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn deferred_on_inproc_degrades_to_sync() {
+        let k = Kernel::new();
+        let ch = channel();
+        register_noop(&ch, "touch");
+        let adapter = alloc_adapter(&ch);
+        for _ in 0..3 {
+            ch.call_deferred(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+                .unwrap();
+        }
+        let s = ch.stats();
+        assert_eq!(s.round_trips, 3, "no batching on InProc");
+        assert_eq!(s.deferred_calls, 0);
+        assert_eq!(ch.pending_deferred(), 0);
+    }
+
+    #[test]
+    fn batched_flush_crosses_once_for_many_calls() {
+        let k = Kernel::new();
+        let ch = batched_channel();
+        register_noop(&ch, "touch");
+        let adapter = alloc_adapter(&ch);
+        for _ in 0..5 {
+            ch.call_deferred(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+                .unwrap();
+        }
+        assert_eq!(ch.pending_deferred(), 5);
+        assert_eq!(ch.stats().round_trips, 0, "nothing crossed yet");
+        ch.flush(&k).unwrap();
+        let s = ch.stats();
+        assert_eq!(s.round_trips, 1, "five calls, one crossing");
+        assert_eq!(s.one_way_crossings, 2);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.batched_calls, 5);
+        assert_eq!(s.deferred_calls, 5);
+        // Shared seen-table: the adapter graph crossed once, the four
+        // repeats are back-references.
+        assert_eq!(ch.heap(Domain::Decaf).borrow().len(), 2);
+    }
+
+    #[test]
+    fn sync_call_flushes_pending_deferred_first() {
+        let k = Kernel::new();
+        let ch = batched_channel();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for name in ["first", "second"] {
+            let log = Rc::clone(&order);
+            ch.register_proc(
+                Domain::Decaf,
+                ProcDef {
+                    name: name.into(),
+                    arg_types: vec![],
+                    handler: Rc::new(move |_, _, _, _| {
+                        log.borrow_mut().push(name);
+                        XdrValue::Void
+                    }),
+                },
+            )
+            .unwrap();
+        }
+        ch.call_deferred(&k, Domain::Nucleus, "first", &[], &[])
+            .unwrap();
+        ch.call(&k, Domain::Nucleus, "second", &[], &[]).unwrap();
+        assert_eq!(*order.borrow(), vec!["first", "second"]);
+    }
+
+    #[test]
+    fn batched_queue_flushes_at_capacity() {
+        let k = Kernel::new();
+        let ch = batched_channel();
+        register_noop(&ch, "touch");
+        let adapter = alloc_adapter(&ch);
+        for _ in 0..crate::transport::DEFAULT_BATCH_CAPACITY {
+            ch.call_deferred(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+                .unwrap();
+        }
+        assert_eq!(ch.pending_deferred(), 0, "capacity reached, auto-flushed");
+        assert_eq!(ch.stats().flushes, 1);
+    }
+
+    #[test]
+    fn delta_marshals_only_dirty_fields_on_repeat() {
+        let k = Kernel::new();
+        let ch = batched_channel();
+        register_noop(&ch, "touch");
+        let adapter = alloc_adapter(&ch);
+
+        ch.call(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+        let first = ch.stats();
+        assert!(first.full_objects >= 2, "first transfer is full");
+
+        // Dirty one scalar; the repeat transfer should be far smaller.
+        ch.heap(Domain::Nucleus)
+            .borrow_mut()
+            .set_scalar(adapter, "msg_enable", XdrValue::Int(7))
+            .unwrap();
+        ch.call(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+        let second = ch.stats();
+        let first_in = first.bytes_in;
+        let second_in = second.bytes_in - first.bytes_in;
+        assert!(
+            second_in < first_in,
+            "delta transfer ({second_in} B) must undercut full ({first_in} B)"
+        );
+        assert!(second.delta_objects >= 2, "repeat transfers are deltas");
+        assert!(second.delta_fields_elided > 0);
+        // The dirty field still arrived.
+        let heap = ch.heap(Domain::Decaf);
+        let h = heap.borrow();
+        let decaf_adapter = h
+            .iter()
+            .find(|(_, o)| o.type_name == "adapter")
+            .map(|(a, _)| a)
+            .unwrap();
+        assert_eq!(
+            h.scalar(decaf_adapter, "msg_enable").unwrap(),
+            &XdrValue::Int(7)
+        );
+    }
+
+    #[test]
+    fn clean_repeat_elides_everything_but_headers() {
+        let k = Kernel::new();
+        let ch = batched_channel();
+        register_noop(&ch, "touch");
+        let adapter = alloc_adapter(&ch);
+        ch.call(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+        let after_first = ch.stats().bytes_in;
+        ch.call(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+        let second = ch.stats().bytes_in - after_first;
+        // The clean subgraph is elided wholesale: only the adapter header
+        // crosses (disc 4 + addr 8 + mode 4 + empty bitmap 4 = 20 bytes).
+        assert_eq!(second, 20, "untouched graph costs only the root header");
+    }
+
+    #[test]
+    fn deferred_fault_contained_and_counted() {
+        let k = Kernel::new();
+        let ch = batched_channel();
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "boom".into(),
+                arg_types: vec![],
+                handler: Rc::new(|_, _, _, _| panic!("deferred crash")),
+            },
+        )
+        .unwrap();
+        register_noop(&ch, "touch");
+        let adapter = alloc_adapter(&ch);
+        ch.call_deferred(&k, Domain::Nucleus, "boom", &[], &[])
+            .unwrap();
+        // The flush survives the fault and later traffic still works.
+        ch.flush(&k).unwrap();
+        assert_eq!(ch.stats().faults, 1);
+        ch.call(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+    }
+
+    #[test]
+    fn failed_batch_falls_back_to_per_call_execution() {
+        let k = Kernel::new();
+        let ch = batched_channel();
+        register_noop(&ch, "touch");
+        let ran = Rc::new(Cell::new(0u32));
+        let r = Rc::clone(&ran);
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "count".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |_, _, _, _| {
+                    r.set(r.get() + 1);
+                    XdrValue::Void
+                }),
+            },
+        )
+        .unwrap();
+        let adapter = alloc_adapter(&ch);
+        ch.call_deferred(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+        ch.call_deferred(&k, Domain::Nucleus, "count", &[], &[])
+            .unwrap();
+        // Yank the first call's argument out from under the batch: the
+        // group marshal hits DanglingAddr, but the second call must
+        // still execute via the per-call fallback.
+        ch.heap(Domain::Nucleus).borrow_mut().free(adapter);
+        ch.flush(&k).unwrap();
+        assert_eq!(ran.get(), 1, "independent deferred call still ran");
+        assert_eq!(ch.stats().faults, 1, "the dangling call counted as a fault");
+        assert_eq!(ch.pending_deferred(), 0);
+    }
+
+    #[test]
+    fn deferred_unknown_proc_rejected_at_enqueue() {
+        let k = Kernel::new();
+        let ch = batched_channel();
+        let err = ch
+            .call_deferred(&k, Domain::Nucleus, "nope", &[], &[])
+            .unwrap_err();
+        assert!(matches!(err, XpcError::UnknownProc { .. }));
+        assert_eq!(ch.pending_deferred(), 0);
+    }
+
+    #[test]
+    fn reset_end_clears_delta_state() {
+        let k = Kernel::new();
+        let ch = batched_channel();
+        register_noop(&ch, "touch");
+        let adapter = alloc_adapter(&ch);
+        ch.call(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+        // Fault recovery: the decaf end loses its heap. The next transfer
+        // must re-send in full, not delta against vanished state.
+        ch.reset_end(Domain::Decaf).unwrap();
+        ch.call(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+        assert_eq!(ch.heap(Domain::Decaf).borrow().len(), 2);
+        let s = ch.stats();
+        assert!(s.full_objects >= 4, "both transfers were full: {s:?}");
+    }
+
+    #[test]
+    fn release_object_clears_peer_delta_state() {
+        let k = Kernel::new();
+        let ch = batched_channel();
+        register_noop(&ch, "touch");
+        let adapter = alloc_adapter(&ch);
+        ch.call(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+        // Release the decaf-side copy of the adapter.
+        let heap = ch.heap(Domain::Decaf);
+        let decaf_adapter = heap
+            .borrow()
+            .iter()
+            .find(|(_, o)| o.type_name == "adapter")
+            .map(|(a, _)| a)
+            .unwrap();
+        ch.release_object(Domain::Decaf, decaf_adapter).unwrap();
+        // The nucleus must not delta-encode the adapter against state the
+        // decaf end just dropped.
+        ch.call(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+        assert_eq!(ch.heap(Domain::Decaf).borrow().len(), 2);
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub enum XpcError {
     DecafFault(String),
     /// A call was attempted to a domain with no registered state.
     UnknownDomain(String),
+    /// Deferred handlers kept re-deferring and the flush loop gave up
+    /// with this many calls still parked — program order is broken.
+    FlushDiverged(usize),
 }
 
 impl fmt::Display for XpcError {
@@ -34,6 +37,12 @@ impl fmt::Display for XpcError {
             }
             XpcError::DecafFault(msg) => write!(f, "decaf driver fault: {msg}"),
             XpcError::UnknownDomain(d) => write!(f, "unknown domain `{d}`"),
+            XpcError::FlushDiverged(n) => {
+                write!(
+                    f,
+                    "deferred-call flush diverged with {n} calls still queued"
+                )
+            }
         }
     }
 }

@@ -5,8 +5,10 @@
 //! protection domains with five services (paper §2.3):
 //!
 //! 1. **Control transfer** — procedure-call semantics across the
-//!    kernel/user boundary (block and wait), optionally reusing the calling
-//!    thread rather than scheduling a new one.
+//!    kernel/user boundary (block and wait), behind the pluggable
+//!    [`transport::Transport`] trait: thread reuse, dedicated-thread
+//!    handoff, or deferred-call batching that flushes many calls in one
+//!    crossing.
 //! 2. **Object transfer** — field-selective XDR marshaling of structures
 //!    ([`decaf_xdr`]).
 //! 3. **Object sharing** — an [`tracker::ObjectTracker`] records each
@@ -36,10 +38,12 @@ pub mod endpoint;
 pub mod error;
 pub mod runtime;
 pub mod tracker;
+pub mod transport;
 
 pub use combolock::{ComboStats, Combolock};
 pub use domain::Domain;
-pub use endpoint::{ChannelConfig, ChannelStats, ProcDef, SharedObject, Transport, XpcChannel};
+pub use endpoint::{ChannelConfig, ChannelStats, ProcDef, SharedObject, XpcChannel};
 pub use error::{XpcError, XpcResult};
 pub use runtime::{DecafRuntime, NuclearRuntime};
 pub use tracker::{ObjectTracker, TrackerStats};
+pub use transport::{Batched, DeferredCall, InProc, Threaded, Transport, TransportKind};

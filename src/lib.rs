@@ -1,0 +1,10 @@
+//! Workspace facade for the Decaf Drivers reproduction.
+//!
+//! The substance lives in the `crates/` workspace members; this crate
+//! exists so the repository-level `tests/` and `examples/` directories
+//! build against [`decaf_core`]. See `DESIGN.md` for the architecture
+//! and `README.md` for build and bench instructions.
+
+#![forbid(unsafe_code)]
+
+pub use decaf_core;

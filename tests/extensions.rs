@@ -32,7 +32,8 @@ fn incremental_conversion_library_then_decaf() {
                 ChannelConfig {
                     domain_crossing: true,
                     cross_language: false,
-                    transport: decaf_core::xpc::Transport::InProc,
+                    transport: decaf_core::xpc::TransportKind::InProc,
+                    delta: false,
                 }
             } else {
                 ChannelConfig::kernel_user()
@@ -231,6 +232,96 @@ fn every_driver_has_bidirectional_masks() {
         }
         assert!(any_in, "{}: nothing crosses inward", kind.name());
         assert!(any_out, "{}: nothing crosses outward", kind.name());
+    }
+}
+
+/// Tentpole acceptance: on the *same* repeated-configuration call
+/// sequence, the `Batched` transport + delta marshaling yields strictly
+/// fewer one-way crossings and marshaled bytes than the seed `InProc`
+/// per-call path — and the middle layer (delta alone) already cuts
+/// bytes without changing crossing counts.
+#[test]
+fn batched_delta_transport_beats_seed_inproc_path() {
+    let rows = decaf_core::experiments::transport_ablation();
+    assert_eq!(rows.len(), 3);
+    let (seed, delta, batch) = (&rows[0], &rows[1], &rows[2]);
+
+    assert!(
+        batch.one_way_crossings < seed.one_way_crossings,
+        "batched {} vs seed {} one-way crossings",
+        batch.one_way_crossings,
+        seed.one_way_crossings
+    );
+    assert!(
+        batch.bytes_in < seed.bytes_in,
+        "batched {} vs seed {} bytes in",
+        batch.bytes_in,
+        seed.bytes_in
+    );
+    assert!(
+        batch.virtual_ns < seed.virtual_ns,
+        "batching + delta must also cost less virtual time"
+    );
+    // Delta alone: same crossings, fewer bytes.
+    assert_eq!(delta.one_way_crossings, seed.one_way_crossings);
+    assert!(delta.bytes_in < seed.bytes_in);
+    // The batched flushes actually carried the deferred register writes.
+    assert!(batch.flushes > 0 && batch.batched_calls >= 3 * batch.flushes);
+}
+
+/// All five decaf driver builds run their control paths over the batched
+/// transport (the `Transport` trait's third implementation), and their
+/// initialization actually exercises it: every build defers at least one
+/// posted register write into a batched flush.
+#[test]
+fn all_five_decaf_builds_use_batched_transport() {
+    use decaf_core::xpc::TransportKind;
+    let k = Kernel::new();
+    let checks: Vec<(&str, TransportKind, u64)> = vec![
+        {
+            let d = decaf_core::drivers::e1000::decaf::install(&k, "eth0").unwrap();
+            (
+                "E1000",
+                d.channel.transport_kind(),
+                d.channel.stats().batched_calls,
+            )
+        },
+        {
+            let d = decaf_core::drivers::rtl8139::install_decaf(&k, "eth1").unwrap();
+            (
+                "8139too",
+                d.channel.transport_kind(),
+                d.channel.stats().batched_calls,
+            )
+        },
+        {
+            let d = decaf_core::drivers::ens1371::install_decaf(&k, "card0").unwrap();
+            (
+                "ens1371",
+                d.channel.transport_kind(),
+                d.channel.stats().batched_calls,
+            )
+        },
+        {
+            let d = decaf_core::drivers::uhci::install_decaf(&k, "uhci0").unwrap();
+            (
+                "uhci-hcd",
+                d.channel.transport_kind(),
+                d.channel.stats().batched_calls,
+            )
+        },
+        {
+            let d = decaf_core::drivers::psmouse::install_decaf(&k, "mouse0").unwrap();
+            (
+                "psmouse",
+                d.channel.transport_kind(),
+                d.channel.stats().batched_calls,
+            )
+        },
+    ];
+    for (name, kind, batched) in checks {
+        assert_eq!(kind, TransportKind::Batched, "{name} transport");
+        assert!(batched > 0, "{name} deferred no calls during init");
     }
 }
 
