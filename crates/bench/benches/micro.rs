@@ -121,6 +121,7 @@ fn bench_xpc_call(c: &mut Criterion) {
         cross_language: true,
         transport: TransportKind::InProc,
         delta: false,
+        shmring: false,
     });
     c.bench_function("xpc/roundtrip_inproc", |b| {
         b.iter(|| {
@@ -133,6 +134,7 @@ fn bench_xpc_call(c: &mut Criterion) {
         cross_language: true,
         transport: TransportKind::Threaded,
         delta: false,
+        shmring: false,
     });
     c.bench_function("xpc/roundtrip_threaded_model", |b| {
         b.iter(|| {
@@ -146,6 +148,7 @@ fn bench_xpc_call(c: &mut Criterion) {
         cross_language: false,
         transport: TransportKind::InProc,
         delta: false,
+        shmring: false,
     });
     c.bench_function("xpc/roundtrip_no_crosslang", |b| {
         b.iter(|| {
@@ -153,6 +156,56 @@ fn bench_xpc_call(c: &mut Criterion) {
                 .unwrap()
         })
     });
+}
+
+fn bench_shmring(c: &mut Criterion) {
+    use decaf_core::shmring::{BufPool, Descriptor, ShmRing};
+    use decaf_core::simkernel::CpuClass;
+
+    // The raw ring protocol: post + consume, the per-descriptor cost
+    // that replaces per-byte marshaling on the data path.
+    let kernel = Kernel::new();
+    let ring = ShmRing::new("bench", 64);
+    let pool = BufPool::with_capacity(2048, 64);
+    c.bench_function("shmring/push_pop", |b| {
+        b.iter(|| {
+            ring.push(
+                &kernel,
+                CpuClass::Kernel,
+                Descriptor {
+                    buf: decaf_core::shmring::BufHandle(0),
+                    len: 1500,
+                    cookie: 0,
+                },
+            )
+            .unwrap();
+            ring.pop(&kernel, CpuClass::User).unwrap()
+        })
+    });
+    let payload = vec![0x5au8; 1500];
+    c.bench_function("shmring/pool_write_free", |b| {
+        b.iter(|| {
+            let h = pool.alloc().unwrap();
+            pool.write_payload(&kernel, CpuClass::Kernel, h, &payload)
+                .unwrap();
+            pool.free(h).unwrap();
+        })
+    });
+}
+
+fn bench_datapath_ablation(c: &mut Criterion) {
+    // Ablation: copy vs batched-copy vs shmring on the same 20-packet
+    // burst — the Table-3-adjacent scale story in microbench form.
+    use decaf_core::experiments::DataPathKind;
+    for kind in [
+        DataPathKind::Copy,
+        DataPathKind::BatchedCopy,
+        DataPathKind::Shmring,
+    ] {
+        c.bench_function(&format!("datapath/burst20[{kind:?}]"), |b| {
+            b.iter(|| decaf_core::experiments::datapath_run(kind, 20))
+        });
+    }
 }
 
 fn bench_transport_ablation(c: &mut Criterion) {
@@ -195,6 +248,8 @@ criterion_group!(
     bench_xdr_codec,
     bench_graph_marshal,
     bench_xpc_call,
+    bench_shmring,
+    bench_datapath_ablation,
     bench_transport_ablation,
     bench_combolock,
     bench_slicer

@@ -1,7 +1,7 @@
 //! Experiment runners for the paper's tables.
 
 use decaf_drivers::{workloads, DriverKind};
-use decaf_simkernel::Kernel;
+use decaf_simkernel::{costs, Kernel};
 use decaf_slicer::evolve::{self, NewField, Patch};
 use decaf_slicer::{slice, SliceConfig, SlicePlan};
 use rand_like::SplitMix;
@@ -131,6 +131,12 @@ pub fn table1() -> Vec<Table1Row> {
             measured_loc: count_loc("crates/xpc/src"),
         },
         Table1Row {
+            group: "Runtime support",
+            component: "shared-memory ring subsystem (shmring crate; this repo only)",
+            paper_loc: 0,
+            measured_loc: count_loc("crates/shmring/src"),
+        },
+        Table1Row {
             group: "DriverSlicer",
             component: "slicer front end + analyses (paper: CIL OCaml + Python)",
             paper_loc: 12_465 + 1276,
@@ -221,7 +227,7 @@ pub fn table2() -> Vec<Table2Row> {
 // ---------------------------------------------------------------- Table 3
 
 /// One row of Table 3: a workload on one driver, native vs decaf.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Table3Row {
     /// Driver name.
     pub driver: &'static str,
@@ -248,6 +254,12 @@ pub struct Table3Row {
     pub init_batched_calls: u64,
     /// Decaf-driver invocations during the workload.
     pub workload_invocations: u64,
+    /// Data-path doorbells rung during the workload (shmring rows only).
+    pub doorbells: u64,
+    /// Average descriptors carried per doorbell (shmring rows only).
+    pub descs_per_doorbell: f64,
+    /// Data-path ring occupancy high-water mark (shmring rows only).
+    pub ring_occupancy_hwm: u64,
 }
 
 fn ns_to_s(ns: u64) -> f64 {
@@ -291,6 +303,7 @@ pub fn table3() -> Vec<Table3Row> {
             init_bytes_in: init_stats.bytes_in,
             init_batched_calls: init_stats.batched_calls,
             workload_invocations: decaf.crossings() - init_crossings,
+            ..Default::default()
         });
 
         let n_recv = {
@@ -320,6 +333,7 @@ pub fn table3() -> Vec<Table3Row> {
             init_bytes_in: init_stats.bytes_in,
             init_batched_calls: init_stats.batched_calls,
             workload_invocations: decaf.crossings() - before,
+            ..Default::default()
         });
     }
 
@@ -351,6 +365,7 @@ pub fn table3() -> Vec<Table3Row> {
             init_bytes_in: init_stats.bytes_in,
             init_batched_calls: init_stats.batched_calls,
             workload_invocations: decaf.decaf_invocations() - inv_before,
+            ..Default::default()
         });
 
         let n_recv = {
@@ -380,6 +395,7 @@ pub fn table3() -> Vec<Table3Row> {
             init_bytes_in: init_stats.bytes_in,
             init_batched_calls: init_stats.batched_calls,
             workload_invocations: decaf.decaf_invocations() - inv_before,
+            ..Default::default()
         });
     }
 
@@ -411,6 +427,7 @@ pub fn table3() -> Vec<Table3Row> {
             init_bytes_in: init_stats.bytes_in,
             init_batched_calls: init_stats.batched_calls,
             workload_invocations: decaf.decaf_invocations() - inv_before,
+            ..Default::default()
         });
     }
 
@@ -437,6 +454,7 @@ pub fn table3() -> Vec<Table3Row> {
             init_bytes_in: init_stats.bytes_in,
             init_batched_calls: init_stats.batched_calls,
             workload_invocations: decaf.crossings() - init_crossings,
+            ..Default::default()
         });
     }
 
@@ -464,6 +482,7 @@ pub fn table3() -> Vec<Table3Row> {
             init_bytes_in: init_stats.bytes_in,
             init_batched_calls: init_stats.batched_calls,
             workload_invocations: decaf.crossings() - init_crossings,
+            ..Default::default()
         });
     }
 
@@ -498,10 +517,306 @@ pub fn table3() -> Vec<Table3Row> {
             init_bytes_in: init_stats.bytes_in,
             init_batched_calls: init_stats.batched_calls,
             workload_invocations: decaf.crossings() - init_crossings,
+            ..Default::default()
+        });
+    }
+
+    // ---------------- shmring builds: the user-level data path. Same
+    // netperf shape as above, but every packet crosses as a descriptor
+    // through the shared-memory ring instead of staying in the kernel.
+    {
+        let kn = Kernel::new();
+        let native = decaf_drivers::e1000::native::install(&kn, "eth0").unwrap();
+        kn.netdev_open("eth0").unwrap();
+        kn.schedule_point();
+        let n = workloads::netperf_send(&kn, "eth0", NET_SECONDS, E1000_PPS, 1500).unwrap();
+
+        let kd = Kernel::new();
+        let decaf = decaf_drivers::e1000::decaf::install_shmring(&kd, "eth0").unwrap();
+        kd.netdev_open("eth0").unwrap();
+        kd.schedule_point();
+        let init_crossings = decaf.crossings();
+        let init_stats = decaf.channel.stats();
+        let inv_before = decaf.decaf_invocations();
+        let d = workloads::netperf_send(&kd, "eth0", NET_SECONDS, E1000_PPS, 1500).unwrap();
+        kd.run_for(2 * decaf_simkernel::costs::DOORBELL_COALESCE_NS);
+        let s = decaf.channel.stats();
+        rows.push(Table3Row {
+            driver: "E1000",
+            workload: "netperf-send/shm",
+            relative_perf: d.throughput_mbps() / n.throughput_mbps(),
+            cpu_native: n.cpu_util,
+            cpu_decaf: d.cpu_util,
+            init_native_s: ns_to_s(native.init_latency_ns),
+            init_decaf_s: ns_to_s(decaf.init_latency_ns),
+            init_crossings,
+            init_bytes_in: init_stats.bytes_in,
+            init_batched_calls: init_stats.batched_calls,
+            workload_invocations: decaf.decaf_invocations() - inv_before,
+            doorbells: s.doorbells,
+            descs_per_doorbell: s.descriptors_per_doorbell(),
+            ring_occupancy_hwm: s.ring_occupancy_hwm,
+        });
+    }
+    {
+        let kn = Kernel::new();
+        let native = decaf_drivers::rtl8139::install_native(&kn, "eth0").unwrap();
+        kn.netdev_open("eth0").unwrap();
+        let n = workloads::netperf_send(&kn, "eth0", NET_SECONDS, RTL_PPS, 1500).unwrap();
+
+        let kd = Kernel::new();
+        let decaf = decaf_drivers::rtl8139::install_shmring(&kd, "eth0").unwrap();
+        kd.netdev_open("eth0").unwrap();
+        let init_crossings = decaf.crossings();
+        let init_stats = decaf.channel.stats();
+        let d = workloads::netperf_send(&kd, "eth0", NET_SECONDS, RTL_PPS, 1500).unwrap();
+        kd.run_for(2 * decaf_simkernel::costs::DOORBELL_COALESCE_NS);
+        let s = decaf.channel.stats();
+        rows.push(Table3Row {
+            driver: "8139too",
+            workload: "netperf-send/shm",
+            relative_perf: d.throughput_mbps() / n.throughput_mbps(),
+            cpu_native: n.cpu_util,
+            cpu_decaf: d.cpu_util,
+            init_native_s: ns_to_s(native.init_latency_ns),
+            init_decaf_s: ns_to_s(decaf.init_latency_ns),
+            init_crossings,
+            init_bytes_in: init_stats.bytes_in,
+            init_batched_calls: init_stats.batched_calls,
+            workload_invocations: decaf.crossings() - init_crossings,
+            doorbells: s.doorbells,
+            descs_per_doorbell: s.descriptors_per_doorbell(),
+            ring_occupancy_hwm: s.ring_occupancy_hwm,
         });
     }
 
     rows
+}
+
+// ------------------------------------------------- Data-path ablation
+
+/// Which mechanism hosts the user-level data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPathKind {
+    /// Per-packet synchronous crossing; the payload is marshaled by
+    /// value — the naive way to host the data path at user level.
+    Copy,
+    /// Crossings batch (many packets, one round trip) but the payload
+    /// still marshals by value.
+    BatchedCopy,
+    /// The shmring subsystem: payload written once into the shared pool,
+    /// descriptors ride the ring, doorbells coalesce.
+    Shmring,
+}
+
+/// One row of the data-path ablation.
+#[derive(Debug, Clone)]
+pub struct DataPathAblationRow {
+    /// Configuration label.
+    pub label: &'static str,
+    /// Packets pushed through the path.
+    pub packets: u64,
+    /// Payload bytes offered.
+    pub payload_bytes: u64,
+    /// Bytes that crossed through the XDR marshaler (both directions) —
+    /// the "bytes moved" the shmring path eliminates.
+    pub marshaled_bytes: u64,
+    /// Call/return round trips.
+    pub round_trips: u64,
+    /// Data-path doorbells rung.
+    pub doorbells: u64,
+    /// Average descriptors per doorbell.
+    pub descs_per_doorbell: f64,
+    /// Ring occupancy high-water mark.
+    pub ring_occupancy_hwm: u64,
+    /// CPU-copied payload bytes (the audit counter: identical across
+    /// configurations — the ablation varies *marshaling*, not copying).
+    pub bytes_copied: u64,
+    /// Total virtual CPU time consumed (kernel + user, ns).
+    pub virtual_ns: u64,
+}
+
+impl DataPathAblationRow {
+    /// Virtual-time throughput: offered payload over consumed CPU time.
+    pub fn virtual_mbps(&self) -> f64 {
+        if self.virtual_ns == 0 {
+            return 0.0;
+        }
+        (self.payload_bytes as f64 * 8.0) / (self.virtual_ns as f64 / 1e9) / 1e6
+    }
+}
+
+/// Packets per ablation run.
+pub const DATAPATH_PKTS: u32 = 200;
+/// Payload bytes per packet (an MTU-sized frame).
+pub const DATAPATH_PKT_LEN: usize = 1500;
+/// In-flight packet objects the copy paths cycle through (each packet is
+/// its own skb — delta marshaling cannot elide a payload rewritten on
+/// every reuse).
+const DATAPATH_INFLIGHT: usize = 16;
+
+/// Runs `packets` MTU-sized frames through one user-level data-path
+/// mechanism and reports what crossed, what copied, and what it cost.
+pub fn datapath_run(kind: DataPathKind, packets: u32) -> DataPathAblationRow {
+    use decaf_shmring::{BufPool, DoorbellPolicy, ShmRing};
+    use decaf_xdr::XdrValue;
+    use decaf_xpc::{ChannelConfig, DataPathChannel, Domain, ProcDef, XpcChannel};
+    use std::rc::Rc;
+
+    let kernel = Kernel::new();
+    let spec = decaf_xdr::XdrSpec::parse(&format!(
+        "struct pkt {{ int len; opaque payload[{DATAPATH_PKT_LEN}]; }};"
+    ))
+    .expect("ablation spec parses");
+    let (label, config) = match kind {
+        DataPathKind::Copy => ("copy (per-packet marshal)", ChannelConfig::kernel_user()),
+        DataPathKind::BatchedCopy => (
+            "batched-copy (marshal)",
+            ChannelConfig::kernel_user_batched(),
+        ),
+        DataPathKind::Shmring => (
+            "shmring (descriptors)",
+            ChannelConfig::kernel_user_shmring(),
+        ),
+    };
+    let ch = Rc::new(XpcChannel::new(
+        spec.clone(),
+        decaf_xdr::mask::MaskSet::full(),
+        config,
+        Domain::Nucleus,
+        Domain::Decaf,
+    ));
+
+    if kind == DataPathKind::Shmring {
+        let dp = DataPathChannel::new(
+            Rc::clone(&ch),
+            Domain::Nucleus,
+            "xmit_drain",
+            Rc::new(ShmRing::new("ablation-tx", 32)),
+            Rc::new(ShmRing::new("ablation-tx-done", 64)),
+            Some(Rc::new(BufPool::with_capacity(
+                DATAPATH_PKT_LEN.next_power_of_two(),
+                DATAPATH_INFLIGHT * 2,
+            ))),
+            DoorbellPolicy::with_watermark(DATAPATH_INFLIGHT),
+        )
+        .expect("datapath builds");
+        // The consumer: a user-level transmit handler reading payloads in
+        // place and handing buffers back through the completion ring.
+        let end = dp.end(Domain::Decaf);
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "xmit_drain".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |k, _, _, _| {
+                    for d in end.consume(k) {
+                        // Program one device descriptor per frame.
+                        k.charge(decaf_simkernel::CpuClass::User, costs::DMA_DESC_NS);
+                        let _ = end.complete(k, d);
+                    }
+                    XdrValue::Void
+                }),
+            },
+        )
+        .expect("register xmit_drain");
+        let frame = vec![0x5au8; DATAPATH_PKT_LEN];
+        for i in 0..packets {
+            dp.send(&kernel, &frame, i as u64).expect("send");
+        }
+        dp.ring_doorbell(&kernel).expect("final doorbell");
+        dp.reclaim_completions(&kernel);
+    } else {
+        // The payload crosses by value: the handler receives the bytes
+        // through the marshaler, then copies them into the device buffer
+        // (the same single device-bound copy the shmring pool performs).
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "xmit_pkt".into(),
+                arg_types: vec!["pkt".into()],
+                handler: Rc::new(|k, ch, args, _| {
+                    let Some(p) = args[0] else {
+                        return XdrValue::Int(-22);
+                    };
+                    let heap = ch.heap(Domain::Decaf);
+                    let len = heap
+                        .borrow()
+                        .scalar(p, "len")
+                        .ok()
+                        .and_then(|v| v.as_int())
+                        .unwrap_or(0);
+                    k.charge_copy(decaf_simkernel::CpuClass::User, len as u64);
+                    k.charge(decaf_simkernel::CpuClass::User, costs::DMA_DESC_NS);
+                    XdrValue::Int(0)
+                }),
+            },
+        )
+        .expect("register xmit_pkt");
+        let ring: Vec<_> = (0..DATAPATH_INFLIGHT)
+            .map(|_| {
+                let heap = ch.heap(Domain::Nucleus);
+                let mut h = heap.borrow_mut();
+                h.alloc_default("pkt", &spec).expect("alloc pkt")
+            })
+            .collect();
+        for i in 0..packets {
+            let obj = ring[i as usize % DATAPATH_INFLIGHT];
+            {
+                let heap = ch.heap(Domain::Nucleus);
+                let mut h = heap.borrow_mut();
+                h.set_scalar(obj, "len", XdrValue::Int(DATAPATH_PKT_LEN as i32))
+                    .expect("set len");
+                h.set_scalar(
+                    obj,
+                    "payload",
+                    XdrValue::Opaque(vec![(i & 0xff) as u8; DATAPATH_PKT_LEN]),
+                )
+                .expect("set payload");
+            }
+            match kind {
+                DataPathKind::Copy => {
+                    ch.call(&kernel, Domain::Nucleus, "xmit_pkt", &[Some(obj)], &[])
+                        .expect("xmit_pkt");
+                }
+                _ => {
+                    ch.call_deferred(&kernel, Domain::Nucleus, "xmit_pkt", &[Some(obj)], &[])
+                        .expect("defer xmit_pkt");
+                }
+            }
+        }
+        ch.flush(&kernel).expect("final flush");
+    }
+
+    let s = ch.stats();
+    let snap = kernel.snapshot();
+    DataPathAblationRow {
+        label,
+        packets: packets as u64,
+        payload_bytes: packets as u64 * DATAPATH_PKT_LEN as u64,
+        marshaled_bytes: s.bytes_in + s.bytes_out,
+        round_trips: s.round_trips,
+        doorbells: s.doorbells,
+        descs_per_doorbell: s.descriptors_per_doorbell(),
+        ring_occupancy_hwm: s.ring_occupancy_hwm,
+        bytes_copied: kernel.stats().bytes_copied,
+        virtual_ns: snap.kernel_busy_ns + snap.user_busy_ns,
+    }
+}
+
+/// Regenerates the data-path ablation: copy vs batched-copy vs shmring
+/// on the same offered packet stream. The scale story of the shmring
+/// subsystem: the first configuration where hosting the hot path at
+/// user level is cheaper than moving the bytes.
+pub fn datapath_ablation() -> Vec<DataPathAblationRow> {
+    [
+        DataPathKind::Copy,
+        DataPathKind::BatchedCopy,
+        DataPathKind::Shmring,
+    ]
+    .into_iter()
+    .map(|kind| datapath_run(kind, DATAPATH_PKTS))
+    .collect()
 }
 
 // ------------------------------------------------- Transport ablation
@@ -767,7 +1082,7 @@ mod tests {
     #[test]
     fn table1_counts_real_lines() {
         let rows = table1();
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), 7);
         for row in &rows {
             assert!(
                 row.measured_loc > 100,
@@ -822,6 +1137,40 @@ mod tests {
         assert!(batch.round_trips < seed.round_trips);
         assert!(batch.virtual_ns < seed.virtual_ns);
         assert!(batch.batched_calls > 0 && batch.flushes > 0);
+    }
+
+    #[test]
+    fn datapath_ablation_shmring_wins_on_bytes_and_time() {
+        let rows = datapath_ablation();
+        let (copy, batched, shm) = (&rows[0], &rows[1], &rows[2]);
+        // The audit invariant: every configuration copies the same
+        // payload bytes — the ablation varies marshaling, not copying.
+        assert_eq!(copy.bytes_copied, shm.bytes_copied, "{copy:?} vs {shm:?}");
+        assert_eq!(batched.bytes_copied, shm.bytes_copied);
+        // Batching removes crossings but not bytes.
+        assert!(batched.round_trips < copy.round_trips);
+        assert!(batched.virtual_ns < copy.virtual_ns);
+        // Shmring removes the bytes: descriptors cross, payloads do not.
+        assert!(
+            shm.marshaled_bytes * 20 < batched.marshaled_bytes,
+            "shmring marshaled {} B vs batched {} B",
+            shm.marshaled_bytes,
+            batched.marshaled_bytes
+        );
+        assert!(
+            shm.virtual_ns < batched.virtual_ns,
+            "shmring {} ns vs batched {} ns",
+            shm.virtual_ns,
+            batched.virtual_ns
+        );
+        assert!(shm.virtual_mbps() > batched.virtual_mbps());
+        // Doorbell amortization: many descriptors per crossing.
+        assert!(
+            shm.descs_per_doorbell > 8.0,
+            "descs/doorbell {}",
+            shm.descs_per_doorbell
+        );
+        assert!(shm.ring_occupancy_hwm >= 8);
     }
 
     #[test]

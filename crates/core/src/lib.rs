@@ -47,6 +47,9 @@ pub use decaf_xdr as xdr;
 /// Re-export of the XPC runtime.
 pub use decaf_xpc as xpc;
 
+/// Re-export of the shared-memory ring subsystem.
+pub use decaf_shmring as shmring;
+
 /// Re-export of DriverSlicer.
 pub use decaf_slicer as slicer;
 

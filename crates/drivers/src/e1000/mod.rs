@@ -163,7 +163,8 @@ impl E1000Hw {
         self.bar.read32(kernel, hwreg::STATUS) & hwreg::STATUS_LU != 0
     }
 
-    /// Transmits one frame (the kernel-resident data path).
+    /// Transmits one frame (the kernel-resident data path): one audited
+    /// payload copy into the DMA buffer, one descriptor, one TDT write.
     pub fn xmit(&self, kernel: &Kernel, skb: &SkBuff) -> KResult<()> {
         if skb.len() > BUF_SIZE {
             return Err(KError::Inval);
@@ -171,21 +172,38 @@ impl E1000Hw {
         let slot = self.next_tx.get();
         let buf = TX_BUF_OFF + slot as usize * BUF_SIZE;
         self.dma.write_bytes(buf, &skb.data);
-        kernel.charge_kernel(skb.len() as u64 * decaf_simkernel::costs::COPY_BYTE_NS);
+        kernel.charge_copy(decaf_simkernel::CpuClass::Kernel, skb.len() as u64);
+        self.xmit_desc(kernel, buf, skb.len())?;
+        self.tx_kick(kernel);
+        Ok(())
+    }
+
+    /// Queues a transmit descriptor for a payload *already resident* in
+    /// the DMA region at `buf` — the zero-copy path: no payload copy, no
+    /// copy charge, and no TDT write (call [`E1000Hw::tx_kick`] once per
+    /// batch, the MMIO-doorbell-coalescing half of the shmring win).
+    pub fn xmit_desc(&self, _kernel: &Kernel, buf: usize, len: usize) -> KResult<()> {
+        if len > BUF_SIZE {
+            return Err(KError::Inval);
+        }
+        let slot = self.next_tx.get();
         let desc = TX_RING_OFF + slot as usize * hwreg::DESC_SIZE;
         self.dma.write_u64(desc, buf as u64);
         self.dma.write_u32(
             desc + 8,
-            skb.len() as u32 | ((hwreg::TXD_CMD_EOP | hwreg::TXD_CMD_RS) << 24),
+            len as u32 | ((hwreg::TXD_CMD_EOP | hwreg::TXD_CMD_RS) << 24),
         );
         self.dma.write_u32(desc + 12, 0);
-        let next = (slot + 1) % N_DESC;
-        self.next_tx.set(next);
+        self.next_tx.set((slot + 1) % N_DESC);
         self.tx_inflight_bytes
-            .set(self.tx_inflight_bytes.get() + skb.len() as u64);
+            .set(self.tx_inflight_bytes.get() + len as u64);
         self.tx_inflight_pkts.set(self.tx_inflight_pkts.get() + 1);
-        self.bar.write32(kernel, hwreg::TDT, next);
         Ok(())
+    }
+
+    /// Publishes every queued transmit descriptor with one TDT write.
+    pub fn tx_kick(&self, kernel: &Kernel) {
+        self.bar.write32(kernel, hwreg::TDT, self.next_tx.get());
     }
 
     /// Interrupt service: reads ICR, reclaims TX, receives RX.
@@ -209,6 +227,44 @@ impl E1000Hw {
             kernel.netif_carrier(ifname, self.link_up(kernel));
         }
         icr
+    }
+
+    /// Scans completed receive descriptors *without copying payloads*:
+    /// returns `(slot, len)` pairs for the shmring data path to post as
+    /// descriptors. The buffers stay software-owned until
+    /// [`E1000Hw::rx_recycle`] hands them back.
+    pub fn rx_harvest(&self, _kernel: &Kernel) -> Vec<(u32, usize)> {
+        let mut out = Vec::new();
+        loop {
+            let slot = self.next_rx.get();
+            let desc = RX_RING_OFF + slot as usize * hwreg::DESC_SIZE;
+            if self.dma.read_u32(desc + 12) & hwreg::TXD_STAT_DD == 0 {
+                break;
+            }
+            let len = (self.dma.read_u32(desc + 8) & 0xffff) as usize;
+            out.push((slot, len));
+            self.next_rx.set((slot + 1) % N_DESC);
+        }
+        out
+    }
+
+    /// DMA offset of one receive buffer slot.
+    pub fn rx_buf_off(slot: u32) -> usize {
+        RX_BUF_OFF + slot as usize * BUF_SIZE
+    }
+
+    /// Clears a harvested descriptor's status (software done with the
+    /// buffer). Publish a batch back to the hardware with one
+    /// [`E1000Hw::rx_kick`].
+    pub fn rx_recycle(&self, _kernel: &Kernel, slot: u32) {
+        let desc = RX_RING_OFF + slot as usize * hwreg::DESC_SIZE;
+        self.dma.write_u32(desc + 12, 0);
+    }
+
+    /// Advances RDT to `slot` — one MMIO write returning a whole batch of
+    /// recycled buffers to the device.
+    pub fn rx_kick(&self, kernel: &Kernel, slot: u32) {
+        self.bar.write32(kernel, hwreg::RDT, slot);
     }
 
     /// Drains completed receive descriptors into the network stack.

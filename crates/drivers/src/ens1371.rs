@@ -176,7 +176,7 @@ impl EnsHw {
             self.dma
                 .write_u32(PLAY_BUF_OFF as usize + i * 4, l | (r << 16));
         }
-        kernel.charge_kernel(frames.len() as u64 * 2 * decaf_simkernel::costs::COPY_BYTE_NS);
+        kernel.charge_copy(decaf_simkernel::CpuClass::Kernel, frames.len() as u64 * 2);
         self.bar.write32(kernel, hwreg::DAC2_FRAME, PLAY_BUF_OFF);
         self.bar.write32(kernel, hwreg::DAC2_SIZE, n_frames as u32);
         self.bar

@@ -1,10 +1,68 @@
 //! Shared glue for the decaf driver builds.
 
+use std::cell::Cell;
 use std::rc::Rc;
 
-use decaf_simkernel::{KError, Kernel, MmioRegion};
+use decaf_simkernel::kernel::IrqHandler;
+use decaf_simkernel::{costs, KError, Kernel, MmioRegion, TimerId};
 use decaf_xdr::XdrValue;
-use decaf_xpc::{ChannelConfig, Domain, ProcDef, XpcChannel, XpcResult};
+use decaf_xpc::{ChannelConfig, DataPathChannel, Domain, ProcDef, XpcChannel, XpcResult};
+
+/// The shmring data-path pieces of one installed driver build: the TX
+/// and RX descriptor paths, the interrupt handler that feeds them, and
+/// the coalescing poll timer.
+pub struct ShmDataPath {
+    /// Transmit path (stack → decaf driver → device).
+    pub tx: Rc<DataPathChannel>,
+    /// Receive path (IRQ → decaf driver → stack).
+    pub rx: Rc<DataPathChannel>,
+    /// The nucleus interrupt handler `request_irq` installs.
+    pub irq_handler: IrqHandler,
+    /// The periodic deadline-flush timer.
+    pub poll_timer: TimerId,
+}
+
+/// Builds the netdev transmit op for a shmring TX path: frames post
+/// into the ring with a monotonic cookie. Frames over `max_len` fail
+/// with `Inval` — the same check (and `tx_errors` accounting through
+/// `net_xmit`) the kernel-resident paths apply, so the ring never
+/// carries a descriptor the hardware would reject.
+pub fn shmring_xmit_op(tx_dp: Rc<DataPathChannel>, max_len: usize) -> decaf_simkernel::net::XmitOp {
+    let seq = Cell::new(0u64);
+    Rc::new(move |k, skb| {
+        if skb.len() > max_len {
+            return Err(KError::Inval);
+        }
+        let cookie = seq.get();
+        seq.set(cookie + 1);
+        tx_dp.send(k, &skb.data, cookie).map_err(|_| KError::Busy)
+    })
+}
+
+/// Arms the periodic coalescing poll for a shmring TX path: the timer
+/// (softirq priority) defers to a work item — upcalls are illegal from
+/// atomic context — which flushes descriptors past the doorbell
+/// deadline and reclaims completed buffers.
+pub fn shmring_poll_timer(
+    kernel: &Kernel,
+    name: &'static str,
+    tx_dp: &Rc<DataPathChannel>,
+) -> TimerId {
+    let tx = Rc::clone(tx_dp);
+    let timer = kernel.timer_create(
+        name,
+        Rc::new(move |k| {
+            if tx.pending() > 0 || !tx.completions().is_empty() {
+                let tx = Rc::clone(&tx);
+                k.schedule_work(name, move |k| {
+                    let _ = tx.poll(k);
+                });
+            }
+        }),
+    );
+    kernel.timer_arm_periodic(timer, costs::DOORBELL_COALESCE_NS);
+    timer
+}
 
 /// Builds an [`XpcChannel`] between nucleus and decaf driver from a
 /// DriverSlicer plan — the spec and masks are exactly what the slicer

@@ -196,7 +196,7 @@ impl UhciHw {
         });
         if urb.dir == UrbDir::Out {
             self.dma.write_bytes(buf, &urb.data);
-            kernel.charge_kernel(urb.data.len() as u64 * decaf_simkernel::costs::COPY_BYTE_NS);
+            kernel.charge_copy(decaf_simkernel::CpuClass::Kernel, urb.data.len() as u64);
         }
         let ep = urb.endpoint as u32;
         self.dma.write_u32(td, hwreg::LINK_TERMINATE);
@@ -219,6 +219,10 @@ impl UhciHw {
         }
         self.urbs_done.set(self.urbs_done.get() + 1);
         if urb.dir == UrbDir::In {
+            // Copy-audit fix: IN data is copied out of the DMA buffer to
+            // the caller, symmetric with the OUT-direction copy charged
+            // above; this path previously moved the bytes for free.
+            kernel.charge_copy(decaf_simkernel::CpuClass::Kernel, hwreg::SECTOR_SIZE as u64);
             Ok(self.dma.read_bytes(buf, hwreg::SECTOR_SIZE))
         } else {
             Ok(Vec::new())

@@ -1,0 +1,45 @@
+//! Pinned shared-memory descriptor rings for the zero-copy data path.
+//!
+//! Decaf keeps the packet data path in the kernel because crossing the
+//! boundary *by value* is too expensive: every payload byte pays
+//! marshaling plus copy costs. Emmerich et al. ("The Case for Writing
+//! Network Drivers in High-Level Programming Languages") show that
+//! high-level-language drivers reach line rate by mapping descriptor
+//! rings into the driver and passing *ownership*, not bytes. This crate
+//! models that mechanism for the simulated kernel:
+//!
+//! * [`ShmRing`] — a single-producer/single-consumer descriptor ring in
+//!   pinned shared memory. Each slot carries an ownership flag (the
+//!   moral equivalent of a NIC descriptor's DD bit): the producer may
+//!   only write producer-owned slots, the consumer only read
+//!   consumer-owned ones. Posting a descriptor costs
+//!   [`decaf_simkernel::costs::RING_POST_NS`] (two cache-line writes);
+//!   consuming one costs [`decaf_simkernel::costs::RING_CACHELINE_NS`]
+//!   (a coherence miss) — *never* a per-byte marshal cost.
+//! * [`BufPool`] — a pool of fixed-size payload buffers carved out of a
+//!   [`decaf_simkernel::DmaMemory`] region, so a buffer handle in a
+//!   descriptor refers to memory the device can DMA from/to directly.
+//!   Payload is written into a pool buffer exactly once (charged through
+//!   [`decaf_simkernel::Kernel::charge_copy`]); after that only the
+//!   handle travels. Frees may arrive out of order — completion order is
+//!   the device's business, not the ring's.
+//! * [`DoorbellPolicy`] — decides *when* the descriptors parked in a
+//!   ring are worth a crossing: at a watermark occupancy, or when the
+//!   oldest post has waited longer than a coalescing deadline
+//!   ([`decaf_simkernel::costs::DOORBELL_COALESCE_NS`]), so low-rate
+//!   paths are not held hostage by batching.
+//!
+//! The XPC layer builds its `DataPathChannel` on these pieces: the
+//! descriptors ride the rings, the doorbell rides the existing transport
+//! crossing, and the payload bytes never see the XDR marshaler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod doorbell;
+pub mod pool;
+pub mod ring;
+
+pub use doorbell::DoorbellPolicy;
+pub use pool::{BufHandle, BufPool, PoolError, PoolStats};
+pub use ring::{Descriptor, RingError, RingStats, ShmRing, SlotOwner};

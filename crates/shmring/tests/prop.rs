@@ -1,0 +1,143 @@
+//! Property-based tests for the shmring subsystem: the ring against a
+//! queue model (wrap-around, backpressure, ownership handback) and the
+//! pool against an allocation model (out-of-order completion reclaim).
+
+use std::collections::VecDeque;
+
+use decaf_shmring::{BufHandle, BufPool, Descriptor, PoolError, RingError, ShmRing};
+use decaf_simkernel::{CpuClass, Kernel};
+use proptest::prelude::*;
+
+fn desc(n: u32) -> Descriptor {
+    Descriptor {
+        buf: BufHandle(n),
+        len: n.wrapping_mul(7) & 0x7ff,
+        cookie: n as u64,
+    }
+}
+
+proptest! {
+    /// Any interleaving of pushes and pops behaves exactly like a bounded
+    /// FIFO: order preserved across wrap-around, fullness refused with
+    /// backpressure, emptiness returns `None`.
+    #[test]
+    fn ring_behaves_like_bounded_fifo(
+        capacity in 1usize..9,
+        ops in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let k = Kernel::new();
+        let ring = ShmRing::new("prop", capacity);
+        let mut model: VecDeque<Descriptor> = VecDeque::new();
+        let mut seq = 0u32;
+        let mut refused = 0u64;
+        for op in ops {
+            // Bias 2:1 toward pushes so the ring wraps and fills often.
+            if op % 3 != 0 {
+                let d = desc(seq);
+                seq += 1;
+                match ring.push(&k, CpuClass::Kernel, d) {
+                    Ok(()) => {
+                        prop_assert!(model.len() < capacity);
+                        model.push_back(d);
+                    }
+                    Err(RingError::Full) => {
+                        refused += 1;
+                        prop_assert_eq!(model.len(), capacity, "refused only when full");
+                    }
+                }
+            } else {
+                let got = ring.pop(&k, CpuClass::User);
+                prop_assert_eq!(got, model.pop_front(), "FIFO order across wrap-around");
+            }
+            prop_assert_eq!(ring.len(), model.len());
+            prop_assert_eq!(ring.is_full(), model.len() == capacity);
+        }
+        let stats = ring.stats();
+        prop_assert_eq!(stats.backpressure, refused);
+        prop_assert_eq!(stats.posts - stats.pops, model.len() as u64);
+        prop_assert!(stats.occupancy_hwm as usize <= capacity);
+    }
+
+    /// Ownership handback: every slot a consumer drains becomes writable
+    /// again, so after any history the producer can always post exactly
+    /// `capacity - len` more descriptors before hitting backpressure.
+    #[test]
+    fn drained_slots_are_reusable(
+        capacity in 1usize..7,
+        rounds in 1usize..12,
+    ) {
+        let k = Kernel::new();
+        let ring = ShmRing::new("prop", capacity);
+        let mut seq = 0u32;
+        for _ in 0..rounds {
+            while ring.push(&k, CpuClass::Kernel, desc(seq)).is_ok() {
+                seq += 1;
+            }
+            prop_assert!(ring.is_full());
+            let drained = ring.drain(&k, CpuClass::User);
+            prop_assert_eq!(drained.len(), capacity, "full ring drains completely");
+            prop_assert!(ring.is_empty(), "every slot handed back");
+        }
+        prop_assert_eq!(ring.stats().posts, seq as u64);
+    }
+
+    /// Out-of-order completion reclaim: buffers freed in an arbitrary
+    /// order (devices complete out of order) are all reusable, handles
+    /// stay distinct, and double frees are always rejected.
+    #[test]
+    fn pool_reclaims_out_of_order(
+        count in 1usize..17,
+        shuffle in proptest::collection::vec(any::<u16>(), 1..17),
+    ) {
+        let pool = BufPool::with_capacity(64, count);
+        let mut held: Vec<BufHandle> = (0..count).map(|_| pool.alloc().unwrap()).collect();
+        prop_assert_eq!(pool.alloc(), Err(PoolError::Exhausted));
+        // Free in an order driven by the random shuffle keys.
+        for (i, key) in shuffle.iter().enumerate() {
+            if held.is_empty() {
+                break;
+            }
+            let victim = held.remove((*key as usize + i) % held.len());
+            pool.free(victim).unwrap();
+            prop_assert_eq!(pool.free(victim), Err(PoolError::NotAllocated(victim)));
+        }
+        let freed = count - held.len();
+        prop_assert_eq!(pool.available(), freed);
+        // Everything freed is allocatable again, with distinct handles.
+        let mut again: Vec<u32> = (0..freed).map(|_| pool.alloc().unwrap().0).collect();
+        again.sort_unstable();
+        again.dedup();
+        prop_assert_eq!(again.len(), freed, "reallocated handles are distinct");
+    }
+
+    /// A descriptor round trip through ring + pool preserves the payload
+    /// bytes and charges exactly one audited copy per payload.
+    #[test]
+    fn payload_survives_ring_handoff(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 1..8),
+    ) {
+        let k = Kernel::new();
+        let ring = ShmRing::new("prop", 8);
+        let pool = BufPool::with_capacity(64, 8);
+        let mut expected_bytes = 0u64;
+        for (i, payload) in payloads.iter().enumerate() {
+            let h = pool.alloc().unwrap();
+            pool.write_payload(&k, CpuClass::Kernel, h, payload).unwrap();
+            expected_bytes += payload.len() as u64;
+            ring.push(&k, CpuClass::Kernel, Descriptor {
+                buf: h,
+                len: payload.len() as u32,
+                cookie: i as u64,
+            }).unwrap();
+        }
+        prop_assert_eq!(k.stats().bytes_copied, expected_bytes, "one copy per payload");
+        for (i, payload) in payloads.iter().enumerate() {
+            let d = ring.pop(&k, CpuClass::User).unwrap();
+            prop_assert_eq!(d.cookie, i as u64);
+            prop_assert_eq!(&pool.read_payload(d.buf, d.len as usize).unwrap(), payload);
+            pool.free(d.buf).unwrap();
+        }
+        prop_assert_eq!(k.stats().bytes_copied, expected_bytes, "reads are in place");
+    }
+}

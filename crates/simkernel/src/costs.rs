@@ -45,3 +45,17 @@ pub const BATCH_DOORBELL_NS: u64 = 250;
 /// Per-object generation-counter bookkeeping when delta marshaling
 /// decides which fields to elide.
 pub const DELTA_TRACK_NS: u64 = 60;
+/// Posting one descriptor into a pinned shared-memory ring: two cache-line
+/// writes (descriptor body, then the ownership flag release-store). No
+/// crossing, no marshaling — this is what replaces `MARSHAL_BYTE_NS` on
+/// the shmring data path.
+pub const RING_POST_NS: u64 = 60;
+/// The consumer pulling one descriptor's dirtied cache line across cores
+/// (a coherence miss, 2009-era magnitudes).
+pub const RING_CACHELINE_NS: u64 = 120;
+/// Doorbell-coalescing window: descriptors parked in a ring (or deferred
+/// calls parked in a batched transport) are flushed no later than this
+/// much virtual time after the first post, so low-rate paths do not hold
+/// posted work indefinitely while high-rate paths amortize the crossing
+/// over a watermark's worth of descriptors.
+pub const DOORBELL_COALESCE_NS: u64 = 100_000;

@@ -109,6 +109,12 @@ pub struct KernelStats {
     pub timers_fired: u64,
     /// Work items executed.
     pub work_executed: u64,
+    /// Payload bytes moved by CPU copies ([`Kernel::charge_copy`]). Every
+    /// driver build charges payload copies through this one entry point,
+    /// so the counter audits copy accounting: a given workload must copy
+    /// the same number of bytes whether the data path is native, decaf,
+    /// or shmring-hosted.
+    pub bytes_copied: u64,
 }
 
 pub(crate) struct Inner {
@@ -209,6 +215,20 @@ impl Kernel {
     /// kernel time unless explicitly charged as user.
     pub fn charge(&self, class: CpuClass, ns: u64) {
         self.inner.clock.borrow_mut().charge(class, ns);
+    }
+
+    /// Charges one CPU copy of `bytes` payload bytes and counts it in
+    /// [`KernelStats::bytes_copied`].
+    ///
+    /// This is the single entry point for payload-copy accounting: driver
+    /// transmit paths (skb → DMA buffer), `netif_rx` (DMA buffer → stack),
+    /// PCM writes, URB data and the shmring buffer pool all charge through
+    /// it, so no path can double-charge — and tests can assert that the
+    /// native, decaf and shmring builds copy identical byte counts for
+    /// the same workload.
+    pub fn charge_copy(&self, class: CpuClass, bytes: u64) {
+        self.charge(class, bytes * costs::COPY_BYTE_NS);
+        self.bump_stats(|s| s.bytes_copied += bytes);
     }
 
     /// Takes a clock snapshot for interval measurements.

@@ -3,7 +3,6 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use crate::costs;
 use crate::error::{KError, KResult};
 use crate::kernel::Kernel;
 
@@ -162,7 +161,7 @@ impl Kernel {
     /// Delivers a received packet to the stack (driver → stack), like
     /// `netif_rx`. Charges per-byte copy cost.
     pub fn netif_rx(&self, name: &str, skb: SkBuff) -> KResult<()> {
-        self.charge_kernel(skb.len() as u64 * costs::COPY_BYTE_NS);
+        self.charge_copy(crate::CpuClass::Kernel, skb.len() as u64);
         let mut net = self.inner().net.borrow_mut();
         let d = net.devices.get_mut(name).ok_or(KError::NoDev)?;
         d.stats.rx_packets += 1;

@@ -1,0 +1,471 @@
+//! The shared-memory data-path channel: descriptors ride pinned rings,
+//! doorbells ride the control transport, payload bytes never touch the
+//! XDR marshaler.
+//!
+//! A [`DataPathChannel`] pairs an [`XpcChannel`] with the
+//! [`decaf_shmring`] subsystem:
+//!
+//! * the **producer** (normally the nucleus: the network stack's
+//!   transmit path, or the interrupt handler posting received frames)
+//!   writes payloads into the shared [`BufPool`] — the one audited CPU
+//!   copy — and posts 16-byte [`Descriptor`]s into the [`ShmRing`];
+//! * the **doorbell** is an ordinary XPC call with *zero object
+//!   arguments*: one crossing, priced by the channel's transport, that
+//!   tells the consumer "descriptors await". A [`DoorbellPolicy`] coalesces
+//!   it — ring at a watermark occupancy, or once the oldest post has
+//!   waited out the coalescing deadline;
+//! * the **consumer** (the decaf driver's drain handler) pops
+//!   descriptors — paying cache-line pulls, not per-byte marshal — and
+//!   hands them back through a **completion ring**, so buffer ownership
+//!   round-trips without a single payload byte crossing by value.
+//!
+//! This is the mechanism that makes hosting the *data* path at user
+//! level affordable: the per-packet boundary cost collapses from
+//! `O(payload bytes)` marshaling to `O(1)` descriptor traffic plus an
+//! amortized doorbell.
+
+use std::rc::Rc;
+
+use decaf_shmring::{BufPool, Descriptor, DoorbellPolicy, PoolError, RingError, ShmRing};
+use decaf_simkernel::Kernel;
+use decaf_xdr::XdrValue;
+
+use crate::domain::Domain;
+use crate::endpoint::XpcChannel;
+use crate::error::{XpcError, XpcResult};
+
+/// Producer-side handle: posts descriptors, coalesces doorbells,
+/// reclaims completed buffers.
+pub struct DataPathChannel {
+    channel: Rc<XpcChannel>,
+    producer: Domain,
+    consumer: Domain,
+    ring: Rc<ShmRing>,
+    completions: Rc<ShmRing>,
+    pool: Option<Rc<BufPool>>,
+    policy: DoorbellPolicy,
+    doorbell_proc: String,
+}
+
+impl DataPathChannel {
+    /// Builds a data path whose descriptors flow `producer` → peer and
+    /// whose doorbell invokes `doorbell_proc` (which must be registered
+    /// at the peer end of `channel`).
+    ///
+    /// `pool` is the payload buffer pool for [`DataPathChannel::send`];
+    /// pass `None` when descriptors reference buffers owned elsewhere
+    /// (e.g. device receive slots) and are posted with
+    /// [`DataPathChannel::post`].
+    pub fn new(
+        channel: Rc<XpcChannel>,
+        producer: Domain,
+        doorbell_proc: impl Into<String>,
+        ring: Rc<ShmRing>,
+        completions: Rc<ShmRing>,
+        pool: Option<Rc<BufPool>>,
+        policy: DoorbellPolicy,
+    ) -> XpcResult<Rc<Self>> {
+        let consumer = channel.peer_domain(producer)?;
+        Ok(Rc::new(DataPathChannel {
+            channel,
+            producer,
+            consumer,
+            ring,
+            completions,
+            pool,
+            policy,
+            doorbell_proc: doorbell_proc.into(),
+        }))
+    }
+
+    /// The underlying control channel.
+    pub fn channel(&self) -> &Rc<XpcChannel> {
+        &self.channel
+    }
+
+    /// The descriptor ring (producer → consumer).
+    pub fn ring(&self) -> &Rc<ShmRing> {
+        &self.ring
+    }
+
+    /// The completion ring (consumer → producer).
+    pub fn completions(&self) -> &Rc<ShmRing> {
+        &self.completions
+    }
+
+    /// The payload pool, if this path owns one.
+    pub fn pool(&self) -> Option<&Rc<BufPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Descriptors posted and not yet drained by a doorbell.
+    pub fn pending(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// An end handle for `domain` — what drain handlers and interrupt
+    /// paths capture instead of the whole channel (no reference cycles
+    /// through registered procedures).
+    pub fn end(&self, domain: Domain) -> DataPathEnd {
+        DataPathEnd {
+            ring: Rc::clone(&self.ring),
+            completions: Rc::clone(&self.completions),
+            pool: self.pool.clone(),
+            domain,
+        }
+    }
+
+    fn map_pool_err(e: PoolError) -> XpcError {
+        XpcError::Backpressure(e.to_string())
+    }
+
+    /// Sends one payload: allocates a pool buffer, writes the payload
+    /// into shared memory (the single audited copy), posts a descriptor
+    /// and rings the doorbell if the policy says it is due.
+    ///
+    /// On pool exhaustion the channel applies backpressure in stages:
+    /// reclaim completions, force a doorbell so the consumer drains,
+    /// reclaim again — and only then reports [`XpcError::Backpressure`].
+    pub fn send(&self, kernel: &Kernel, payload: &[u8], cookie: u64) -> XpcResult<()> {
+        let pool = self
+            .pool
+            .as_ref()
+            .ok_or_else(|| XpcError::Backpressure("data path has no buffer pool".into()))?;
+        self.reclaim_completions(kernel);
+        let handle = match pool.alloc() {
+            Ok(h) => h,
+            Err(PoolError::Exhausted) => {
+                self.ring_doorbell(kernel)?;
+                self.reclaim_completions(kernel);
+                pool.alloc().map_err(Self::map_pool_err)?
+            }
+            Err(e) => return Err(Self::map_pool_err(e)),
+        };
+        // From here the buffer is ours until a descriptor carries it: on
+        // any failure it must go back to the pool, or backpressure would
+        // become permanent pool shrinkage.
+        if let Err(e) = pool.write_payload(kernel, self.producer.cpu_class(), handle, payload) {
+            let _ = pool.free(handle);
+            return Err(Self::map_pool_err(e));
+        }
+        if let Err(e) = self.post(
+            kernel,
+            Descriptor {
+                buf: handle,
+                len: payload.len() as u32,
+                cookie,
+            },
+        ) {
+            let _ = pool.free(handle);
+            return Err(e);
+        }
+        self.maybe_ring(kernel)?;
+        Ok(())
+    }
+
+    /// Posts a raw descriptor without touching the pool or the doorbell.
+    /// Safe from atomic context (no crossing happens); the caller decides
+    /// when to ring — interrupt handlers defer that to a work item.
+    pub fn post(&self, kernel: &Kernel, desc: Descriptor) -> XpcResult<()> {
+        match self.ring.push(kernel, self.producer.cpu_class(), desc) {
+            Ok(()) => {}
+            Err(RingError::Full) => {
+                return Err(XpcError::Backpressure(format!(
+                    "ring `{}` full",
+                    self.ring.name()
+                )))
+            }
+        }
+        self.policy.note_post(kernel.now_ns());
+        let hwm = self.ring.stats().occupancy_hwm;
+        self.channel.bump(|s| {
+            s.ring_posts += 1;
+            s.ring_occupancy_hwm = s.ring_occupancy_hwm.max(hwm);
+        });
+        Ok(())
+    }
+
+    /// Rings the doorbell if the policy says the parked descriptors are
+    /// due (watermark reached or coalescing deadline expired).
+    pub fn maybe_ring(&self, kernel: &Kernel) -> XpcResult<bool> {
+        if self.policy.due(kernel.now_ns(), self.ring.len()) {
+            self.ring_doorbell(kernel)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Rings the doorbell unconditionally (no-op on an empty ring): one
+    /// XPC crossing, zero object arguments, carrying only the descriptor
+    /// count. The registered drain handler consumes the ring.
+    pub fn ring_doorbell(&self, kernel: &Kernel) -> XpcResult<()> {
+        if self.ring.is_empty() {
+            return Ok(());
+        }
+        let count = self.ring.len() as u32;
+        self.channel.call(
+            kernel,
+            self.producer,
+            &self.doorbell_proc,
+            &[],
+            &[XdrValue::UInt(count)],
+        )?;
+        self.channel.bump(|s| s.doorbells += 1);
+        self.policy.rang();
+        Ok(())
+    }
+
+    /// Producer-side poll hook (call from a timer's work item): reclaims
+    /// completions and rings the doorbell if the coalescing deadline has
+    /// expired on parked descriptors.
+    pub fn poll(&self, kernel: &Kernel) -> XpcResult<bool> {
+        self.reclaim_completions(kernel);
+        self.maybe_ring(kernel)
+    }
+
+    /// Drains the completion ring at the producer end. Pool-backed
+    /// buffers are freed (ownership handback — completions may arrive in
+    /// any order); the descriptors are returned for drivers that need
+    /// their cookies (e.g. to recycle device receive slots).
+    pub fn reclaim_completions(&self, kernel: &Kernel) -> Vec<Descriptor> {
+        let done = self.completions.drain(kernel, self.producer.cpu_class());
+        if let Some(pool) = &self.pool {
+            for d in &done {
+                // A handle the pool rejects belongs to the driver (raw
+                // descriptor); the driver reclaims it via the cookie.
+                let _ = pool.free(d.buf);
+            }
+        }
+        done
+    }
+}
+
+impl std::fmt::Debug for DataPathChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataPathChannel")
+            .field("producer", &self.producer)
+            .field("consumer", &self.consumer)
+            .field("ring", &self.ring.name())
+            .field("pending", &self.ring.len())
+            .finish()
+    }
+}
+
+/// One end's view of the shared rings: just `Rc`s to pinned memory, so
+/// drain handlers can capture it without creating a reference cycle
+/// through the channel's procedure table.
+#[derive(Clone)]
+pub struct DataPathEnd {
+    ring: Rc<ShmRing>,
+    completions: Rc<ShmRing>,
+    pool: Option<Rc<BufPool>>,
+    domain: Domain,
+}
+
+impl DataPathEnd {
+    /// The payload pool, if the path owns one.
+    pub fn pool(&self) -> Option<&Rc<BufPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Pops every posted descriptor (consumer side of the main ring),
+    /// charging this end's CPU class per cache-line pull.
+    pub fn consume(&self, kernel: &Kernel) -> Vec<Descriptor> {
+        self.ring.drain(kernel, self.domain.cpu_class())
+    }
+
+    /// Pops one posted descriptor.
+    pub fn consume_one(&self, kernel: &Kernel) -> Option<Descriptor> {
+        self.ring.pop(kernel, self.domain.cpu_class())
+    }
+
+    /// Hands a finished descriptor back through the completion ring.
+    pub fn complete(&self, kernel: &Kernel, desc: Descriptor) -> XpcResult<()> {
+        self.completions
+            .push(kernel, self.domain.cpu_class(), desc)
+            .map_err(|_| {
+                XpcError::Backpressure(format!(
+                    "completion ring `{}` full",
+                    self.completions.name()
+                ))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{ChannelConfig, ProcDef};
+    use decaf_simkernel::costs;
+    use decaf_xdr::mask::MaskSet;
+    use decaf_xdr::XdrSpec;
+    use std::cell::RefCell;
+
+    fn channel() -> Rc<XpcChannel> {
+        Rc::new(XpcChannel::new(
+            XdrSpec::parse("struct unused { int x; };").unwrap(),
+            MaskSet::full(),
+            ChannelConfig::kernel_user_shmring(),
+            Domain::Nucleus,
+            Domain::Decaf,
+        ))
+    }
+
+    type SeenPayloads = Rc<RefCell<Vec<Vec<u8>>>>;
+
+    /// A consumer that drains on the doorbell, records payloads, and
+    /// completes every descriptor.
+    fn register_drain(ch: &Rc<XpcChannel>, end: DataPathEnd, seen: SeenPayloads) {
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "drain".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |k, _, _, _| {
+                    for d in end.consume(k) {
+                        let pool = end.pool().expect("pool-backed path");
+                        seen.borrow_mut()
+                            .push(pool.read_payload(d.buf, d.len as usize).unwrap());
+                        end.complete(k, d).unwrap();
+                    }
+                    XdrValue::Void
+                }),
+            },
+        )
+        .unwrap();
+    }
+
+    fn datapath(watermark: usize) -> (Kernel, Rc<DataPathChannel>, SeenPayloads) {
+        let k = Kernel::new();
+        let ch = channel();
+        let dp = DataPathChannel::new(
+            Rc::clone(&ch),
+            Domain::Nucleus,
+            "drain",
+            Rc::new(ShmRing::new("tx", 32)),
+            Rc::new(ShmRing::new("tx-done", 64)),
+            Some(Rc::new(BufPool::with_capacity(2048, 32))),
+            DoorbellPolicy::with_watermark(watermark),
+        )
+        .unwrap();
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        register_drain(&ch, dp.end(Domain::Decaf), Rc::clone(&seen));
+        (k, dp, seen)
+    }
+
+    #[test]
+    fn watermark_batches_descriptors_per_doorbell() {
+        let (k, dp, seen) = datapath(8);
+        for i in 0..16u64 {
+            dp.send(&k, &[i as u8; 600], i).unwrap();
+        }
+        assert_eq!(seen.borrow().len(), 16, "two watermark flushes");
+        let s = dp.channel().stats();
+        assert_eq!(s.doorbells, 2);
+        assert_eq!(s.ring_posts, 16);
+        assert!((s.descriptors_per_doorbell() - 8.0).abs() < 1e-9);
+        assert_eq!(s.ring_occupancy_hwm, 8);
+    }
+
+    #[test]
+    fn payload_bytes_never_cross_the_marshaler() {
+        let (k, dp, seen) = datapath(4);
+        for i in 0..8u64 {
+            dp.send(&k, &[0x5a; 1500], i).unwrap();
+        }
+        let s = dp.channel().stats();
+        // 8 × 1500 B of payload moved, but the channel marshaled only the
+        // doorbell calls' empty argument lists.
+        assert_eq!(seen.borrow().iter().map(Vec::len).sum::<usize>(), 12_000);
+        assert!(
+            s.bytes_in + s.bytes_out < 64,
+            "only doorbell headers marshal: {} B",
+            s.bytes_in + s.bytes_out
+        );
+        assert_eq!(k.stats().bytes_copied, 12_000, "one copy per payload");
+    }
+
+    #[test]
+    fn deadline_flushes_a_lone_descriptor_via_poll() {
+        let (k, dp, seen) = datapath(8);
+        dp.send(&k, b"lone packet", 1).unwrap();
+        assert!(seen.borrow().is_empty(), "below watermark, parked");
+        assert!(!dp.poll(&k).unwrap(), "deadline not reached yet");
+        k.run_for(costs::DOORBELL_COALESCE_NS + 1);
+        assert!(dp.poll(&k).unwrap(), "coalescing deadline expired");
+        assert_eq!(seen.borrow().len(), 1);
+    }
+
+    #[test]
+    fn pool_exhaustion_forces_doorbell_then_backpressure() {
+        let k = Kernel::new();
+        let ch = channel();
+        // Tiny pool, big watermark: sends outrun the doorbell policy.
+        let dp = DataPathChannel::new(
+            Rc::clone(&ch),
+            Domain::Nucleus,
+            "drain",
+            Rc::new(ShmRing::new("tx", 8)),
+            Rc::new(ShmRing::new("tx-done", 8)),
+            Some(Rc::new(BufPool::with_capacity(256, 2))),
+            DoorbellPolicy::with_watermark(64),
+        )
+        .unwrap();
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        register_drain(&ch, dp.end(Domain::Decaf), Rc::clone(&seen));
+        // The third send finds the pool exhausted, forces a doorbell (the
+        // consumer drains and completes), reclaims, and proceeds.
+        for i in 0..6u64 {
+            dp.send(&k, &[1; 64], i).unwrap();
+        }
+        assert_eq!(seen.borrow().len(), 4, "forced flushes drained the ring");
+        assert!(dp.pool().unwrap().stats().exhausted > 0);
+    }
+
+    #[test]
+    fn raw_descriptors_round_trip_without_a_pool() {
+        let k = Kernel::new();
+        let ch = channel();
+        let dp = DataPathChannel::new(
+            Rc::clone(&ch),
+            Domain::Nucleus,
+            "drain",
+            Rc::new(ShmRing::new("rx", 8)),
+            Rc::new(ShmRing::new("rx-done", 8)),
+            None,
+            DoorbellPolicy::with_watermark(64),
+        )
+        .unwrap();
+        let end = dp.end(Domain::Decaf);
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "drain".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |k, _, _, _| {
+                    for d in end.consume(k) {
+                        end.complete(k, d).unwrap();
+                    }
+                    XdrValue::Void
+                }),
+            },
+        )
+        .unwrap();
+        use decaf_shmring::BufHandle;
+        for slot in 0..3u64 {
+            dp.post(
+                &k,
+                Descriptor {
+                    buf: BufHandle(slot as u32),
+                    len: 1500,
+                    cookie: slot,
+                },
+            )
+            .unwrap();
+        }
+        dp.ring_doorbell(&k).unwrap();
+        let done = dp.reclaim_completions(&k);
+        let cookies: Vec<u64> = done.iter().map(|d| d.cookie).collect();
+        assert_eq!(cookies, vec![0, 1, 2], "handback preserves order");
+    }
+}

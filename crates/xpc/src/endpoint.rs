@@ -64,6 +64,11 @@ pub struct ChannelConfig {
     /// Whether repeat transfers of an object marshal only fields written
     /// since its last crossing (dirty-field delta marshaling).
     pub delta: bool,
+    /// Whether the channel's *data path* rides a pinned shared-memory
+    /// descriptor ring (`DataPathChannel`): payload bytes stay in the
+    /// shared buffer pool and only 16-byte descriptors plus a coalesced
+    /// doorbell cross the boundary. Control paths are unaffected.
+    pub shmring: bool,
 }
 
 impl ChannelConfig {
@@ -76,6 +81,7 @@ impl ChannelConfig {
             cross_language: true,
             transport: TransportKind::InProc,
             delta: false,
+            shmring: false,
         }
     }
 
@@ -88,6 +94,20 @@ impl ChannelConfig {
             cross_language: true,
             transport: TransportKind::Batched,
             delta: true,
+            shmring: false,
+        }
+    }
+
+    /// The user-level data-path configuration: everything
+    /// [`ChannelConfig::kernel_user_batched`] does, plus a shared-memory
+    /// descriptor ring for packet payloads. This is the first
+    /// configuration where hosting the hot path at user level undercuts
+    /// the kernel copy path: descriptors and doorbells cross, payload
+    /// bytes never touch the XDR marshaler.
+    pub fn kernel_user_shmring() -> Self {
+        ChannelConfig {
+            shmring: true,
+            ..ChannelConfig::kernel_user_batched()
         }
     }
 
@@ -98,6 +118,7 @@ impl ChannelConfig {
             cross_language: true,
             transport: TransportKind::InProc,
             delta: false,
+            shmring: false,
         }
     }
 }
@@ -129,6 +150,24 @@ pub struct ChannelStats {
     pub delta_objects: u64,
     /// Masked fields elided by delta marshaling.
     pub delta_fields_elided: u64,
+    /// Descriptors posted into data-path rings attached to this channel.
+    pub ring_posts: u64,
+    /// Data-path doorbells rung (each one boundary crossing carrying a
+    /// batch of descriptors).
+    pub doorbells: u64,
+    /// Highest data-path ring occupancy observed.
+    pub ring_occupancy_hwm: u64,
+}
+
+impl ChannelStats {
+    /// Average descriptors carried per doorbell crossing — the
+    /// amortization factor of the shmring data path.
+    pub fn descriptors_per_doorbell(&self) -> f64 {
+        if self.doorbells == 0 {
+            return 0.0;
+        }
+        self.ring_posts as f64 / self.doorbells as f64
+    }
 }
 
 /// A procedure registered at one end of a channel.
@@ -354,10 +393,15 @@ impl XpcChannel {
         Ok(())
     }
 
-    fn bump(&self, f: impl FnOnce(&mut ChannelStats)) {
+    pub(crate) fn bump(&self, f: impl FnOnce(&mut ChannelStats)) {
         let mut s = self.stats.get();
         f(&mut s);
         self.stats.set(s);
+    }
+
+    /// The peer of `domain` on this channel.
+    pub fn peer_domain(&self, domain: Domain) -> XpcResult<Domain> {
+        self.peer(domain).map(|e| e.domain)
     }
 
     fn charge_transfer(&self, kernel: &Kernel, payer: Domain, bytes: usize) {
@@ -589,7 +633,7 @@ impl XpcChannel {
         match self.transport.offer(kernel, from.cpu_class(), call) {
             Ok(()) => {
                 self.bump(|s| s.deferred_calls += 1);
-                if self.transport.flush_due() {
+                if self.transport.flush_due(kernel) {
                     self.flush(kernel)?;
                 }
                 Ok(())
@@ -598,6 +642,18 @@ impl XpcChannel {
                 .call(kernel, from, &call.proc, &call.args, &call.scalars)
                 .map(|_| ()),
         }
+    }
+
+    /// Flushes the deferred queue only if the transport says a flush is
+    /// due — at capacity, or past the adaptive-batching deadline. Poll
+    /// this from timers or scheduling points so low-rate control paths
+    /// do not hold posted writes longer than the coalescing window.
+    pub fn flush_if_due(&self, kernel: &Kernel) -> XpcResult<bool> {
+        if self.transport.flush_due(kernel) {
+            self.flush(kernel)?;
+            return Ok(true);
+        }
+        Ok(false)
     }
 
     /// Flushes every deferred call through the boundary. Consecutive

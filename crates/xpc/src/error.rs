@@ -26,6 +26,9 @@ pub enum XpcError {
     /// Deferred handlers kept re-deferring and the flush loop gave up
     /// with this many calls still parked — program order is broken.
     FlushDiverged(usize),
+    /// The data-path ring or its buffer pool is out of capacity and a
+    /// doorbell did not relieve it: the producer must back off.
+    Backpressure(String),
 }
 
 impl fmt::Display for XpcError {
@@ -42,6 +45,9 @@ impl fmt::Display for XpcError {
                     f,
                     "deferred-call flush diverged with {n} calls still queued"
                 )
+            }
+            XpcError::Backpressure(what) => {
+                write!(f, "data-path backpressure: {what}")
             }
         }
     }

@@ -22,6 +22,13 @@
 //!    §3.1.1 (tracker translation, marshal, transfer, unmarshal, dispatch,
 //!    out-parameter return).
 //!
+//! On top of these, [`datapath::DataPathChannel`] adds a *zero-copy data
+//! path*: payloads live in a pinned shared-memory buffer pool, 16-byte
+//! descriptors ride single-producer/single-consumer rings, and a
+//! watermark/deadline-coalesced doorbell rides the control transport —
+//! so hosting the packet hot path at user level stops costing per-byte
+//! marshaling.
+//!
 //! Domains are [`domain::Domain::Nucleus`] (kernel),
 //! [`domain::Domain::Library`] (user-level C) and
 //! [`domain::Domain::Decaf`] (user-level managed language). The decaf
@@ -33,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod combolock;
+pub mod datapath;
 pub mod domain;
 pub mod endpoint;
 pub mod error;
@@ -41,6 +49,7 @@ pub mod tracker;
 pub mod transport;
 
 pub use combolock::{ComboStats, Combolock};
+pub use datapath::{DataPathChannel, DataPathEnd};
 pub use domain::Domain;
 pub use endpoint::{ChannelConfig, ChannelStats, ProcDef, SharedObject, XpcChannel};
 pub use error::{XpcError, XpcResult};

@@ -21,6 +21,7 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 
+use decaf_shmring::DoorbellPolicy;
 use decaf_simkernel::{costs, CpuClass, Kernel};
 use decaf_xdr::graph::CAddr;
 use decaf_xdr::XdrValue;
@@ -42,6 +43,12 @@ pub enum TransportKind {
 
 /// Deferred calls queued beyond this point force a flush.
 pub const DEFAULT_BATCH_CAPACITY: usize = 16;
+
+/// Virtual-time deadline after which a batched transport flushes even a
+/// partial queue (adaptive batching): low-rate control paths must not
+/// hold posted writes for long. Matches the shmring doorbell-coalescing
+/// window — both are the same "amortize or bound the latency" decision.
+pub const DEFAULT_BATCH_DEADLINE_NS: u64 = costs::DOORBELL_COALESCE_NS;
 
 /// A call parked in a batched transport's queue: executed at the next
 /// flush, result discarded (only result-free calls should be deferred).
@@ -87,8 +94,11 @@ pub trait Transport {
         0
     }
 
-    /// Whether the queue has reached capacity and must flush.
-    fn flush_due(&self) -> bool {
+    /// Whether the queue must flush now: it reached capacity, or its
+    /// oldest deferred call has waited past the transport's virtual-time
+    /// deadline (adaptive batching).
+    fn flush_due(&self, kernel: &Kernel) -> bool {
+        let _ = kernel;
         false
     }
 
@@ -170,18 +180,31 @@ impl Transport for Threaded {
 
 /// Batching transport: deferred calls accumulate in a shared ring and a
 /// whole batch crosses the boundary on one doorbell.
+///
+/// Flushes are due at *capacity* (the batch is worth a crossing) or at a
+/// virtual-time *deadline* measured from the oldest queued call (a
+/// low-rate path must not hold a posted write indefinitely). When a
+/// call queues is "worth a crossing" is exactly the shmring doorbell
+/// question, so the decision is delegated to the same
+/// [`DoorbellPolicy`], with the queue capacity as the watermark.
 #[derive(Debug)]
 pub struct Batched {
     queue: RefCell<VecDeque<DeferredCall>>,
-    capacity: usize,
+    policy: DoorbellPolicy,
 }
 
 impl Batched {
-    /// A batched transport flushing after `capacity` queued calls.
+    /// A batched transport flushing after `capacity` queued calls or
+    /// [`DEFAULT_BATCH_DEADLINE_NS`] of virtual time, whichever first.
     pub fn new(capacity: usize) -> Self {
+        Batched::with_deadline(capacity, DEFAULT_BATCH_DEADLINE_NS)
+    }
+
+    /// A batched transport with an explicit flush deadline.
+    pub fn with_deadline(capacity: usize, deadline_ns: u64) -> Self {
         Batched {
             queue: RefCell::new(VecDeque::new()),
-            capacity: capacity.max(1),
+            policy: DoorbellPolicy::new(capacity.max(1), deadline_ns),
         }
     }
 }
@@ -206,20 +229,26 @@ impl Transport for Batched {
         call: DeferredCall,
     ) -> Result<(), DeferredCall> {
         kernel.charge(class, costs::BATCH_ENQUEUE_NS);
+        self.policy.note_post(kernel.now_ns());
         self.queue.borrow_mut().push_back(call);
         Ok(())
     }
     fn drain(&self) -> Vec<DeferredCall> {
+        self.policy.rang();
         self.queue.borrow_mut().drain(..).collect()
     }
     fn pending(&self) -> usize {
         self.queue.borrow().len()
     }
-    fn flush_due(&self) -> bool {
-        self.queue.borrow().len() >= self.capacity
+    fn flush_due(&self, kernel: &Kernel) -> bool {
+        self.policy.due(kernel.now_ns(), self.queue.borrow().len())
     }
     fn retain(&self, keep: &dyn Fn(&DeferredCall) -> bool) {
-        self.queue.borrow_mut().retain(|c| keep(c));
+        let mut queue = self.queue.borrow_mut();
+        queue.retain(|c| keep(c));
+        if queue.is_empty() {
+            self.policy.rang();
+        }
     }
 }
 
@@ -242,7 +271,7 @@ mod tests {
         for t in [&InProc as &dyn Transport, &Threaded] {
             assert!(t.offer(&k, CpuClass::User, call("writel")).is_err());
             assert_eq!(t.pending(), 0);
-            assert!(!t.flush_due());
+            assert!(!t.flush_due(&k));
         }
     }
 
@@ -251,14 +280,48 @@ mod tests {
         let k = Kernel::new();
         let t = Batched::new(3);
         for i in 0..3 {
-            assert!(!t.flush_due(), "not due at {i}");
+            assert!(!t.flush_due(&k), "not due at {i}");
             t.offer(&k, CpuClass::User, call("writel")).unwrap();
         }
         assert_eq!(t.pending(), 3);
-        assert!(t.flush_due());
+        assert!(t.flush_due(&k));
         let drained = t.drain();
         assert_eq!(drained.len(), 3);
         assert_eq!(t.pending(), 0);
+    }
+
+    #[test]
+    fn deadline_makes_partial_batch_due() {
+        let k = Kernel::new();
+        let t = Batched::with_deadline(16, 1_000);
+        t.offer(&k, CpuClass::User, call("writel")).unwrap();
+        assert!(!t.flush_due(&k), "fresh call, deadline not reached");
+        k.run_for(999);
+        assert!(!t.flush_due(&k));
+        k.run_for(2);
+        assert!(
+            t.flush_due(&k),
+            "a lone deferred call must not wait forever"
+        );
+        // Draining disarms; the next call re-arms from its own time.
+        t.drain();
+        assert!(!t.flush_due(&k));
+        t.offer(&k, CpuClass::User, call("writel")).unwrap();
+        assert!(!t.flush_due(&k), "deadline restarts with the new batch");
+        k.run_for(1_001);
+        assert!(t.flush_due(&k));
+    }
+
+    #[test]
+    fn deadline_measured_from_oldest_call() {
+        let k = Kernel::new();
+        let t = Batched::with_deadline(16, 1_000);
+        t.offer(&k, CpuClass::User, call("a")).unwrap();
+        k.run_for(900);
+        // A later call does not push the oldest call's deadline out.
+        t.offer(&k, CpuClass::User, call("b")).unwrap();
+        k.run_for(150);
+        assert!(t.flush_due(&k));
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn incremental_conversion_library_then_decaf() {
                     cross_language: false,
                     transport: decaf_core::xpc::TransportKind::InProc,
                     delta: false,
+                    shmring: false,
                 }
             } else {
                 ChannelConfig::kernel_user()
@@ -343,4 +344,157 @@ fn shared_object_guard_with_real_driver() {
             .contains(scratch.addr()));
     }
     assert_eq!(drv.channel.heap(Domain::Nucleus).borrow().len(), before);
+}
+
+/// The PR 2 acceptance claim at workload level: a netperf-shaped run on
+/// the shmring e1000 build crosses zero payload bytes through the XDR
+/// marshaler — the channel's marshaled-byte counters are identical no
+/// matter the packet size, and throughput matches the kernel data path.
+#[test]
+fn shmring_netperf_crosses_zero_payload_bytes() {
+    let run = |pkt_len: usize| {
+        let k = Kernel::new();
+        let drv = decaf_core::drivers::e1000::decaf::install_shmring(&k, "eth0").unwrap();
+        k.netdev_open("eth0").unwrap();
+        k.schedule_point();
+        let before = drv.channel.stats();
+        let stats =
+            decaf_core::drivers::workloads::netperf_send(&k, "eth0", 1, 2_000, pkt_len).unwrap();
+        k.run_for(2 * decaf_core::simkernel::costs::DOORBELL_COALESCE_NS);
+        let after = drv.channel.stats();
+        assert!(k.violations().is_empty(), "{:?}", k.violations());
+        (
+            stats,
+            after.bytes_in - before.bytes_in,
+            after.bytes_out - before.bytes_out,
+            after.ring_posts - before.ring_posts,
+            k.net_stats("eth0"),
+        )
+    };
+    let (small_stats, small_in, small_out, small_posts, small_net) = run(64);
+    let (big_stats, big_in, big_out, big_posts, big_net) = run(1500);
+    assert_eq!(small_stats.ops, 2_000);
+    assert_eq!(big_stats.ops, 2_000);
+    assert!(small_net.tx_packets >= 1_999, "{small_net:?}");
+    assert!(big_net.tx_packets >= 1_999, "{big_net:?}");
+    // 23× more payload, identical marshaled bytes: the payload rides the
+    // ring, only descriptors and doorbells cross by value.
+    assert_eq!(
+        small_in, big_in,
+        "marshaled bytes must not scale with payload"
+    );
+    assert_eq!(small_out, big_out);
+    assert_eq!(small_posts, big_posts);
+}
+
+/// The copy audit across builds: the same transmit workload copies the
+/// same payload bytes whether the data path is native (kernel),
+/// decaf-with-kernel-data-path, or shmring-hosted at user level. A
+/// double charge anywhere in the stack breaks the equality.
+#[test]
+fn copy_accounting_consistent_across_e1000_builds() {
+    const PKTS: u64 = 50;
+    const LEN: usize = 1000;
+    let run = |install: &dyn Fn(&Kernel)| {
+        let k = Kernel::new();
+        install(&k);
+        k.netdev_open("eth0").unwrap();
+        k.schedule_point();
+        let before = k.stats().bytes_copied;
+        for i in 0..PKTS {
+            k.net_xmit(
+                "eth0",
+                decaf_core::simkernel::SkBuff::synthetic(LEN, i as u8, 0x0800),
+            )
+            .unwrap();
+            k.schedule_point();
+            k.run_for(300_000);
+        }
+        k.run_for(2 * decaf_core::simkernel::costs::DOORBELL_COALESCE_NS);
+        let st = k.net_stats("eth0");
+        assert_eq!(st.tx_packets, PKTS);
+        assert_eq!(st.rx_packets, PKTS, "loopback delivers every frame");
+        k.stats().bytes_copied - before
+    };
+    let native = run(&|k| {
+        decaf_core::drivers::e1000::native::install(k, "eth0").unwrap();
+    });
+    let decaf = run(&|k| {
+        decaf_core::drivers::e1000::decaf::install(k, "eth0").unwrap();
+    });
+    let shmring = run(&|k| {
+        decaf_core::drivers::e1000::decaf::install_shmring(k, "eth0").unwrap();
+    });
+    // One copy into the device buffer (TX) + one into the stack (RX),
+    // per packet, in every build.
+    assert_eq!(native, 2 * PKTS * LEN as u64, "native copies");
+    assert_eq!(decaf, native, "decaf build must copy exactly like native");
+    assert_eq!(
+        shmring, native,
+        "shmring build must copy exactly like native"
+    );
+}
+
+/// Adaptive batching (ROADMAP item): a lone deferred register write on a
+/// batched transport flushes once the virtual-time deadline passes, via
+/// the `flush_if_due` polling hook — low-rate control paths do not hold
+/// posted writes indefinitely.
+#[test]
+fn adaptive_batching_flushes_lone_write_on_deadline() {
+    use decaf_core::simkernel::costs::DOORBELL_COALESCE_NS;
+    let k = Kernel::new();
+    let spec = decaf_core::xdr::XdrSpec::parse("struct s { int x; };").unwrap();
+    let ch = XpcChannel::new(
+        spec,
+        decaf_core::xdr::mask::MaskSet::full(),
+        ChannelConfig::kernel_user_batched(),
+        Domain::Nucleus,
+        Domain::Decaf,
+    );
+    let hits = Rc::new(std::cell::Cell::new(0u32));
+    let h = Rc::clone(&hits);
+    ch.register_proc(
+        Domain::Decaf,
+        ProcDef {
+            name: "writel".into(),
+            arg_types: vec![],
+            handler: Rc::new(move |_, _, _, _| {
+                h.set(h.get() + 1);
+                XdrValue::Void
+            }),
+        },
+    )
+    .unwrap();
+    ch.call_deferred(&k, Domain::Nucleus, "writel", &[], &[XdrValue::UInt(1)])
+        .unwrap();
+    assert_eq!(hits.get(), 0, "parked below capacity");
+    assert!(!ch.flush_if_due(&k).unwrap(), "deadline not reached");
+    k.run_for(DOORBELL_COALESCE_NS + 1);
+    assert!(ch.flush_if_due(&k).unwrap(), "deadline flush fired");
+    assert_eq!(hits.get(), 1, "the posted write landed");
+    assert_eq!(ch.pending_deferred(), 0);
+}
+
+/// The shmring rtl8139 build: the second NIC exposes the same user-level
+/// data path, and its four-slot transmit pool applies backpressure
+/// rather than overwriting in-flight buffers.
+#[test]
+fn shmring_rtl8139_runs_netperf_shape() {
+    let k = Kernel::new();
+    let drv = decaf_core::drivers::rtl8139::install_shmring(&k, "eth1").unwrap();
+    k.netdev_open("eth1").unwrap();
+    let before = drv.channel.stats();
+    let stats = decaf_core::drivers::workloads::netperf_send(&k, "eth1", 1, 1_000, 1200).unwrap();
+    k.run_for(3 * decaf_core::simkernel::costs::DOORBELL_COALESCE_NS);
+    assert_eq!(stats.ops, 1_000);
+    let st = k.net_stats("eth1");
+    assert!(st.tx_packets >= 999, "{st:?}");
+    let after = drv.channel.stats();
+    assert!(after.doorbells > before.doorbells);
+    assert!(
+        (after.bytes_in + after.bytes_out) - (before.bytes_in + before.bytes_out)
+            < st.tx_packets * 64,
+        "payload must not reach the marshaler"
+    );
+    assert!(k.violations().is_empty(), "{:?}", k.violations());
 }
