@@ -220,6 +220,17 @@ fn bench_transport_ablation(c: &mut Criterion) {
     }
 }
 
+fn bench_shard_ablation(c: &mut Criterion) {
+    // Ablation: the sharded e1000 build at 1/2/4/8 shards on the same
+    // short netperf stream — wall time tracks the simulated per-shard
+    // steering, posting and doorbell work.
+    for shards in decaf_core::experiments::SHARD_COUNTS {
+        c.bench_function(&format!("shard/netperf[shards={shards}]"), |b| {
+            b.iter(|| decaf_core::experiments::shard_run(shards, 1, 500))
+        });
+    }
+}
+
 fn bench_combolock(c: &mut Criterion) {
     // Ablation: combolock (spin when kernel-only) vs forced semaphore.
     let kernel = Kernel::new();
@@ -251,6 +262,7 @@ criterion_group!(
     bench_shmring,
     bench_datapath_ablation,
     bench_transport_ablation,
+    bench_shard_ablation,
     bench_combolock,
     bench_slicer
 );

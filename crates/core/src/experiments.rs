@@ -819,6 +819,143 @@ pub fn datapath_ablation() -> Vec<DataPathAblationRow> {
     .collect()
 }
 
+// ----------------------------------------------------- Shard ablation
+
+/// One row of the multi-channel sharding ablation: the same netperf
+/// stream over the sharded e1000 build at one shard count.
+#[derive(Debug, Clone)]
+pub struct ShardAblationRow {
+    /// Shard count.
+    pub shards: usize,
+    /// Packets offered (and transmitted).
+    pub packets: u64,
+    /// Payload bytes offered.
+    pub payload_bytes: u64,
+    /// Total busy virtual time, kernel + user (the serial model: one CPU
+    /// does everything).
+    pub total_busy_ns: u64,
+    /// Busy time of the busiest shard (the critical path).
+    pub shard_max_ns: u64,
+    /// Busy time attributed to shards, summed.
+    pub shard_sum_ns: u64,
+    /// The parallel wall-clock estimate: serial (unattributed) work plus
+    /// the critical-path shard. With shards=1 this equals
+    /// `total_busy_ns`; with N balanced shards the sharded portion
+    /// divides by ~N.
+    pub effective_ns: u64,
+    /// Data-path doorbells rung across all shards.
+    pub doorbells: u64,
+    /// Average descriptors per doorbell.
+    pub descs_per_doorbell: f64,
+    /// TX descriptors posted across the ring set.
+    pub ring_posts: u64,
+    /// CPU-copied payload bytes (the audit counter: must not regress as
+    /// shards are added — sharding changes steering, never copying).
+    pub bytes_copied: u64,
+}
+
+impl ShardAblationRow {
+    /// Virtual-time netperf throughput under the parallel wall model.
+    pub fn virtual_mbps(&self) -> f64 {
+        if self.effective_ns == 0 {
+            return 0.0;
+        }
+        (self.payload_bytes as f64 * 8.0) / (self.effective_ns as f64 / 1e9) / 1e6
+    }
+}
+
+/// Shard counts the ablation sweeps.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs the netperf send workload over the sharded e1000 build with
+/// `shards` channels and reports the per-shard cost breakdown.
+pub fn shard_run(shards: usize, seconds: u32, pps: u32) -> ShardAblationRow {
+    let k = Kernel::new();
+    let drv = decaf_drivers::e1000::decaf::install_sharded(&k, "eth0", shards)
+        .expect("sharded e1000 installs");
+    k.netdev_open("eth0").expect("open");
+    k.schedule_point();
+    let busy_before = {
+        let s = k.snapshot();
+        s.kernel_busy_ns + s.user_busy_ns
+    };
+    let shard_before = k.shard_busy_ns();
+    let copied_before = k.stats().bytes_copied;
+    let stats = workloads::netperf_send(&k, "eth0", seconds, pps, 1500).expect("netperf");
+    k.run_for(4 * costs::DOORBELL_COALESCE_NS);
+    let snap = k.snapshot();
+    let total_busy_ns = snap.kernel_busy_ns + snap.user_busy_ns - busy_before;
+    // Window the per-shard counters over the same interval as the total,
+    // so the serial/parallel split never mixes measurement windows.
+    let shard_busy: Vec<u64> = k
+        .shard_busy_ns()
+        .iter()
+        .enumerate()
+        .map(|(i, &ns)| ns - shard_before.get(i).copied().unwrap_or(0))
+        .collect();
+    let shard_max_ns = shard_busy.iter().copied().max().unwrap_or(0);
+    let shard_sum_ns = shard_busy.iter().sum::<u64>();
+    let serial_ns = total_busy_ns.saturating_sub(shard_sum_ns);
+    let s = drv.channels.stats();
+
+    // Invariants every run must uphold — the ablation rows and the CI
+    // stress smoke gate on the same checks.
+    let net = k.net_stats("eth0");
+    assert_eq!(net.tx_packets, stats.ops, "every offered frame transmitted");
+    assert_eq!(net.rx_packets, stats.ops, "every loopback frame received");
+    assert!(
+        drv.tx_set.conserved(),
+        "TX descriptor conservation violated"
+    );
+    assert!(
+        drv.rx_set.conserved(),
+        "RX descriptor conservation violated"
+    );
+    assert_eq!(drv.tx_set.in_flight(), 0, "TX descriptors leaked");
+    assert_eq!(drv.rx_set.in_flight(), 0, "RX descriptors leaked");
+    assert!(
+        s.bytes_in + s.bytes_out < stats.ops * 64,
+        "payload leaked into the marshaler"
+    );
+    assert!(
+        k.violations().is_empty(),
+        "kernel-rule violations: {:?}",
+        k.violations()
+    );
+    if shards > 1 {
+        let rings_used = (0..shards)
+            .filter(|&i| drv.tx_set.ring(i).stats().posts > 0)
+            .count();
+        assert!(rings_used >= 2, "flow steering left traffic on one ring");
+    }
+
+    ShardAblationRow {
+        shards,
+        packets: stats.ops,
+        payload_bytes: stats.bytes,
+        total_busy_ns,
+        shard_max_ns,
+        shard_sum_ns,
+        effective_ns: serial_ns + shard_max_ns,
+        doorbells: s.doorbells,
+        descs_per_doorbell: s.descriptors_per_doorbell(),
+        ring_posts: s.ring_posts,
+        bytes_copied: k.stats().bytes_copied - copied_before,
+    }
+}
+
+/// Regenerates the sharding ablation: the identical netperf stream at
+/// shards = 1, 2, 4, 8. The parallel wall model (serial work plus the
+/// critical-path shard) is where multi-channel sharding pays: the
+/// per-packet data-path work divides across shards while copies and
+/// marshaled bytes stay identical.
+pub fn shard_ablation() -> Vec<ShardAblationRow> {
+    SHARD_COUNTS
+        .into_iter()
+        .map(|n| shard_run(n, NET_SECONDS, E1000_PPS))
+        .collect()
+}
+
 // ------------------------------------------------- Transport ablation
 
 /// One row of the transport/delta ablation: the same repeated-
@@ -1171,6 +1308,39 @@ mod tests {
             shm.descs_per_doorbell
         );
         assert!(shm.ring_occupancy_hwm >= 8);
+    }
+
+    #[test]
+    fn shard_ablation_parallelism_wins_without_copy_regression() {
+        // Smaller run than the bench prints, same acceptance property:
+        // shards=4 beats shards=1 on virtual-time netperf throughput,
+        // with zero bytes_copied regression.
+        let rows: Vec<ShardAblationRow> = [1usize, 4]
+            .into_iter()
+            .map(|n| shard_run(n, 1, 2_000))
+            .collect();
+        let (one, four) = (&rows[0], &rows[1]);
+        assert_eq!(one.packets, four.packets, "identical offered stream");
+        assert!(
+            four.virtual_mbps() > one.virtual_mbps(),
+            "shards=4 ({:.1} Mb/s) must beat shards=1 ({:.1} Mb/s)",
+            four.virtual_mbps(),
+            one.virtual_mbps()
+        );
+        assert!(
+            four.effective_ns < one.effective_ns,
+            "parallel wall estimate must shrink: {} vs {}",
+            four.effective_ns,
+            one.effective_ns
+        );
+        assert_eq!(
+            four.bytes_copied, one.bytes_copied,
+            "sharding must not change copy accounting"
+        );
+        // With one shard the sharded portion IS the critical path.
+        assert_eq!(one.shard_max_ns, one.shard_sum_ns);
+        // With four shards the critical path is strictly below the sum.
+        assert!(four.shard_max_ns < four.shard_sum_ns);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
+use decaf_shmring::RingSet;
 use decaf_simkernel::kernel::IrqHandler;
 use decaf_simkernel::{costs, KError, Kernel, MmioRegion, TimerId};
 use decaf_xdr::XdrValue;
@@ -37,6 +38,77 @@ pub fn shmring_xmit_op(tx_dp: Rc<DataPathChannel>, max_len: usize) -> decaf_simk
         seq.set(cookie + 1);
         tx_dp.send(k, &skb.data, cookie).map_err(|_| KError::Busy)
     })
+}
+
+/// Builds the netdev transmit op for a *sharded* TX data path: each
+/// frame is steered to a shard by an RSS-style flow hash over its
+/// protocol and leading payload bytes, posted into that shard's ring
+/// under the shard's cost scope, and recorded in the [`RingSet`] so the
+/// IRQ-side completion steers back to the posting shard.
+pub fn sharded_xmit_op(
+    tx_set: Rc<RingSet>,
+    tx_paths: Vec<Rc<DataPathChannel>>,
+    max_len: usize,
+) -> decaf_simkernel::net::XmitOp {
+    let seq = Cell::new(0u64);
+    Rc::new(move |k, skb| {
+        if skb.len() > max_len {
+            return Err(KError::Inval);
+        }
+        let cookie = seq.get();
+        seq.set(cookie + 1);
+        // The flow identity of the synthetic workloads lives in the
+        // frame's protocol and fill bytes; hashing them keeps one flow
+        // on one queue while distinct flows spread (RSS semantics).
+        let flow = skb.data.first().copied().unwrap_or(0) as u64
+            | ((skb.protocol as u64) << 8)
+            | ((skb.len() as u64) << 24);
+        let shard = tx_set.steer(flow);
+        k.shard_scope(shard, || {
+            // Record the origin *before* sending: a watermark or
+            // pool-exhaustion doorbell inside send() runs the decaf
+            // drain synchronously, and its reject path steers the
+            // descriptor home through this record.
+            tx_set.note_post(shard, cookie);
+            tx_paths[shard].send(k, &skb.data, cookie).map_err(|_| {
+                tx_set.cancel_post(cookie);
+                KError::Busy
+            })
+        })
+    })
+}
+
+/// Arms the periodic coalescing poll for a set of sharded TX paths: one
+/// timer, one work item, each busy shard polled under its cost scope.
+pub fn sharded_poll_timer(
+    kernel: &Kernel,
+    name: &'static str,
+    tx_paths: &[Rc<DataPathChannel>],
+) -> TimerId {
+    let paths: Vec<Rc<DataPathChannel>> = tx_paths.to_vec();
+    let timer = kernel.timer_create(
+        name,
+        Rc::new(move |k| {
+            let busy: Vec<usize> = paths
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.pending() > 0 || !p.completions().is_empty())
+                .map(|(i, _)| i)
+                .collect();
+            if !busy.is_empty() {
+                let paths = paths.clone();
+                k.schedule_work(name, move |k| {
+                    for i in busy {
+                        k.shard_scope(i, || {
+                            let _ = paths[i].poll(k);
+                        });
+                    }
+                });
+            }
+        }),
+    );
+    kernel.timer_arm_periodic(timer, costs::DOORBELL_COALESCE_NS);
+    timer
 }
 
 /// Arms the periodic coalescing poll for a shmring TX path: the timer

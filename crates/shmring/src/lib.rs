@@ -28,6 +28,10 @@
 //!   oldest post has waited longer than a coalescing deadline
 //!   ([`decaf_simkernel::costs::DOORBELL_COALESCE_NS`]), so low-rate
 //!   paths are not held hostage by batching.
+//! * [`RingSet`] — RSS-style multi-queue: N per-shard descriptor rings
+//!   and completion rings behind one object, with deterministic flow
+//!   steering and a completion-steering policy that routes the IRQ-side
+//!   handback to the shard that posted the descriptor.
 //!
 //! The XPC layer builds its `DataPathChannel` on these pieces: the
 //! descriptors ride the rings, the doorbell rides the existing transport
@@ -39,7 +43,9 @@
 pub mod doorbell;
 pub mod pool;
 pub mod ring;
+pub mod ringset;
 
 pub use doorbell::DoorbellPolicy;
 pub use pool::{BufHandle, BufPool, PoolError, PoolStats};
 pub use ring::{Descriptor, RingError, RingStats, ShmRing, SlotOwner};
+pub use ringset::{flow_hash, RingSet, RingSetError, RingSetStats};

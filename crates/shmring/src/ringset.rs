@@ -1,0 +1,374 @@
+//! Multi-queue ring sets: RSS-style per-shard descriptor rings with a
+//! completion-steering policy.
+//!
+//! One [`crate::ShmRing`] per direction is enough for one producer and
+//! one consumer. Scaling the user-level data path across CPUs needs N
+//! parallel rings feeding one device — per-CPU (or per-flow) TX/RX
+//! queues, exactly the receive-side-scaling shape real NICs expose. A
+//! [`RingSet`] groups N descriptor rings and their N completion rings
+//! behind one object and adds the two policies sharding requires:
+//!
+//! * **flow steering** ([`RingSet::steer`]) — a deterministic hash maps
+//!   a flow key to a shard, so one flow's descriptors stay on one ring
+//!   (ordering within the flow is preserved; different flows spread);
+//! * **completion steering** ([`RingSet::complete`]) — the IRQ side
+//!   hands a finished descriptor back *to the shard that posted it*,
+//!   looked up from the cookie recorded at post time. Completions must
+//!   come home: a buffer freed on the wrong shard's ring would corrupt
+//!   that shard's pool accounting and break descriptor conservation.
+//!
+//! The set keeps conservation counters: every descriptor noted as
+//! posted is either still in flight or has been completed, and
+//! completions are always steered to the posting shard. The
+//! `tests/shard_sched.rs` interleaving harness asserts these invariants
+//! over enumerated schedules.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use decaf_simkernel::{CpuClass, Kernel};
+
+use crate::ring::{Descriptor, RingError, ShmRing};
+
+/// Failure modes specific to multi-queue steering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingSetError {
+    /// The descriptor's cookie was never noted as posted (or was already
+    /// completed): the completion cannot be steered home.
+    UnknownOrigin(u64),
+    /// The posting shard's completion ring is full.
+    CompletionFull(usize),
+    /// The target shard's descriptor ring is full (backpressure).
+    RingFull(usize),
+}
+
+impl std::fmt::Display for RingSetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingSetError::UnknownOrigin(cookie) => {
+                write!(f, "completion for unknown cookie {cookie}")
+            }
+            RingSetError::CompletionFull(shard) => {
+                write!(f, "completion ring of shard {shard} full")
+            }
+            RingSetError::RingFull(shard) => {
+                write!(f, "descriptor ring of shard {shard} full")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RingSetError {}
+
+/// Conservation counters for one ring set.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RingSetStats {
+    /// Descriptors noted as posted across all shards.
+    pub posted: u64,
+    /// Descriptors completed (steered home).
+    pub completed: u64,
+    /// Most descriptors simultaneously in flight (posted, not completed).
+    pub in_flight_hwm: u64,
+}
+
+/// A deterministic 64-bit mix (SplitMix64 finalizer) used for flow
+/// steering: uniform, seedless, and stable across runs.
+pub fn flow_hash(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// N parallel descriptor rings plus their completion rings, with flow
+/// and completion steering.
+///
+/// Cookie discipline: a cookie identifies one in-flight descriptor. The
+/// same cookie may be reused only after its previous incarnation has
+/// been completed (device RX slots naturally satisfy this: a slot is
+/// recycled only after its completion comes home).
+#[derive(Debug)]
+pub struct RingSet {
+    rings: Vec<Rc<ShmRing>>,
+    completions: Vec<Rc<ShmRing>>,
+    /// Posting shard of every in-flight cookie.
+    origin: RefCell<HashMap<u64, usize>>,
+    stats: Cell<RingSetStats>,
+}
+
+impl RingSet {
+    /// Builds `shards` descriptor rings of `capacity` slots (named
+    /// `{name}-{i}`) and completion rings of `completion_capacity`.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(name: &str, shards: usize, capacity: usize, completion_capacity: usize) -> Rc<Self> {
+        assert!(shards > 0, "a ring set needs at least one shard");
+        Rc::new(RingSet {
+            rings: (0..shards)
+                .map(|i| Rc::new(ShmRing::new(format!("{name}-{i}"), capacity)))
+                .collect(),
+            completions: (0..shards)
+                .map(|i| {
+                    Rc::new(ShmRing::new(
+                        format!("{name}-done-{i}"),
+                        completion_capacity,
+                    ))
+                })
+                .collect(),
+            origin: RefCell::new(HashMap::new()),
+            stats: Cell::new(RingSetStats::default()),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Shard `i`'s descriptor ring.
+    pub fn ring(&self, shard: usize) -> &Rc<ShmRing> {
+        &self.rings[shard]
+    }
+
+    /// Shard `i`'s completion ring.
+    pub fn completions(&self, shard: usize) -> &Rc<ShmRing> {
+        &self.completions[shard]
+    }
+
+    /// Maps a flow key to its shard. Deterministic: the same flow always
+    /// lands on the same ring, so per-flow ordering is preserved.
+    pub fn steer(&self, flow: u64) -> usize {
+        (flow_hash(flow) % self.rings.len() as u64) as usize
+    }
+
+    /// Records that `cookie` was posted on `shard` without touching the
+    /// ring — for producers that post through a higher-level path (e.g. a
+    /// `DataPathChannel` holding the same ring `Rc`).
+    pub fn note_post(&self, shard: usize, cookie: u64) {
+        debug_assert!(shard < self.rings.len());
+        self.origin.borrow_mut().insert(cookie, shard);
+        let in_flight = self.origin.borrow().len() as u64;
+        self.bump(|s| {
+            s.posted += 1;
+            s.in_flight_hwm = s.in_flight_hwm.max(in_flight);
+        });
+    }
+
+    /// Cancels an origin record whose post failed after being noted
+    /// (producer-side unwind: note first so a synchronously-triggered
+    /// consumer can steer completions, cancel if the post never
+    /// happened). Conservation treats the descriptor as never posted.
+    pub fn cancel_post(&self, cookie: u64) {
+        if self.origin.borrow_mut().remove(&cookie).is_some() {
+            self.bump(|s| s.posted -= 1);
+        }
+    }
+
+    /// Posts one descriptor directly onto `shard`'s ring and records its
+    /// origin.
+    pub fn post(
+        &self,
+        kernel: &Kernel,
+        class: CpuClass,
+        shard: usize,
+        desc: Descriptor,
+    ) -> Result<(), RingSetError> {
+        match self.rings[shard].push(kernel, class, desc) {
+            Ok(()) => {
+                self.note_post(shard, desc.cookie);
+                Ok(())
+            }
+            Err(RingError::Full) => Err(RingSetError::RingFull(shard)),
+        }
+    }
+
+    /// Steers a finished descriptor home: pushes it onto the *posting*
+    /// shard's completion ring and retires the origin record. Returns the
+    /// shard the completion was routed to.
+    pub fn complete(
+        &self,
+        kernel: &Kernel,
+        class: CpuClass,
+        desc: Descriptor,
+    ) -> Result<usize, RingSetError> {
+        let shard = {
+            let origin = self.origin.borrow();
+            *origin
+                .get(&desc.cookie)
+                .ok_or(RingSetError::UnknownOrigin(desc.cookie))?
+        };
+        match self.completions[shard].push(kernel, class, desc) {
+            Ok(()) => {
+                self.origin.borrow_mut().remove(&desc.cookie);
+                self.bump(|s| s.completed += 1);
+                Ok(shard)
+            }
+            Err(RingError::Full) => Err(RingSetError::CompletionFull(shard)),
+        }
+    }
+
+    /// Drains `shard`'s completion ring (the producer reclaiming its
+    /// handed-back descriptors).
+    pub fn reclaim(&self, kernel: &Kernel, class: CpuClass, shard: usize) -> Vec<Descriptor> {
+        self.completions[shard].drain(kernel, class)
+    }
+
+    /// Descriptors posted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.origin.borrow().len()
+    }
+
+    /// The posting shard of an in-flight cookie.
+    pub fn origin_of(&self, cookie: u64) -> Option<usize> {
+        self.origin.borrow().get(&cookie).copied()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RingSetStats {
+        self.stats.get()
+    }
+
+    /// The conservation invariant: every descriptor ever noted as posted
+    /// is either completed or still in flight — none lost, none
+    /// double-completed.
+    pub fn conserved(&self) -> bool {
+        let s = self.stats.get();
+        s.posted == s.completed + self.in_flight() as u64
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut RingSetStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::BufHandle;
+
+    fn desc(cookie: u64) -> Descriptor {
+        Descriptor {
+            buf: BufHandle(cookie as u32),
+            len: 64,
+            cookie,
+        }
+    }
+
+    #[test]
+    fn flow_steering_is_deterministic_and_spreads() {
+        let set = RingSet::new("tx", 4, 8, 16);
+        let mut hits = [0u32; 4];
+        for flow in 0..256u64 {
+            let a = set.steer(flow);
+            let b = set.steer(flow);
+            assert_eq!(a, b, "same flow, same shard");
+            hits[a] += 1;
+        }
+        for (shard, h) in hits.iter().enumerate() {
+            assert!(*h > 32, "shard {shard} starved: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn completions_steer_to_the_posting_shard() {
+        let k = Kernel::new();
+        let set = RingSet::new("tx", 3, 8, 16);
+        for cookie in 0..9u64 {
+            let shard = set.steer(cookie);
+            set.post(&k, CpuClass::Kernel, shard, desc(cookie)).unwrap();
+        }
+        // A consumer drains every ring (order immaterial), completing
+        // each descriptor; the completion must come home.
+        for shard in 0..3 {
+            for d in set.ring(shard).drain(&k, CpuClass::User) {
+                let home = set.complete(&k, CpuClass::User, d).unwrap();
+                assert_eq!(home, shard, "cookie {} steered astray", d.cookie);
+            }
+        }
+        for shard in 0..3 {
+            for d in set.reclaim(&k, CpuClass::Kernel, shard) {
+                assert_eq!(set.steer(d.cookie), shard);
+            }
+        }
+        assert!(set.conserved());
+        assert_eq!(set.in_flight(), 0);
+        assert_eq!(set.stats().posted, 9);
+        assert_eq!(set.stats().completed, 9);
+    }
+
+    #[test]
+    fn unknown_origin_rejected() {
+        let k = Kernel::new();
+        let set = RingSet::new("tx", 2, 4, 8);
+        assert_eq!(
+            set.complete(&k, CpuClass::Kernel, desc(7)),
+            Err(RingSetError::UnknownOrigin(7))
+        );
+        // Double completion is also a conservation violation.
+        set.post(&k, CpuClass::Kernel, 0, desc(1)).unwrap();
+        set.ring(0).drain(&k, CpuClass::User);
+        set.complete(&k, CpuClass::User, desc(1)).unwrap();
+        assert_eq!(
+            set.complete(&k, CpuClass::User, desc(1)),
+            Err(RingSetError::UnknownOrigin(1))
+        );
+        assert!(set.conserved());
+    }
+
+    #[test]
+    fn cookie_reuse_after_completion_is_legal() {
+        // RX slots recycle their cookies once the completion came home.
+        let k = Kernel::new();
+        let set = RingSet::new("rx", 2, 4, 8);
+        for round in 0..3 {
+            set.post(&k, CpuClass::Kernel, 1, desc(5)).unwrap();
+            set.ring(1).drain(&k, CpuClass::User);
+            assert_eq!(set.complete(&k, CpuClass::User, desc(5)).unwrap(), 1);
+            assert_eq!(
+                set.reclaim(&k, CpuClass::Kernel, 1).len(),
+                1,
+                "round {round}"
+            );
+        }
+        assert_eq!(set.stats().posted, 3);
+        assert!(set.conserved());
+    }
+
+    #[test]
+    fn cancel_post_unwinds_a_noted_origin() {
+        let k = Kernel::new();
+        let set = RingSet::new("tx", 2, 4, 8);
+        // note-first producer pattern: the post never happens.
+        set.note_post(1, 9);
+        assert_eq!(set.in_flight(), 1);
+        set.cancel_post(9);
+        assert_eq!(set.in_flight(), 0);
+        assert_eq!(set.stats().posted, 0);
+        assert!(set.conserved());
+        // Cancelling an already-completed (or unknown) cookie is a no-op.
+        set.post(&k, CpuClass::Kernel, 0, desc(1)).unwrap();
+        set.ring(0).drain(&k, CpuClass::User);
+        set.complete(&k, CpuClass::User, desc(1)).unwrap();
+        set.cancel_post(1);
+        assert_eq!(set.stats().posted, 1);
+        assert!(set.conserved());
+    }
+
+    #[test]
+    fn full_shard_ring_applies_backpressure() {
+        let k = Kernel::new();
+        let set = RingSet::new("tx", 2, 1, 2);
+        set.post(&k, CpuClass::Kernel, 0, desc(0)).unwrap();
+        assert_eq!(
+            set.post(&k, CpuClass::Kernel, 0, desc(1)),
+            Err(RingSetError::RingFull(0))
+        );
+        // The refused post must not count toward conservation.
+        assert_eq!(set.stats().posted, 1);
+        assert!(set.conserved());
+    }
+}

@@ -121,6 +121,8 @@ pub(crate) struct Inner {
     pub(crate) clock: RefCell<Clock>,
     ctx: Cell<ExecContext>,
     atomic_depth: Cell<u32>,
+    shard: Cell<Option<usize>>,
+    shard_busy: RefCell<Vec<u64>>,
     irqs: RefCell<Vec<IrqLine>>,
     timers: RefCell<Vec<TimerEntry>>,
     work: RefCell<WorkState>,
@@ -178,6 +180,8 @@ impl Kernel {
                 clock: RefCell::new(Clock::new()),
                 ctx: Cell::new(ExecContext::Process),
                 atomic_depth: Cell::new(0),
+                shard: Cell::new(None),
+                shard_busy: RefCell::new(Vec::new()),
                 irqs: RefCell::new(Vec::new()),
                 timers: RefCell::new(Vec::new()),
                 work: RefCell::new(WorkState::default()),
@@ -203,18 +207,72 @@ impl Kernel {
 
     /// Charges `ns` of busy time to the kernel CPU class.
     pub fn charge_kernel(&self, ns: u64) {
-        self.inner.clock.borrow_mut().charge(CpuClass::Kernel, ns);
+        self.charge(CpuClass::Kernel, ns);
     }
 
     /// Charges `ns` of busy time to the user CPU class.
     pub fn charge_user(&self, ns: u64) {
-        self.inner.clock.borrow_mut().charge(CpuClass::User, ns);
+        self.charge(CpuClass::User, ns);
     }
 
     /// Charges busy time to the class matching the current context:
     /// kernel time unless explicitly charged as user.
+    ///
+    /// When a [`Kernel::shard_scope`] is active, the charge is *also*
+    /// attributed to that shard's busy counter — the per-CPU accounting
+    /// behind the sharded-channel ablation.
     pub fn charge(&self, class: CpuClass, ns: u64) {
         self.inner.clock.borrow_mut().charge(class, ns);
+        if let Some(shard) = self.inner.shard.get() {
+            let mut busy = self.inner.shard_busy.borrow_mut();
+            if busy.len() <= shard {
+                busy.resize(shard + 1, 0);
+            }
+            busy[shard] += ns;
+        }
+    }
+
+    // ---------------------------------------------- shard accounting
+
+    /// Runs `f` with every busy-time charge additionally attributed to
+    /// `shard` (per-CPU accounting for sharded data paths). Scopes nest;
+    /// an inner scope overrides the outer for its duration.
+    ///
+    /// The simulation stays single-threaded: per-shard counters model
+    /// work that *would* run on separate CPUs. The parallel wall-clock
+    /// estimate for a run is `unattributed busy + max(shard busy)` —
+    /// serial work plus the critical-path shard — which is what the
+    /// shards=1/2/4/8 ablation reports as virtual-time throughput.
+    pub fn shard_scope<R>(&self, shard: usize, f: impl FnOnce() -> R) -> R {
+        // Drop guard, not a tail restore: handler panics inside a scope
+        // are caught and survived at the XPC layer (fault containment),
+        // and a scope left stuck would silently misattribute every later
+        // charge in the simulation.
+        struct Restore<'a> {
+            cell: &'a Cell<Option<usize>>,
+            prev: Option<usize>,
+        }
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                self.cell.set(self.prev);
+            }
+        }
+        let _restore = Restore {
+            cell: &self.inner.shard,
+            prev: self.inner.shard.replace(Some(shard)),
+        };
+        f()
+    }
+
+    /// The shard charges are currently attributed to, if any.
+    pub fn current_shard(&self) -> Option<usize> {
+        self.inner.shard.get()
+    }
+
+    /// Per-shard busy nanoseconds accumulated under [`Kernel::shard_scope`]
+    /// (indexed by shard id; shards never scoped report 0).
+    pub fn shard_busy_ns(&self) -> Vec<u64> {
+        self.inner.shard_busy.borrow().clone()
     }
 
     /// Charges one CPU copy of `bytes` payload bytes and counts it in
@@ -830,6 +888,50 @@ mod tests {
         let err = k.insmod("bad", |_| Err(KError::NoDev)).unwrap_err();
         assert_eq!(err, KError::NoDev);
         assert!(k.modules().is_empty());
+    }
+
+    #[test]
+    fn shard_scope_attributes_charges() {
+        let k = Kernel::new();
+        k.charge_kernel(100); // unattributed
+        k.shard_scope(2, || {
+            k.charge_kernel(50);
+            k.charge_user(30);
+        });
+        k.shard_scope(0, || k.charge_user(10));
+        assert_eq!(k.current_shard(), None, "scope restored");
+        let busy = k.shard_busy_ns();
+        assert_eq!(busy, vec![10, 0, 80]);
+        // Per-class totals include both attributed and unattributed time.
+        let snap = k.snapshot();
+        assert_eq!(snap.kernel_busy_ns, 150);
+        assert_eq!(snap.user_busy_ns, 40);
+    }
+
+    #[test]
+    fn shard_scope_restores_across_panics() {
+        // XPC catches handler panics and keeps running (fault
+        // containment), so a scope must unwind cleanly too.
+        let k = Kernel::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            k.shard_scope(3, || panic!("handler died"));
+        }));
+        assert!(caught.is_err());
+        assert_eq!(k.current_shard(), None, "scope stuck after a panic");
+        k.charge_kernel(10);
+        assert_eq!(k.shard_busy_ns().get(3).copied().unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn shard_scopes_nest_with_inner_override() {
+        let k = Kernel::new();
+        k.shard_scope(0, || {
+            k.charge_kernel(10);
+            k.shard_scope(1, || k.charge_kernel(7));
+            assert_eq!(k.current_shard(), Some(0));
+            k.charge_kernel(3);
+        });
+        assert_eq!(k.shard_busy_ns(), vec![13, 7]);
     }
 
     #[test]

@@ -126,6 +126,11 @@ impl DataPathChannel {
     /// On pool exhaustion the channel applies backpressure in stages:
     /// reclaim completions, force a doorbell so the consumer drains,
     /// reclaim again — and only then reports [`XpcError::Backpressure`].
+    ///
+    /// An error always means the frame was *not* posted (producers may
+    /// safely retry or unwind); once the descriptor is in the ring the
+    /// send has succeeded, and any fault in the post-send doorbell is
+    /// contained rather than surfaced here.
     pub fn send(&self, kernel: &Kernel, payload: &[u8], cookie: u64) -> XpcResult<()> {
         let pool = self
             .pool
@@ -159,7 +164,13 @@ impl DataPathChannel {
             let _ = pool.free(handle);
             return Err(e);
         }
-        self.maybe_ring(kernel)?;
+        // The frame is committed once its descriptor is posted; an error
+        // from `send` always means "not posted". The doorbell itself is
+        // best-effort: a consumer-side fault during the drain is
+        // contained by the XPC layer (and counted in the channel's fault
+        // stats), the batch stays parked, and the deadline poll retries
+        // the crossing.
+        let _ = self.maybe_ring(kernel);
         Ok(())
     }
 

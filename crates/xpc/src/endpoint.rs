@@ -168,6 +168,28 @@ impl ChannelStats {
         }
         self.ring_posts as f64 / self.doorbells as f64
     }
+
+    /// Folds another channel's counters into this one — the aggregation
+    /// rule a sharded facade uses to present N channels as one: every
+    /// counter sums, except the occupancy high-water mark, which takes
+    /// the max (per-shard rings fill independently; summing HWMs would
+    /// report an occupancy no single ring ever saw).
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.round_trips += other.round_trips;
+        self.one_way_crossings += other.one_way_crossings;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.faults += other.faults;
+        self.deferred_calls += other.deferred_calls;
+        self.batched_calls += other.batched_calls;
+        self.flushes += other.flushes;
+        self.full_objects += other.full_objects;
+        self.delta_objects += other.delta_objects;
+        self.delta_fields_elided += other.delta_fields_elided;
+        self.ring_posts += other.ring_posts;
+        self.doorbells += other.doorbells;
+        self.ring_occupancy_hwm = self.ring_occupancy_hwm.max(other.ring_occupancy_hwm);
+    }
 }
 
 /// A procedure registered at one end of a channel.
@@ -214,6 +236,10 @@ impl DeltaHook for DeltaMap {
 
 struct DomainEnd {
     domain: Domain,
+    /// The heap's base address: the domain's base plus any shard offset.
+    /// Stored so `reset_end` rebuilds the heap in the same address range
+    /// (a sharded channel's ends must stay disjoint across shards).
+    heap_base: u64,
     heap: Rc<RefCell<ObjHeap>>,
     tracker: RefCell<ObjectTracker>,
     procs: RefCell<HashMap<String, ProcDef>>,
@@ -221,10 +247,11 @@ struct DomainEnd {
 }
 
 impl DomainEnd {
-    fn new(domain: Domain) -> Self {
+    fn new(domain: Domain, heap_base: u64) -> Self {
         DomainEnd {
             domain,
-            heap: Rc::new(RefCell::new(ObjHeap::with_base(domain.heap_base()))),
+            heap_base,
+            heap: Rc::new(RefCell::new(ObjHeap::with_base(heap_base))),
             tracker: RefCell::new(ObjectTracker::new()),
             procs: RefCell::new(HashMap::new()),
             delta: RefCell::new(DeltaMap::default()),
@@ -247,14 +274,30 @@ impl XpcChannel {
     /// Creates a channel between two domains over a shared interface spec
     /// and mask set (both produced by DriverSlicer).
     pub fn new(spec: XdrSpec, masks: MaskSet, config: ChannelConfig, a: Domain, b: Domain) -> Self {
+        XpcChannel::with_heap_offset(spec, masks, config, a, b, 0)
+    }
+
+    /// Like [`XpcChannel::new`], with both ends' heaps based at their
+    /// domain base plus `heap_offset`. A sharded facade gives each shard
+    /// channel a distinct offset so every heap address in the system
+    /// names exactly one (shard, domain, object) — what makes home-shard
+    /// lookup by address exact.
+    pub fn with_heap_offset(
+        spec: XdrSpec,
+        masks: MaskSet,
+        config: ChannelConfig,
+        a: Domain,
+        b: Domain,
+        heap_offset: u64,
+    ) -> Self {
         assert_ne!(a, b, "a channel needs two distinct domains");
         XpcChannel {
             spec,
             masks,
             config,
             transport: transport::build(config.transport),
-            a: DomainEnd::new(a),
-            b: DomainEnd::new(b),
+            a: DomainEnd::new(a, a.heap_base() + heap_offset),
+            b: DomainEnd::new(b, b.heap_base() + heap_offset),
             stats: Cell::new(ChannelStats::default()),
         }
     }
@@ -267,6 +310,14 @@ impl XpcChannel {
     /// Deferred calls currently parked in the transport queue.
     pub fn pending_deferred(&self) -> usize {
         self.transport.pending()
+    }
+
+    /// Takes every parked deferred call out of the transport *without*
+    /// executing it — the fault-recovery hook a sharded facade uses to
+    /// requeue a dead shard's in-flight calls after resetting its user
+    /// end. The calls are returned in defer order.
+    pub fn take_deferred(&self) -> Vec<DeferredCall> {
+        self.transport.drain()
     }
 
     fn end(&self, domain: Domain) -> XpcResult<&DomainEnd> {
@@ -385,7 +436,7 @@ impl XpcChannel {
     /// queued by the reset end are dropped.
     pub fn reset_end(&self, domain: Domain) -> XpcResult<()> {
         let e = self.end(domain)?;
-        *e.heap.borrow_mut() = ObjHeap::with_base(e.domain.heap_base());
+        *e.heap.borrow_mut() = ObjHeap::with_base(e.heap_base);
         *e.tracker.borrow_mut() = ObjectTracker::new();
         e.delta.borrow_mut().clear();
         self.peer(domain)?.delta.borrow_mut().clear();
@@ -1373,6 +1424,47 @@ mod tests {
             .call_deferred(&k, Domain::Nucleus, "nope", &[], &[])
             .unwrap_err();
         assert!(matches!(err, XpcError::UnknownProc { .. }));
+        assert_eq!(ch.pending_deferred(), 0);
+    }
+
+    #[test]
+    fn reset_end_reanchors_flush_deadline_to_surviving_calls() {
+        // Regression for the flush_if_due off-by-one: a fault-recovery
+        // reset drops the dead domain's deferred calls; the survivors'
+        // deadline must then be measured from their own defer times, not
+        // from the dropped (older) call the shared anchor used to track.
+        use crate::transport::DEFAULT_BATCH_DEADLINE_NS as WINDOW;
+        let k = Kernel::new();
+        let ch = batched_channel();
+        register_noop(&ch, "touch");
+        ch.register_proc(
+            Domain::Nucleus,
+            ProcDef {
+                name: "writel".into(),
+                arg_types: vec![],
+                handler: Rc::new(|_, _, _, _| XdrValue::Void),
+            },
+        )
+        .unwrap();
+        // t=0: the decaf driver posts a register write (oldest call).
+        ch.call_deferred(&k, Domain::Decaf, "writel", &[], &[])
+            .unwrap();
+        k.run_for(WINDOW / 2);
+        // t=W/2: the nucleus defers an upcall.
+        ch.call_deferred(&k, Domain::Nucleus, "touch", &[], &[])
+            .unwrap();
+        // The decaf end faults; its queued calls are dropped.
+        ch.reset_end(Domain::Decaf).unwrap();
+        assert_eq!(ch.pending_deferred(), 1, "nucleus call survives the reset");
+        // t=W+1: past the dropped call's window, within the survivor's.
+        k.run_for(WINDOW / 2 + 1);
+        assert!(
+            !ch.flush_if_due(&k).unwrap(),
+            "survivor must wait out its own coalescing window"
+        );
+        // t=3W/2: the survivor's own window has now expired.
+        k.run_for(WINDOW / 2);
+        assert!(ch.flush_if_due(&k).unwrap());
         assert_eq!(ch.pending_deferred(), 0);
     }
 

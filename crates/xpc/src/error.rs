@@ -29,6 +29,10 @@ pub enum XpcError {
     /// The data-path ring or its buffer pool is out of capacity and a
     /// doorbell did not relieve it: the producer must back off.
     Backpressure(String),
+    /// A sharded call could not be steered to one shard: its object
+    /// arguments are homed on different shards, or an argument has no
+    /// recorded home (home-channel pinning violated).
+    ShardConflict(String),
 }
 
 impl fmt::Display for XpcError {
@@ -48,6 +52,9 @@ impl fmt::Display for XpcError {
             }
             XpcError::Backpressure(what) => {
                 write!(f, "data-path backpressure: {what}")
+            }
+            XpcError::ShardConflict(what) => {
+                write!(f, "shard steering conflict: {what}")
             }
         }
     }

@@ -29,6 +29,12 @@
 //! so hosting the packet hot path at user level stops costing per-byte
 //! marshaling.
 //!
+//! [`shard::ShardedChannel`] scales both layers out: N parallel channels
+//! (per-CPU or per-flow) behind one facade, each with its own transport
+//! queue, delta maps and generation counters — home-channel pinning for
+//! shared objects, flow-hash steering for data-path traffic, stats that
+//! aggregate across shards, and per-shard fault recovery.
+//!
 //! Domains are [`domain::Domain::Nucleus`] (kernel),
 //! [`domain::Domain::Library`] (user-level C) and
 //! [`domain::Domain::Decaf`] (user-level managed language). The decaf
@@ -45,6 +51,7 @@ pub mod domain;
 pub mod endpoint;
 pub mod error;
 pub mod runtime;
+pub mod shard;
 pub mod tracker;
 pub mod transport;
 
@@ -54,5 +61,6 @@ pub use domain::Domain;
 pub use endpoint::{ChannelConfig, ChannelStats, ProcDef, SharedObject, XpcChannel};
 pub use error::{XpcError, XpcResult};
 pub use runtime::{DecafRuntime, NuclearRuntime};
+pub use shard::{ShardPolicy, ShardedChannel, MAX_SHARDS, SHARD_HEAP_STRIDE};
 pub use tracker::{ObjectTracker, TrackerStats};
 pub use transport::{Batched, DeferredCall, InProc, Threaded, Transport, TransportKind};

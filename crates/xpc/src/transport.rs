@@ -21,7 +21,6 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 
-use decaf_shmring::DoorbellPolicy;
 use decaf_simkernel::{costs, CpuClass, Kernel};
 use decaf_xdr::graph::CAddr;
 use decaf_xdr::XdrValue;
@@ -183,14 +182,26 @@ impl Transport for Threaded {
 ///
 /// Flushes are due at *capacity* (the batch is worth a crossing) or at a
 /// virtual-time *deadline* measured from the oldest queued call (a
-/// low-rate path must not hold a posted write indefinitely). When a
-/// call queues is "worth a crossing" is exactly the shmring doorbell
-/// question, so the decision is delegated to the same
-/// [`DoorbellPolicy`], with the queue capacity as the watermark.
+/// low-rate path must not hold a posted write indefinitely) — the same
+/// watermark/deadline decision a shmring
+/// [`decaf_shmring::DoorbellPolicy`] makes for parked descriptors, with
+/// the queue capacity as the watermark.
+///
+/// The deadline is anchored *per call*: each deferred call carries its
+/// own defer timestamp and `flush_due` measures from the oldest call
+/// still queued. An earlier implementation kept one shared armed-at
+/// timestamp that survived `retain` (the fault-recovery drop path), so
+/// after a queue drained at the watermark boundary the next batch's
+/// deadline could be measured from a call that no longer existed —
+/// firing a coalescing window early or late depending on which side of
+/// the boundary the drop landed. The regression tests below pin the
+/// exact anchoring.
 #[derive(Debug)]
 pub struct Batched {
-    queue: RefCell<VecDeque<DeferredCall>>,
-    policy: DoorbellPolicy,
+    /// `(deferred_at_ns, call)` in arrival order.
+    queue: RefCell<VecDeque<(u64, DeferredCall)>>,
+    capacity: usize,
+    deadline_ns: u64,
 }
 
 impl Batched {
@@ -204,7 +215,8 @@ impl Batched {
     pub fn with_deadline(capacity: usize, deadline_ns: u64) -> Self {
         Batched {
             queue: RefCell::new(VecDeque::new()),
-            policy: DoorbellPolicy::new(capacity.max(1), deadline_ns),
+            capacity: capacity.max(1),
+            deadline_ns,
         }
     }
 }
@@ -229,26 +241,27 @@ impl Transport for Batched {
         call: DeferredCall,
     ) -> Result<(), DeferredCall> {
         kernel.charge(class, costs::BATCH_ENQUEUE_NS);
-        self.policy.note_post(kernel.now_ns());
-        self.queue.borrow_mut().push_back(call);
+        self.queue.borrow_mut().push_back((kernel.now_ns(), call));
         Ok(())
     }
     fn drain(&self) -> Vec<DeferredCall> {
-        self.policy.rang();
-        self.queue.borrow_mut().drain(..).collect()
+        self.queue.borrow_mut().drain(..).map(|(_, c)| c).collect()
     }
     fn pending(&self) -> usize {
         self.queue.borrow().len()
     }
     fn flush_due(&self, kernel: &Kernel) -> bool {
-        self.policy.due(kernel.now_ns(), self.queue.borrow().len())
+        let queue = self.queue.borrow();
+        match queue.front() {
+            None => false,
+            Some((oldest_at, _)) => {
+                queue.len() >= self.capacity
+                    || kernel.now_ns().saturating_sub(*oldest_at) >= self.deadline_ns
+            }
+        }
     }
     fn retain(&self, keep: &dyn Fn(&DeferredCall) -> bool) {
-        let mut queue = self.queue.borrow_mut();
-        queue.retain(|c| keep(c));
-        if queue.is_empty() {
-            self.policy.rang();
-        }
+        self.queue.borrow_mut().retain(|(_, c)| keep(c));
     }
 }
 
@@ -322,6 +335,49 @@ mod tests {
         t.offer(&k, CpuClass::User, call("b")).unwrap();
         k.run_for(150);
         assert!(t.flush_due(&k));
+    }
+
+    #[test]
+    fn deadline_reanchors_to_oldest_surviving_call_after_retain() {
+        // Regression: the deadline used to be a single armed-at timestamp
+        // that `retain` (the reset_end/fault-recovery drop path) left
+        // pointing at a dropped call, so the surviving batch flushed a
+        // coalescing window off its own defer time.
+        let k = Kernel::new();
+        let t = Batched::with_deadline(16, 1_000);
+        t.offer(&k, CpuClass::User, call("victim")).unwrap();
+        k.run_for(900);
+        t.offer(&k, CpuClass::User, call("survivor")).unwrap();
+        t.retain(&|c| c.proc != "victim");
+        k.run_for(150); // t=1050: the victim's window passed, the survivor's did not
+        assert!(
+            !t.flush_due(&k),
+            "deadline must anchor to the oldest surviving call, not a dropped one"
+        );
+        k.run_for(750); // t=1800
+        assert!(!t.flush_due(&k));
+        k.run_for(100); // t=1900 = 900 + 1000
+        assert!(t.flush_due(&k));
+    }
+
+    #[test]
+    fn deadline_exact_after_queue_drains_at_watermark() {
+        // Pins the watermark-boundary off-by-one: after the queue drains
+        // exactly at the watermark, the next lone call's deadline fires
+        // exactly one coalescing window after *its own* defer time — not
+        // a window measured from the drained batch.
+        let k = Kernel::new();
+        let t = Batched::with_deadline(2, 1_000);
+        t.offer(&k, CpuClass::User, call("a")).unwrap();
+        t.offer(&k, CpuClass::User, call("b")).unwrap();
+        assert!(t.flush_due(&k), "at the watermark");
+        assert_eq!(t.drain().len(), 2, "drained exactly at the watermark");
+        k.run_for(600);
+        t.offer(&k, CpuClass::User, call("c")).unwrap(); // t=600
+        k.run_for(999); // t=1599
+        assert!(!t.flush_due(&k), "one tick before c's own deadline");
+        k.run_for(1); // t=1600 = 600 + 1000
+        assert!(t.flush_due(&k), "due exactly at c's deadline");
     }
 
     #[test]

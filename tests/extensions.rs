@@ -12,7 +12,9 @@ use decaf_core::slicer::callgraph::CallGraph;
 use decaf_core::slicer::{parse, slice, SliceConfig};
 use decaf_core::xdr::mask::Direction;
 use decaf_core::xdr::XdrValue;
-use decaf_core::xpc::{ChannelConfig, Domain, ProcDef, SharedObject, XpcChannel};
+use decaf_core::xpc::{
+    ChannelConfig, Domain, ProcDef, ShardPolicy, ShardedChannel, SharedObject, XpcChannel,
+};
 
 /// §5.3: "when migrating code to Java, it is convenient to move one
 /// function at a time and then test the system" — the same entry point
@@ -473,6 +475,116 @@ fn adaptive_batching_flushes_lone_write_on_deadline() {
     assert!(ch.flush_if_due(&k).unwrap(), "deadline flush fired");
     assert_eq!(hits.get(), 1, "the posted write landed");
     assert_eq!(ch.pending_deferred(), 0);
+}
+
+/// Fault injection on the sharded facade — the `examples/fault_recovery.rs`
+/// scenario extended to multi-channel sharding: one shard's decaf end is
+/// killed mid-burst; the facade must requeue that shard's in-flight
+/// deferred calls onto the fresh channel without double-applying deltas.
+/// Every issued op lands exactly once and every object converges to the
+/// nucleus-side state (post-reset transfers are full, never deltas
+/// against vanished state).
+#[test]
+fn sharded_fault_recovery_requeues_without_double_applying_deltas() {
+    use std::cell::RefCell;
+
+    const SHARDS: usize = 3;
+    let kernel = Kernel::new();
+    let spec = decaf_core::xdr::XdrSpec::parse("struct st { int id; int value; };").unwrap();
+    let sc = ShardedChannel::new(
+        spec,
+        decaf_core::xdr::mask::MaskSet::full(),
+        ChannelConfig::kernel_user_batched(),
+        Domain::Nucleus,
+        Domain::Decaf,
+        SHARDS,
+        ShardPolicy::FlowHash,
+    );
+    // The handler logs every op sequence number it applies.
+    let applied: Rc<RefCell<Vec<i32>>> = Rc::new(RefCell::new(Vec::new()));
+    let log = Rc::clone(&applied);
+    sc.register_proc(
+        Domain::Decaf,
+        ProcDef {
+            name: "apply".into(),
+            arg_types: vec!["st".into()],
+            handler: Rc::new(move |_, _, _, scalars| {
+                log.borrow_mut().push(scalars[0].as_int().unwrap());
+                XdrValue::Void
+            }),
+        },
+    )
+    .unwrap();
+    let objects: Vec<_> = (0..SHARDS)
+        .map(|i| {
+            let addr = sc.alloc_shared_at(i, Domain::Nucleus, "st").unwrap();
+            sc.heap(i, Domain::Nucleus)
+                .borrow_mut()
+                .set_scalar(addr, "id", XdrValue::Int(i as i32))
+                .unwrap();
+            addr
+        })
+        .collect();
+    let issue = |seq: i32| {
+        let shard = (seq as usize) % SHARDS;
+        sc.heap(shard, Domain::Nucleus)
+            .borrow_mut()
+            .set_scalar(objects[shard], "value", XdrValue::Int(seq * 10))
+            .unwrap();
+        sc.call_deferred(
+            &kernel,
+            Domain::Nucleus,
+            "apply",
+            &[Some(objects[shard])],
+            &[XdrValue::Int(seq)],
+        )
+        .unwrap();
+    };
+    // First half of the burst; shard 1 has calls parked mid-flight.
+    for seq in 0..6 {
+        issue(seq);
+    }
+    let parked = sc.shard(1).pending_deferred();
+    assert!(parked > 0, "burst must leave calls parked on shard 1");
+    // Shard 1's decaf end dies. The facade takes its parked calls,
+    // resets the end (both delta maps cleared) and requeues.
+    let requeued = sc.recover_shard(&kernel, 1, Domain::Decaf).unwrap();
+    assert_eq!(requeued, parked);
+    assert_eq!(sc.heap(1, Domain::Decaf).borrow().len(), 0, "end reset");
+    // Second half of the burst, then drain everything.
+    for seq in 6..10 {
+        issue(seq);
+    }
+    sc.flush_all(&kernel).unwrap();
+    // Exactly-once: every issued op applied, none twice.
+    let mut seen = applied.borrow().clone();
+    seen.sort_unstable();
+    assert_eq!(
+        seen,
+        (0..10).collect::<Vec<_>>(),
+        "ops lost or double-applied"
+    );
+    // No delta corruption: every object converged to the nucleus state,
+    // including shard 1's object re-marshaled in full after the reset.
+    for (i, addr) in objects.iter().enumerate() {
+        let want = sc
+            .heap(i, Domain::Nucleus)
+            .borrow()
+            .scalar(*addr, "value")
+            .unwrap()
+            .clone();
+        let heap = sc.heap(i, Domain::Decaf);
+        let h = heap.borrow();
+        let copy = h.iter().map(|(a, _)| a).next().expect("decaf copy exists");
+        assert_eq!(h.scalar(copy, "value").unwrap(), &want, "object {i}");
+        assert_eq!(
+            h.scalar(copy, "id").unwrap(),
+            &XdrValue::Int(i as i32),
+            "object {i} homed correctly"
+        );
+    }
+    assert_eq!(sc.stats().faults, 0);
+    assert_eq!(sc.pending_deferred(), 0);
 }
 
 /// The shmring rtl8139 build: the second NIC exposes the same user-level
