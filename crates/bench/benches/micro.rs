@@ -208,6 +208,22 @@ fn bench_datapath_ablation(c: &mut Criterion) {
     }
 }
 
+fn bench_storage_ablation(c: &mut Criterion) {
+    // Ablation: the tar write + streaming-read pair under the three
+    // user-level hostings of the uhci URB path — wall time tracks the
+    // simulated marshal/copy work each hosting removes.
+    use decaf_core::experiments::DataPathKind;
+    for kind in [
+        DataPathKind::Copy,
+        DataPathKind::BatchedCopy,
+        DataPathKind::Shmring,
+    ] {
+        c.bench_function(&format!("storage/tar32[{kind:?}]"), |b| {
+            b.iter(|| decaf_core::experiments::storage_run(kind))
+        });
+    }
+}
+
 fn bench_transport_ablation(c: &mut Criterion) {
     // Ablation: mask-only vs mask+delta vs mask+delta+batch on the
     // repeated-configuration workload (the decaf control-path shape).
@@ -261,6 +277,7 @@ criterion_group!(
     bench_xpc_call,
     bench_shmring,
     bench_datapath_ablation,
+    bench_storage_ablation,
     bench_transport_ablation,
     bench_shard_ablation,
     bench_combolock,

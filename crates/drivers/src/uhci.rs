@@ -8,17 +8,21 @@
 //! the schedule-walking data path reaches most of the driver, leaving
 //! only suspend/resume/debug at user level.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 
+use decaf_shmring::{DoorbellPolicy, SectorPool, ShmRing};
 use decaf_simdev::uhci as hwreg;
 use decaf_simdev::UhciDevice;
 use decaf_simkernel::usb::{HcdOps, Urb, UrbCompletion, UrbDir};
-use decaf_simkernel::{DmaMemory, KError, KResult, Kernel, MmioHandle, MmioRegion};
+use decaf_simkernel::{costs, DmaMemory, KError, KResult, Kernel, MmioHandle, MmioRegion, TimerId};
 use decaf_slicer::{slice, SliceConfig, SlicePlan};
 use decaf_xdr::graph::CAddr;
 use decaf_xdr::XdrValue;
-use decaf_xpc::{Domain, NuclearRuntime, ProcDef, XpcChannel};
+use decaf_xpc::{
+    ChannelConfig, Domain, NuclearRuntime, ProcDef, UrbDataPath, XpcChannel, XpcResult,
+};
 
 use crate::support::{self, decaf_readl, decaf_writel};
 
@@ -30,6 +34,19 @@ pub const FRAME_LIST_OFF: usize = 0x1000;
 pub const TD_POOL_OFF: usize = 0x2000;
 /// DMA offset of the transfer buffer pool.
 pub const BUF_POOL_OFF: usize = 0x8000;
+/// DMA offset of the shared sector pool (shmring build).
+pub const SECTOR_POOL_OFF: usize = 0x20000;
+/// Sectors in the shared pool.
+pub const SECTOR_POOL_SECTORS: usize = 128;
+/// URB submit-ring depth (giveback ring is twice this).
+pub const URB_RING_DEPTH: usize = 64;
+/// URB requests per doorbell when a burst outruns the coalescing
+/// deadline (a `tar` file's worth of sectors amortizes crossings the
+/// way netperf's line rate does).
+pub const URB_DOORBELL_WATERMARK: usize = 4;
+/// Largest transfer one TD can carry: the maxlen field is 11 bits and
+/// `0x7ff` is the zero-length sentinel.
+pub const MAX_TD_XFER: usize = 0x7ff;
 
 /// Mini-C source for DriverSlicer.
 pub mod minic {
@@ -183,22 +200,25 @@ impl UhciHw {
         self.bar.outl(kernel, hwreg::USBCMD, hwreg::CMD_RS);
     }
 
-    /// Submits one URB: builds a TD in frame 0 and kicks the schedule.
-    pub fn submit(&self, kernel: &Kernel, urb: &Urb) -> KResult<Vec<u8>> {
+    /// Programs one TD pointing at `buf` (an absolute DMA offset — a
+    /// staging slot for the by-value paths, a shared sector run for the
+    /// shmring build), kicks the schedule and returns `(status,
+    /// actual)`: 0 or a negative errno, plus the bytes the device
+    /// actually transferred. No payload copy happens here — whoever
+    /// owns `buf` decides whether one was paid getting the data there.
+    ///
+    /// Transfers beyond [`MAX_TD_XFER`] are rejected with `-EINVAL`
+    /// rather than silently truncated: the TD's 11-bit maxlen field
+    /// cannot express them (the sector pool can hand out longer runs —
+    /// TD chaining is a ROADMAP item, not an excuse to corrupt data).
+    pub fn submit_at(&self, kernel: &Kernel, endpoint: u8, buf: usize, len: usize) -> (i32, u32) {
+        if len > MAX_TD_XFER {
+            return (KError::Inval.errno(), 0);
+        }
         let slot = self.next_td.get() % 64;
         self.next_td.set(self.next_td.get() + 1);
         let td = TD_POOL_OFF + slot * 16;
-        let buf = BUF_POOL_OFF + slot * 1024;
-        let len = urb.data.len().max(if urb.dir == UrbDir::In {
-            hwreg::SECTOR_SIZE
-        } else {
-            0
-        });
-        if urb.dir == UrbDir::Out {
-            self.dma.write_bytes(buf, &urb.data);
-            kernel.charge_copy(decaf_simkernel::CpuClass::Kernel, urb.data.len() as u64);
-        }
-        let ep = urb.endpoint as u32;
+        let ep = endpoint as u32;
         self.dma.write_u32(td, hwreg::LINK_TERMINATE);
         self.dma.write_u32(td + 4, hwreg::TD_ACTIVE);
         let maxlen = if len == 0 {
@@ -215,15 +235,40 @@ impl UhciHw {
 
         let status = self.dma.read_u32(td + 4);
         if status & hwreg::TD_STALLED != 0 {
-            return Err(KError::Io);
+            (KError::Io.errno(), 0)
+        } else {
+            self.urbs_done.set(self.urbs_done.get() + 1);
+            (0, status & 0x7ff)
         }
-        self.urbs_done.set(self.urbs_done.get() + 1);
+    }
+
+    /// Submits one URB by value: stages the payload in the staging
+    /// buffer (both directions' copies audited), builds the TD and kicks
+    /// the schedule.
+    pub fn submit(&self, kernel: &Kernel, urb: &Urb) -> KResult<Vec<u8>> {
+        // Submission is synchronous in this model — the schedule walks
+        // to completion inside `submit_at` — so one staging buffer is
+        // always free again by the time the next URB arrives.
+        let buf = BUF_POOL_OFF;
+        let len = urb.data.len().max(if urb.dir == UrbDir::In {
+            hwreg::SECTOR_SIZE
+        } else {
+            0
+        });
+        if urb.dir == UrbDir::Out {
+            self.dma.write_bytes(buf, &urb.data);
+            kernel.charge_copy(decaf_simkernel::CpuClass::Kernel, urb.data.len() as u64);
+        }
+        let (status, actual) = self.submit_at(kernel, urb.endpoint, buf, len);
+        if status != 0 {
+            return Err(KError::from_errno(status).unwrap_or(KError::Io));
+        }
         if urb.dir == UrbDir::In {
-            // Copy-audit fix: IN data is copied out of the DMA buffer to
-            // the caller, symmetric with the OUT-direction copy charged
-            // above; this path previously moved the bytes for free.
-            kernel.charge_copy(decaf_simkernel::CpuClass::Kernel, hwreg::SECTOR_SIZE as u64);
-            Ok(self.dma.read_bytes(buf, hwreg::SECTOR_SIZE))
+            // Short reads report the *actual* transferred length the
+            // device left in the TD, not the padded staging buffer —
+            // and the audited copy-out matches what the caller gets.
+            kernel.charge_copy(decaf_simkernel::CpuClass::Kernel, actual as u64);
+            Ok(self.dma.read_bytes(buf, actual as usize))
         } else {
             Ok(Vec::new())
         }
@@ -308,6 +353,64 @@ pub struct DecafUhci {
     pub dev: Rc<std::cell::RefCell<UhciDevice>>,
 }
 
+/// Registers the three root-hub procedures the slicer moved to the
+/// decaf driver — shared by every user-level uhci build.
+fn register_roothub_procs(channel: &Rc<XpcChannel>) -> XpcResult<()> {
+    channel.register_proc(
+        Domain::Decaf,
+        ProcDef {
+            name: "uhci_rh_suspend".into(),
+            arg_types: vec!["uhci_hcd".into()],
+            handler: Rc::new(|k, ch, args, _| {
+                let Some(u) = args[0] else {
+                    return XdrValue::Int(-22);
+                };
+                {
+                    let heap = ch.heap(Domain::Decaf);
+                    let mut h = heap.borrow_mut();
+                    let _ = h.set_scalar(u, "rh_state", XdrValue::Int(1));
+                    let _ = h.set_scalar(u, "port_c_suspend", XdrValue::Int(1));
+                }
+                decaf_writel(k, ch, hwreg::USBCMD, 0x10);
+                XdrValue::Int(0)
+            }),
+        },
+    )?;
+    channel.register_proc(
+        Domain::Decaf,
+        ProcDef {
+            name: "uhci_rh_resume".into(),
+            arg_types: vec!["uhci_hcd".into()],
+            handler: Rc::new(|k, ch, args, _| {
+                let Some(u) = args[0] else {
+                    return XdrValue::Int(-22);
+                };
+                let _cmd = decaf_readl(k, ch, hwreg::USBCMD);
+                decaf_writel(k, ch, hwreg::USBCMD, hwreg::CMD_RS);
+                {
+                    let heap = ch.heap(Domain::Decaf);
+                    let mut h = heap.borrow_mut();
+                    let _ = h.set_scalar(u, "rh_state", XdrValue::Int(2));
+                    let _ = h.set_scalar(u, "resume_detect", XdrValue::Int(0));
+                }
+                XdrValue::Int(0)
+            }),
+        },
+    )?;
+    channel.register_proc(
+        Domain::Decaf,
+        ProcDef {
+            name: "uhci_count_ports".into(),
+            arg_types: vec!["uhci_hcd".into()],
+            handler: Rc::new(|k, ch, _args, _| {
+                let sc = decaf_readl(k, ch, hwreg::PORTSC1);
+                XdrValue::Int(if sc == 0 { 0 } else { 2 })
+            }),
+        },
+    )?;
+    Ok(())
+}
+
 /// Loads the decaf driver: the schedule path stays in the kernel; root
 /// hub suspend/resume/port counting run at user level.
 pub fn install_decaf(kernel: &Kernel, hcd: &str) -> KResult<DecafUhci> {
@@ -316,65 +419,7 @@ pub fn install_decaf(kernel: &Kernel, hcd: &str) -> KResult<DecafUhci> {
     let plan = slice(minic::SOURCE, &SliceConfig::default()).map_err(|_| KError::Inval)?;
     let channel = support::channel_from_plan(&plan);
     support::register_io_procs(&channel, bar).map_err(|_| KError::Io)?;
-
-    channel
-        .register_proc(
-            Domain::Decaf,
-            ProcDef {
-                name: "uhci_rh_suspend".into(),
-                arg_types: vec!["uhci_hcd".into()],
-                handler: Rc::new(|k, ch, args, _| {
-                    let Some(u) = args[0] else {
-                        return XdrValue::Int(-22);
-                    };
-                    {
-                        let heap = ch.heap(Domain::Decaf);
-                        let mut h = heap.borrow_mut();
-                        let _ = h.set_scalar(u, "rh_state", XdrValue::Int(1));
-                        let _ = h.set_scalar(u, "port_c_suspend", XdrValue::Int(1));
-                    }
-                    decaf_writel(k, ch, hwreg::USBCMD, 0x10);
-                    XdrValue::Int(0)
-                }),
-            },
-        )
-        .map_err(|_| KError::Io)?;
-    channel
-        .register_proc(
-            Domain::Decaf,
-            ProcDef {
-                name: "uhci_rh_resume".into(),
-                arg_types: vec!["uhci_hcd".into()],
-                handler: Rc::new(|k, ch, args, _| {
-                    let Some(u) = args[0] else {
-                        return XdrValue::Int(-22);
-                    };
-                    let _cmd = decaf_readl(k, ch, hwreg::USBCMD);
-                    decaf_writel(k, ch, hwreg::USBCMD, hwreg::CMD_RS);
-                    {
-                        let heap = ch.heap(Domain::Decaf);
-                        let mut h = heap.borrow_mut();
-                        let _ = h.set_scalar(u, "rh_state", XdrValue::Int(2));
-                        let _ = h.set_scalar(u, "resume_detect", XdrValue::Int(0));
-                    }
-                    XdrValue::Int(0)
-                }),
-            },
-        )
-        .map_err(|_| KError::Io)?;
-    channel
-        .register_proc(
-            Domain::Decaf,
-            ProcDef {
-                name: "uhci_count_ports".into(),
-                arg_types: vec!["uhci_hcd".into()],
-                handler: Rc::new(|k, ch, _args, _| {
-                    let sc = decaf_readl(k, ch, hwreg::PORTSC1);
-                    XdrValue::Int(if sc == 0 { 0 } else { 2 })
-                }),
-            },
-        )
-        .map_err(|_| KError::Io)?;
+    register_roothub_procs(&channel).map_err(|_| KError::Io)?;
 
     let nuc = Rc::new(NuclearRuntime::new(
         kernel.clone(),
@@ -436,6 +481,430 @@ impl DecafUhci {
     /// Round trips between nucleus and decaf driver.
     pub fn crossings(&self) -> u64 {
         self.channel.stats().round_trips
+    }
+}
+
+// --------------------------------------------------- shmring build
+
+/// In-flight completion callbacks, keyed by URB cookie.
+type PendingUrbs = Rc<RefCell<HashMap<u64, UrbCompletion>>>;
+
+/// Reclaims completed URBs from the giveback ring and fires their
+/// completion callbacks. Callbacks run after the pending map is
+/// released, so a completion may legally submit new URBs.
+fn dispatch_givebacks(k: &Kernel, path: &UrbDataPath, pending: &PendingUrbs) {
+    let done = path.reclaim(k);
+    if done.is_empty() {
+        return;
+    }
+    let mut callbacks = Vec::with_capacity(done.len());
+    {
+        let mut map = pending.borrow_mut();
+        for r in done {
+            if let Some(cb) = map.remove(&r.cookie) {
+                callbacks.push((cb, r));
+            }
+        }
+    }
+    for (cb, r) in callbacks {
+        let result = if r.status == 0 {
+            Ok(r.data)
+        } else {
+            Err(KError::from_errno(r.status).unwrap_or(KError::Io))
+        };
+        cb(k, result);
+    }
+}
+
+/// The shmring build's HCD ops: `usb_submit_urb` posts a descriptor
+/// into the submit ring (OUT payloads adopted into the sector pool,
+/// zero-copy) and completions fire when the giveback comes home.
+fn shmring_hcd_ops(path: Rc<UrbDataPath>, pending: PendingUrbs) -> HcdOps {
+    let seq = Cell::new(0u64);
+    HcdOps {
+        submit: Rc::new(move |k: &Kernel, urb: Urb, completion: UrbCompletion| {
+            let cookie = seq.get();
+            seq.set(cookie + 1);
+            pending.borrow_mut().insert(cookie, completion);
+            let submit_once = |k: &Kernel| match urb.dir {
+                UrbDir::Out => path.submit_out(k, urb.endpoint, &urb.data, cookie),
+                UrbDir::In => path.submit_in(
+                    k,
+                    urb.endpoint,
+                    urb.data.len().max(hwreg::SECTOR_SIZE),
+                    cookie,
+                ),
+            };
+            let mut res = submit_once(k);
+            if res.is_err() {
+                // Backpressure: the path already forced a doorbell;
+                // reclaim (dispatching finished URBs) and retry once.
+                dispatch_givebacks(k, &path, &pending);
+                res = submit_once(k);
+            }
+            if res.is_err() {
+                pending.borrow_mut().remove(&cookie);
+                return Err(KError::Busy);
+            }
+            k.schedule_point();
+            // Harvest whatever a synchronous watermark doorbell already
+            // completed, so callbacks fire close to their transfers.
+            dispatch_givebacks(k, &path, &pending);
+            Ok(())
+        }),
+    }
+}
+
+/// Arms the coalescing poll for the URB path: the timer (softirq
+/// priority) defers to a work item — upcalls are illegal from atomic
+/// context — which flushes requests past the doorbell deadline and
+/// dispatches the completions that came back.
+fn urb_poll_timer(
+    kernel: &Kernel,
+    name: &'static str,
+    path: &Rc<UrbDataPath>,
+    pending: &PendingUrbs,
+) -> TimerId {
+    let path = Rc::clone(path);
+    let pending = Rc::clone(pending);
+    let timer = kernel.timer_create(
+        name,
+        Rc::new(move |k| {
+            if path.pending() > 0 || !path.giveback_ring().is_empty() {
+                let path = Rc::clone(&path);
+                let pending = Rc::clone(&pending);
+                k.schedule_work(name, move |k| {
+                    let _ = path.poll(k);
+                    dispatch_givebacks(k, &path, &pending);
+                });
+            }
+        }),
+    );
+    kernel.timer_arm_periodic(timer, costs::DOORBELL_COALESCE_NS);
+    timer
+}
+
+/// The decaf driver with the *user-level* URB data path — the
+/// `ChannelConfig::kernel_user_shmring()` build for storage. Bulk
+/// transfers cross as URB descriptors through pinned rings: OUT
+/// payloads are adopted into a sector pool carved from the controller's
+/// DMA region (zero CPU copies), the user-level drain programs TDs
+/// straight from the shared runs, and IN completions hand the run's
+/// ownership back with the actual transferred length.
+pub struct ShmringUhci {
+    /// Kernel handle.
+    pub kernel: Kernel,
+    /// Hardware state.
+    pub hw: Rc<UhciHw>,
+    /// HCD name.
+    pub hcd: String,
+    /// XPC channel.
+    pub channel: Rc<XpcChannel>,
+    /// Nuclear runtime.
+    pub nuc: Rc<NuclearRuntime>,
+    /// Shared controller object.
+    pub uhci_obj: CAddr,
+    /// Measured `insmod` latency.
+    pub init_latency_ns: u64,
+    /// Slicing plan.
+    pub plan: SlicePlan,
+    /// Handle to the device model (flash media inspection/preload).
+    pub dev: Rc<RefCell<UhciDevice>>,
+    /// The URB request/response data path.
+    pub urb_path: Rc<UrbDataPath>,
+    poll_timer: TimerId,
+}
+
+/// Loads the decaf driver with the shmring URB data path.
+pub fn install_shmring(kernel: &Kernel, hcd: &str) -> KResult<ShmringUhci> {
+    let (bar, dma, dev) = attach(kernel);
+    let hw = Rc::new(UhciHw::new(bar.clone(), dma.clone()));
+    let plan = slice(minic::SOURCE, &SliceConfig::default()).map_err(|_| KError::Inval)?;
+    let channel = support::channel_from_plan_with(&plan, ChannelConfig::kernel_user_shmring());
+    support::register_io_procs(&channel, bar).map_err(|_| KError::Io)?;
+    register_roothub_procs(&channel).map_err(|_| KError::Io)?;
+
+    // The sector pool lives in the controller's own DMA region: a run a
+    // descriptor names is already where the hardware DMAs.
+    let pool = Rc::new(SectorPool::new(
+        dma,
+        SECTOR_POOL_OFF,
+        hwreg::SECTOR_SIZE,
+        SECTOR_POOL_SECTORS,
+    ));
+    let urb_path = UrbDataPath::new(
+        Rc::clone(&channel),
+        Domain::Nucleus,
+        "uhci_urb_drain",
+        Rc::new(ShmRing::new("uhci-urb", URB_RING_DEPTH)),
+        Rc::new(ShmRing::new("uhci-urb-done", 2 * URB_RING_DEPTH)),
+        pool,
+        DoorbellPolicy::with_watermark(URB_DOORBELL_WATERMARK),
+    )
+    .map_err(|_| KError::Io)?;
+
+    // The decaf-side drain: the user-level driver walks the batch in
+    // FIFO order (command stages before their data stages), programs
+    // each TD straight from the shared sector run, and gives every
+    // descriptor back with its status and actual length.
+    {
+        let end = urb_path.end(Domain::Decaf);
+        let hw_drain = Rc::clone(&hw);
+        channel
+            .register_proc(
+                Domain::Decaf,
+                ProcDef {
+                    name: "uhci_urb_drain".into(),
+                    arg_types: vec![],
+                    handler: Rc::new(move |k, _, _, _| {
+                        let mut n = 0;
+                        for d in end.consume(k) {
+                            let off = end.pool().offset_of(d.buf).expect("live sector run");
+                            let (status, actual) =
+                                hw_drain.submit_at(k, d.endpoint, off, d.len as usize);
+                            end.complete(k, d.completed(status, actual))
+                                .expect("giveback ring sized 2x submit ring");
+                            n += 1;
+                        }
+                        XdrValue::Int(n)
+                    }),
+                },
+            )
+            .map_err(|_| KError::Io)?;
+    }
+
+    let nuc = Rc::new(NuclearRuntime::new(
+        kernel.clone(),
+        Rc::clone(&channel),
+        Some(IRQ_LINE),
+    ));
+    let pending: PendingUrbs = Rc::new(RefCell::new(HashMap::new()));
+
+    let mut uhci_obj = 0;
+    let nuc_init = Rc::clone(&nuc);
+    let ch_init = Rc::clone(&channel);
+    let hw_init = Rc::clone(&hw);
+    let path_init = Rc::clone(&urb_path);
+    let pending_init = Rc::clone(&pending);
+    let name = hcd.to_string();
+    let spec = plan.spec.clone();
+    let obj_ref = &mut uhci_obj;
+    let init_latency_ns = kernel.insmod("uhci-hcd-shm", move |k| {
+        let u = {
+            let heap = ch_init.heap(Domain::Nucleus);
+            let mut h = heap.borrow_mut();
+            h.alloc_default("uhci_hcd", &spec)
+                .map_err(|_| KError::NoMem)?
+        };
+        *obj_ref = u;
+        hw_init.start(k);
+        let ports = nuc_init
+            .upcall_errno("uhci_count_ports", &[Some(u)], &[])
+            .map_err(|_| KError::Io)?;
+        if ports == 0 {
+            return Err(KError::NoDev);
+        }
+        k.usb_register_hcd(&name, shmring_hcd_ops(path_init, pending_init))?;
+        let hw_irq = Rc::clone(&hw_init);
+        k.request_irq(IRQ_LINE, "uhci-hcd", Rc::new(move |k| hw_irq.handle_irq(k)))?;
+        Ok(())
+    })?;
+
+    let poll_timer = urb_poll_timer(kernel, "uhci_urb_poll", &urb_path, &pending);
+
+    Ok(ShmringUhci {
+        kernel: kernel.clone(),
+        hw,
+        hcd: hcd.to_string(),
+        channel,
+        nuc,
+        uhci_obj,
+        init_latency_ns,
+        plan,
+        dev,
+        urb_path,
+        poll_timer,
+    })
+}
+
+impl ShmringUhci {
+    /// Round trips between nucleus and decaf driver.
+    pub fn crossings(&self) -> u64 {
+        self.channel.stats().round_trips
+    }
+
+    /// Unloads the driver.
+    pub fn remove(self) {
+        self.kernel.timer_del(self.poll_timer);
+        self.kernel.free_irq(IRQ_LINE);
+        let hcd = self.hcd.clone();
+        self.kernel
+            .rmmod("uhci-hcd-shm", move |k| k.usb_unregister_hcd(&hcd));
+    }
+}
+
+// --------------------------------------------- by-value build (ablation)
+
+/// The ablation-only build hosting the URB data path at user level *by
+/// value*: every payload crosses through the XDR marshaler as opaque
+/// bytes and is copied into the staging buffer on the far side. The
+/// `batched` flavor defers OUT URBs into the transport queue
+/// (posted-write semantics: their completions fire at submit with empty
+/// data, like posted register writes); IN URBs stay synchronous — their
+/// response *is* the data, marshaled back by value.
+pub struct ValueUhci {
+    /// Kernel handle.
+    pub kernel: Kernel,
+    /// Hardware state.
+    pub hw: Rc<UhciHw>,
+    /// XPC channel.
+    pub channel: Rc<XpcChannel>,
+    /// Handle to the device model.
+    pub dev: Rc<RefCell<UhciDevice>>,
+    hcd: String,
+    flush_timer: TimerId,
+}
+
+/// Loads the by-value user-level URB path: the `copy` (per-URB
+/// synchronous marshal) baseline, or with `batched` the `batched-copy`
+/// middle rung of the storage ablation.
+pub fn install_value(kernel: &Kernel, hcd: &str, batched: bool) -> KResult<ValueUhci> {
+    let (bar, dma, dev) = attach(kernel);
+    let hw = Rc::new(UhciHw::new(bar.clone(), dma));
+    let plan = slice(minic::SOURCE, &SliceConfig::default()).map_err(|_| KError::Inval)?;
+    let config = if batched {
+        ChannelConfig::kernel_user_batched()
+    } else {
+        ChannelConfig::kernel_user()
+    };
+    let channel = support::channel_from_plan_with(&plan, config);
+    support::register_io_procs(&channel, bar).map_err(|_| KError::Io)?;
+
+    // The user-level submit handler: the payload arrives by value
+    // through the marshaler; `UhciHw::submit` copies it into the
+    // staging buffer (audited) and, for IN, copies the result back out
+    // — which then marshals back by value too.
+    {
+        let hw_sub = Rc::clone(&hw);
+        channel
+            .register_proc(
+                Domain::Decaf,
+                ProcDef {
+                    name: "uhci_submit_value".into(),
+                    arg_types: vec![],
+                    handler: Rc::new(move |k, _, _, scalars| {
+                        let endpoint = scalars[0].as_uint().unwrap_or(0) as u8;
+                        let dir_in = scalars[1].as_uint().unwrap_or(0) != 0;
+                        let data = scalars[2].as_opaque().unwrap_or(&[]).to_vec();
+                        let urb = Urb {
+                            endpoint,
+                            dir: if dir_in { UrbDir::In } else { UrbDir::Out },
+                            data,
+                        };
+                        match hw_sub.submit(k, &urb) {
+                            Ok(data) if dir_in => XdrValue::Opaque(data),
+                            Ok(_) => XdrValue::Int(0),
+                            Err(e) => XdrValue::Int(e.errno()),
+                        }
+                    }),
+                },
+            )
+            .map_err(|_| KError::Io)?;
+    }
+
+    let ch_ops = Rc::clone(&channel);
+    let ops = HcdOps {
+        submit: Rc::new(move |k: &Kernel, urb: Urb, completion: UrbCompletion| {
+            let ep = XdrValue::UInt(urb.endpoint as u32);
+            if urb.dir == UrbDir::Out && batched {
+                ch_ops
+                    .call_deferred(
+                        k,
+                        Domain::Nucleus,
+                        "uhci_submit_value",
+                        &[],
+                        &[ep, XdrValue::UInt(0), XdrValue::Opaque(urb.data)],
+                    )
+                    .map_err(|_| KError::Io)?;
+                // Posted-write semantics: the URB is committed to the
+                // batch; errors surface through device status counters.
+                completion(k, Ok(Vec::new()));
+                return Ok(());
+            }
+            let dir_flag = XdrValue::UInt((urb.dir == UrbDir::In) as u32);
+            let ret = ch_ops
+                .call(
+                    k,
+                    Domain::Nucleus,
+                    "uhci_submit_value",
+                    &[],
+                    &[ep, dir_flag, XdrValue::Opaque(urb.data.clone())],
+                )
+                .map_err(|_| KError::Io)?;
+            let result = match ret {
+                XdrValue::Opaque(data) => Ok(data),
+                XdrValue::Int(0) => Ok(Vec::new()),
+                XdrValue::Int(e) => Err(KError::from_errno(e).unwrap_or(KError::Io)),
+                _ => Err(KError::Io),
+            };
+            k.schedule_point();
+            completion(k, result);
+            Ok(())
+        }),
+    };
+
+    let hw_init = Rc::clone(&hw);
+    let name = hcd.to_string();
+    kernel.insmod("uhci-hcd-value", move |k| {
+        hw_init.start(k);
+        k.usb_register_hcd(&name, ops)?;
+        let hw_irq = Rc::clone(&hw_init);
+        k.request_irq(IRQ_LINE, "uhci-hcd", Rc::new(move |k| hw_irq.handle_irq(k)))?;
+        Ok(())
+    })?;
+
+    // Deadline flush for parked OUT URBs (softirq → work item, like
+    // every other batched control path).
+    let ch_flush = Rc::clone(&channel);
+    let flush_timer = kernel.timer_create(
+        "uhci_value_flush",
+        Rc::new(move |k| {
+            if ch_flush.pending_deferred() > 0 {
+                let ch = Rc::clone(&ch_flush);
+                k.schedule_work("uhci_value_flush", move |k| {
+                    let _ = ch.flush_if_due(k);
+                });
+            }
+        }),
+    );
+    kernel.timer_arm_periodic(flush_timer, costs::DOORBELL_COALESCE_NS);
+
+    Ok(ValueUhci {
+        kernel: kernel.clone(),
+        hw,
+        channel,
+        dev,
+        hcd: hcd.to_string(),
+        flush_timer,
+    })
+}
+
+impl ValueUhci {
+    /// Flushes any parked OUT URBs (end-of-run barrier for benchmarks).
+    pub fn flush(&self) -> KResult<()> {
+        self.channel.flush(&self.kernel).map_err(|_| KError::Io)
+    }
+
+    /// Unloads the build: the flush timer, the IRQ line and the HCD
+    /// registration all go, so a later install under the same name
+    /// starts clean.
+    pub fn remove(self) {
+        let _ = self.flush();
+        self.kernel.timer_del(self.flush_timer);
+        self.kernel.free_irq(IRQ_LINE);
+        let hcd = self.hcd.clone();
+        self.kernel
+            .rmmod("uhci-hcd-value", move |k| k.usb_unregister_hcd(&hcd));
     }
 }
 
@@ -512,5 +981,188 @@ mod tests {
             "bulk transfers are kernel-only"
         );
         assert!(k.violations().is_empty(), "{:?}", k.violations());
+    }
+
+    fn read_sector_urbs(k: &Kernel, hcd: &str, sector: u32, out: Rc<RefCell<Vec<u8>>>) {
+        let mut cmd = vec![hwreg::FLASH_CMD_READ];
+        cmd.extend_from_slice(&sector.to_le_bytes());
+        k.usb_submit_urb(
+            hcd,
+            Urb {
+                endpoint: hwreg::EP_BULK_OUT as u8,
+                dir: UrbDir::Out,
+                data: cmd,
+            },
+            Rc::new(|_, _| {}),
+        )
+        .unwrap();
+        k.usb_submit_urb(
+            hcd,
+            Urb {
+                endpoint: hwreg::EP_BULK_IN as u8,
+                dir: UrbDir::In,
+                data: Vec::new(),
+            },
+            Rc::new(move |_, r| {
+                *out.borrow_mut() = r.unwrap();
+            }),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn short_reads_report_actual_length() {
+        // Regression: a sector holding fewer than SECTOR_SIZE bytes must
+        // come back at its true length, not padded to the DMA buffer.
+        let k = Kernel::new();
+        let drv = install_native(&k, "uhci0").unwrap();
+        drv.dev.borrow_mut().preload_sector(3, vec![0xcd; 100]);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        read_sector_urbs(&k, "uhci0", 3, Rc::clone(&got));
+        assert_eq!(*got.borrow(), vec![0xcd; 100], "actual length, not 512");
+    }
+
+    #[test]
+    fn shmring_bulk_writes_are_zero_copy() {
+        let k = Kernel::new();
+        let drv = install_shmring(&k, "uhci0").unwrap();
+        let after_init = drv.crossings();
+        assert_eq!(k.stats().bytes_copied, 0, "init moves no payloads");
+        let done = Rc::new(Cell::new(0));
+        for s in 0..6u32 {
+            let d = Rc::clone(&done);
+            k.usb_submit_urb(
+                "uhci0",
+                write_sector_urb(s, 0x5a),
+                Rc::new(move |_, r| {
+                    r.unwrap();
+                    d.set(d.get() + 1);
+                }),
+            )
+            .unwrap();
+        }
+        // Let the coalescing deadline flush the sub-watermark tail.
+        k.run_for(4 * costs::DOORBELL_COALESCE_NS);
+        assert_eq!(done.get(), 6, "every URB completed");
+        assert_eq!(drv.dev.borrow().flash_sector_count(), 6);
+        assert_eq!(
+            k.stats().bytes_copied,
+            0,
+            "payloads are adopted into the sector pool, never copied"
+        );
+        let s = drv.channel.stats();
+        assert!(
+            s.doorbells >= 1 && drv.crossings() > after_init,
+            "URBs cross only as doorbells"
+        );
+        assert!(s.bytes_in < after_init * 64 + 64, "no payload marshaled");
+        assert!(drv.urb_path.conserved(), "URB conservation");
+        assert_eq!(drv.urb_path.pool().in_use_sectors(), 0, "no run leaked");
+        assert!(k.violations().is_empty(), "{:?}", k.violations());
+    }
+
+    #[test]
+    fn shmring_streaming_read_hands_ownership_back() {
+        let k = Kernel::new();
+        let drv = install_shmring(&k, "uhci0").unwrap();
+        drv.dev.borrow_mut().preload_sector(0, vec![0xaa; 512]);
+        drv.dev.borrow_mut().preload_sector(1, vec![0xbb; 100]);
+        let a = Rc::new(RefCell::new(Vec::new()));
+        let b = Rc::new(RefCell::new(Vec::new()));
+        read_sector_urbs(&k, "uhci0", 0, Rc::clone(&a));
+        read_sector_urbs(&k, "uhci0", 1, Rc::clone(&b));
+        k.run_for(4 * costs::DOORBELL_COALESCE_NS);
+        assert_eq!(*a.borrow(), vec![0xaa; 512]);
+        assert_eq!(*b.borrow(), vec![0xbb; 100], "short read via the ring");
+        assert_eq!(k.stats().bytes_copied, 0, "IN data is read in place");
+        assert!(drv.urb_path.conserved());
+        assert_eq!(drv.urb_path.pool().in_use_sectors(), 0);
+        assert!(k.violations().is_empty(), "{:?}", k.violations());
+    }
+
+    #[test]
+    fn oversize_transfers_rejected_not_truncated() {
+        // The TD maxlen field tops out at MAX_TD_XFER; a longer transfer
+        // must fail loudly on every path, never silently truncate.
+        let k = Kernel::new();
+        let native = install_native(&k, "uhci0").unwrap();
+        let big = Urb {
+            endpoint: hwreg::EP_BULK_OUT as u8,
+            dir: UrbDir::Out,
+            data: vec![0x77; MAX_TD_XFER + 1],
+        };
+        assert_eq!(native.hw.submit(&k, &big), Err(KError::Inval));
+        assert_eq!(native.dev.borrow().flash_sector_count(), 0);
+
+        let k = Kernel::new();
+        let drv = install_shmring(&k, "uhci0").unwrap();
+        let failed = Rc::new(Cell::new(false));
+        let f = Rc::clone(&failed);
+        k.usb_submit_urb(
+            "uhci0",
+            big,
+            Rc::new(move |_, r| f.set(r == Err(KError::Inval))),
+        )
+        .unwrap();
+        k.run_for(4 * costs::DOORBELL_COALESCE_NS);
+        assert!(failed.get(), "giveback carried -EINVAL to the completion");
+        assert!(drv.urb_path.conserved());
+        assert_eq!(drv.urb_path.pool().in_use_sectors(), 0, "run reclaimed");
+    }
+
+    #[test]
+    fn value_build_marshals_payloads_by_value() {
+        let k = Kernel::new();
+        let drv = install_value(&k, "uhci0", false).unwrap();
+        let done = Rc::new(Cell::new(0));
+        for s in 0..3u32 {
+            let d = Rc::clone(&done);
+            k.usb_submit_urb(
+                "uhci0",
+                write_sector_urb(s, 0x11),
+                Rc::new(move |_, r| {
+                    r.unwrap();
+                    d.set(d.get() + 1);
+                }),
+            )
+            .unwrap();
+        }
+        assert_eq!(done.get(), 3);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        read_sector_urbs(&k, "uhci0", 2, Rc::clone(&got));
+        assert_eq!(*got.borrow(), vec![0x11; 512]);
+        let s = drv.channel.stats();
+        assert!(
+            s.bytes_in > 3 * 512,
+            "payloads cross the marshaler: {} B in",
+            s.bytes_in
+        );
+        assert!(k.stats().bytes_copied > 3 * 512, "by-value path copies");
+        assert!(k.violations().is_empty(), "{:?}", k.violations());
+    }
+
+    #[test]
+    fn batched_value_build_defers_out_urbs() {
+        let k = Kernel::new();
+        let drv = install_value(&k, "uhci0", true).unwrap();
+        for s in 0..8u32 {
+            k.usb_submit_urb(
+                "uhci0",
+                write_sector_urb(s, 0x22),
+                Rc::new(|_, r| {
+                    r.unwrap();
+                }),
+            )
+            .unwrap();
+        }
+        drv.flush().unwrap();
+        assert_eq!(drv.dev.borrow().flash_sector_count(), 8);
+        let s = drv.channel.stats();
+        assert!(s.batched_calls > 0, "OUT URBs ride the batch queue");
+        assert!(
+            s.round_trips < 8,
+            "batching amortizes crossings: {} round trips",
+            s.round_trips
+        );
     }
 }

@@ -6,13 +6,15 @@
 //! Network Drivers in High-Level Programming Languages") show that
 //! high-level-language drivers reach line rate by mapping descriptor
 //! rings into the driver and passing *ownership*, not bytes. This crate
-//! models that mechanism for the simulated kernel:
+//! models that mechanism for the simulated kernel — and it is
+//! device-class-generic: the same rings carry NIC frame descriptors and
+//! storage URB request/response descriptors.
 //!
 //! * [`ShmRing`] — a single-producer/single-consumer descriptor ring in
-//!   pinned shared memory. Each slot carries an ownership flag (the
-//!   moral equivalent of a NIC descriptor's DD bit): the producer may
-//!   only write producer-owned slots, the consumer only read
-//!   consumer-owned ones. Posting a descriptor costs
+//!   pinned shared memory, generic over its slot type. Each slot carries
+//!   an ownership flag (the moral equivalent of a NIC descriptor's DD
+//!   bit): the producer may only write producer-owned slots, the
+//!   consumer only read consumer-owned ones. Posting a descriptor costs
 //!   [`decaf_simkernel::costs::RING_POST_NS`] (two cache-line writes);
 //!   consuming one costs [`decaf_simkernel::costs::RING_CACHELINE_NS`]
 //!   (a coherence miss) — *never* a per-byte marshal cost.
@@ -23,6 +25,15 @@
 //!   [`decaf_simkernel::Kernel::charge_copy`]); after that only the
 //!   handle travels. Frees may arrive out of order — completion order is
 //!   the device's business, not the ring's.
+//! * [`SectorPool`] — the storage-shaped pool: variable-length
+//!   *contiguous sector runs* instead of fixed frames, plus zero-copy
+//!   payload adoption ([`SectorPool::adopt_payload`]) for page-granular
+//!   buffers the device can DMA where they sit.
+//! * [`UrbDescriptor`] — the request/response descriptor for URB-shaped
+//!   transfers: direction, endpoint and length on the submit ring;
+//!   status and actual transferred length on the giveback ring, with
+//!   IN-direction completions handing the payload run's *ownership*
+//!   back, never copied bytes.
 //! * [`DoorbellPolicy`] — decides *when* the descriptors parked in a
 //!   ring are worth a crossing: at a watermark occupancy, or when the
 //!   oldest post has waited longer than a coalescing deadline
@@ -33,9 +44,56 @@
 //!   steering and a completion-steering policy that routes the IRQ-side
 //!   handback to the shard that posted the descriptor.
 //!
-//! The XPC layer builds its `DataPathChannel` on these pieces: the
-//! descriptors ride the rings, the doorbell rides the existing transport
-//! crossing, and the payload bytes never see the XDR marshaler.
+//! The XPC layer builds its data-path channels on these pieces
+//! (`DataPathChannel` for NIC streams, `UrbDataPath` for storage
+//! request/response): the descriptors ride the rings, the doorbell rides
+//! the existing transport crossing, and the payload bytes never see the
+//! XDR marshaler.
+//!
+//! # Example: one frame, zero marshaled payload bytes
+//!
+//! ```
+//! use decaf_shmring::{BufPool, Descriptor, ShmRing};
+//! use decaf_simkernel::{CpuClass, Kernel};
+//!
+//! let kernel = Kernel::new();
+//! let ring = ShmRing::new("tx", 8);
+//! let pool = BufPool::with_capacity(2048, 8);
+//!
+//! // Producer: one audited copy into the shared pool, then a 16-byte
+//! // descriptor into the ring.
+//! let buf = pool.alloc().unwrap();
+//! pool.write_payload(&kernel, CpuClass::Kernel, buf, b"frame").unwrap();
+//! ring.push(&kernel, CpuClass::Kernel, Descriptor { buf, len: 5, cookie: 1 }).unwrap();
+//!
+//! // Consumer: reads the payload in place and hands the buffer back.
+//! let d = ring.pop(&kernel, CpuClass::User).unwrap();
+//! assert_eq!(pool.read_payload(d.buf, d.len as usize).unwrap(), b"frame");
+//! pool.free(d.buf).unwrap();
+//! assert_eq!(kernel.stats().bytes_copied, 5, "exactly one copy, ever");
+//! ```
+//!
+//! # Example: multi-queue steering with a [`RingSet`]
+//!
+//! ```
+//! use decaf_shmring::{BufHandle, Descriptor, RingSet};
+//! use decaf_simkernel::{CpuClass, Kernel};
+//!
+//! let kernel = Kernel::new();
+//! let set = RingSet::new("tx", 4, 16, 32);
+//!
+//! // Posts steer by flow hash; completions steer home to the posting
+//! // shard, wherever the IRQ side happens to drain them.
+//! let flow = 0xbeef;
+//! let shard = set.steer(flow);
+//! let desc = Descriptor { buf: BufHandle(0), len: 64, cookie: 9 };
+//! set.post(&kernel, CpuClass::Kernel, shard, desc).unwrap();
+//!
+//! let drained = set.ring(shard).drain(&kernel, CpuClass::User);
+//! let home = set.complete(&kernel, CpuClass::User, drained[0]).unwrap();
+//! assert_eq!(home, shard, "completions come home");
+//! assert!(set.conserved(), "no descriptor lost or double-completed");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,8 +102,12 @@ pub mod doorbell;
 pub mod pool;
 pub mod ring;
 pub mod ringset;
+pub mod sector;
+pub mod urb;
 
 pub use doorbell::DoorbellPolicy;
 pub use pool::{BufHandle, BufPool, PoolError, PoolStats};
 pub use ring::{Descriptor, RingError, RingStats, ShmRing, SlotOwner};
 pub use ringset::{flow_hash, RingSet, RingSetError, RingSetStats};
+pub use sector::{SectorHandle, SectorPool, SectorPoolStats};
+pub use urb::{UrbDescriptor, XferDir};

@@ -6,7 +6,7 @@ use decaf_simkernel::{CpuClass, DmaMemory, Kernel};
 
 /// Handle to one pool buffer. Handles are what descriptors carry across
 /// the boundary — 4 bytes standing in for a whole payload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct BufHandle(pub u32);
 
 /// Pool failure modes.
@@ -14,10 +14,12 @@ pub struct BufHandle(pub u32);
 pub enum PoolError {
     /// No free buffer: the producer must reclaim completions first.
     Exhausted,
-    /// The handle does not name a pool buffer.
-    BadHandle(BufHandle),
+    /// The handle does not name a pool buffer (the payload is the raw
+    /// handle index — shared between [`BufHandle`] and
+    /// [`crate::SectorHandle`] pools).
+    BadHandle(u32),
     /// The buffer is not currently allocated (double free, stale handle).
-    NotAllocated(BufHandle),
+    NotAllocated(u32),
     /// The payload does not fit one buffer.
     TooLarge {
         /// Bytes offered.
@@ -31,8 +33,8 @@ impl std::fmt::Display for PoolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PoolError::Exhausted => write!(f, "buffer pool exhausted"),
-            PoolError::BadHandle(h) => write!(f, "bad buffer handle {}", h.0),
-            PoolError::NotAllocated(h) => write!(f, "buffer {} not allocated", h.0),
+            PoolError::BadHandle(h) => write!(f, "bad buffer handle {h}"),
+            PoolError::NotAllocated(h) => write!(f, "buffer {h} not allocated"),
             PoolError::TooLarge { len, buf_size } => {
                 write!(f, "payload of {len} B exceeds buffer size {buf_size} B")
             }
@@ -155,8 +157,8 @@ impl BufPool {
     pub fn free(&self, h: BufHandle) -> Result<(), PoolError> {
         let mut allocated = self.allocated.borrow_mut();
         match allocated.get_mut(h.0 as usize) {
-            None => Err(PoolError::BadHandle(h)),
-            Some(a) if !*a => Err(PoolError::NotAllocated(h)),
+            None => Err(PoolError::BadHandle(h.0)),
+            Some(a) if !*a => Err(PoolError::NotAllocated(h.0)),
             Some(a) => {
                 *a = false;
                 self.free.borrow_mut().push(h.0);
@@ -168,8 +170,8 @@ impl BufPool {
 
     fn check(&self, h: BufHandle) -> Result<usize, PoolError> {
         match self.allocated.borrow().get(h.0 as usize) {
-            None => Err(PoolError::BadHandle(h)),
-            Some(false) => Err(PoolError::NotAllocated(h)),
+            None => Err(PoolError::BadHandle(h.0)),
+            Some(false) => Err(PoolError::NotAllocated(h.0)),
             Some(true) => Ok(self.base + h.0 as usize * self.buf_size),
         }
     }
@@ -242,11 +244,8 @@ mod tests {
         let b = p.alloc().unwrap();
         assert_eq!(p.alloc(), Err(PoolError::Exhausted));
         p.free(a).unwrap();
-        assert_eq!(p.free(a), Err(PoolError::NotAllocated(a)));
-        assert_eq!(
-            p.free(BufHandle(99)),
-            Err(PoolError::BadHandle(BufHandle(99)))
-        );
+        assert_eq!(p.free(a), Err(PoolError::NotAllocated(a.0)));
+        assert_eq!(p.free(BufHandle(99)), Err(PoolError::BadHandle(99)));
         p.free(b).unwrap();
         assert_eq!(p.stats().in_use_hwm, 2);
     }

@@ -1,4 +1,11 @@
 //! The single-producer/single-consumer descriptor ring.
+//!
+//! The ring is generic over its slot type: the NIC data paths post
+//! 16-byte [`Descriptor`]s (the default), the storage path posts
+//! [`crate::UrbDescriptor`]s carrying request/response metadata. Any
+//! `Copy + Default` value small enough to think of as "a couple of
+//! cache lines" qualifies — the protocol (slot ownership, wrap-around,
+//! backpressure) and the cost model are identical for all of them.
 
 use std::cell::Cell;
 
@@ -23,7 +30,7 @@ pub enum SlotOwner {
 
 /// One descriptor: a payload handle plus metadata. 16 bytes of ring
 /// traffic replace the payload bytes that used to cross the marshaler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Descriptor {
     /// The pool buffer holding the payload (or a driver-defined handle
     /// when the buffer lives outside a [`crate::BufPool`], e.g. a device
@@ -68,15 +75,16 @@ pub struct RingStats {
 }
 
 /// A single-producer/single-consumer descriptor ring in pinned shared
-/// memory.
+/// memory, generic over the descriptor type it carries (defaulting to
+/// the NIC-shaped [`Descriptor`]).
 ///
 /// The simulation is single-threaded, so the ring models the *protocol*
 /// (slot ownership, wrap-around, backpressure) and the *cost* (cache-line
 /// traffic instead of per-byte marshaling); it does not need atomics.
 #[derive(Debug)]
-pub struct ShmRing {
+pub struct ShmRing<D: Copy + Default = Descriptor> {
     name: String,
-    slots: Vec<Cell<Descriptor>>,
+    slots: Vec<Cell<D>>,
     owner: Vec<Cell<SlotOwner>>,
     /// Next slot the producer writes.
     head: Cell<usize>,
@@ -86,21 +94,16 @@ pub struct ShmRing {
     stats: Cell<RingStats>,
 }
 
-impl ShmRing {
+impl<D: Copy + Default> ShmRing<D> {
     /// Creates a ring with `capacity` slots, all producer-owned.
     ///
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn new(name: impl Into<String>, capacity: usize) -> Self {
         assert!(capacity > 0, "a ring needs at least one slot");
-        let empty = Descriptor {
-            buf: BufHandle(0),
-            len: 0,
-            cookie: 0,
-        };
         ShmRing {
             name: name.into(),
-            slots: (0..capacity).map(|_| Cell::new(empty)).collect(),
+            slots: (0..capacity).map(|_| Cell::new(D::default())).collect(),
             owner: (0..capacity)
                 .map(|_| Cell::new(SlotOwner::Producer))
                 .collect(),
@@ -153,12 +156,7 @@ impl ShmRing {
     ///
     /// Returns [`RingError::Full`] (and counts a backpressure event)
     /// when no producer-owned slot is available.
-    pub fn push(
-        &self,
-        kernel: &Kernel,
-        class: CpuClass,
-        desc: Descriptor,
-    ) -> Result<(), RingError> {
+    pub fn push(&self, kernel: &Kernel, class: CpuClass, desc: D) -> Result<(), RingError> {
         if self.is_full() {
             self.bump(|s| s.backpressure += 1);
             return Err(RingError::Full);
@@ -186,7 +184,7 @@ impl ShmRing {
     /// Consumes the oldest posted descriptor and hands its slot back to
     /// the producer. Charges [`costs::RING_CACHELINE_NS`] to `class` (the
     /// consumer pulls the dirtied line across cores).
-    pub fn pop(&self, kernel: &Kernel, class: CpuClass) -> Option<Descriptor> {
+    pub fn pop(&self, kernel: &Kernel, class: CpuClass) -> Option<D> {
         if self.is_empty() {
             return None;
         }
@@ -207,7 +205,7 @@ impl ShmRing {
     }
 
     /// Consumes every posted descriptor, oldest first.
-    pub fn drain(&self, kernel: &Kernel, class: CpuClass) -> Vec<Descriptor> {
+    pub fn drain(&self, kernel: &Kernel, class: CpuClass) -> Vec<D> {
         let mut out = Vec::with_capacity(self.len());
         while let Some(d) = self.pop(kernel, class) {
             out.push(d);

@@ -1,0 +1,430 @@
+//! The sector-granular payload pool for variable-length storage
+//! transfers.
+//!
+//! The NIC-shaped [`crate::BufPool`] hands out fixed-size buffers — the
+//! right shape for MTU-bounded frames, the wrong one for storage, where
+//! a transfer is "some number of sectors" (a 5-byte flash command, a
+//! 512-byte sector, a multi-sector scatter write). A [`SectorPool`]
+//! carves a [`DmaMemory`] region into sectors and allocates *contiguous
+//! runs* of them sized to the transfer, so one descriptor handle still
+//! names the whole payload and the device can DMA the run in one go.
+//!
+//! Two properties distinguish it from the frame pool:
+//!
+//! * **Variable-length runs** — [`SectorPool::alloc`] takes the byte
+//!   length and reserves `ceil(len / sector_size)` contiguous sectors
+//!   (first-fit); [`SectorPool::free`] reclaims the whole run from the
+//!   handle alone. Frees may arrive out of order — storage devices
+//!   complete out of order just like NICs.
+//! * **Zero-copy adoption** — storage payloads reach the kernel in
+//!   page-granular buffers the device can DMA directly (the page cache,
+//!   an `O_DIRECT` user buffer). [`SectorPool::adopt_payload`] models
+//!   that donation: the run is *mapped*, not memcpy'd, charging
+//!   [`costs::SECTOR_MAP_NS`] per sector instead of a per-byte copy, and
+//!   [`decaf_simkernel::kernel::KernelStats::bytes_copied`] stays
+//!   untouched.
+//!   [`SectorPool::write_payload`] remains for paths that genuinely copy
+//!   (and charges them honestly).
+//!
+//! Conservation is a checked invariant: every sector ever allocated is
+//! either reclaimed or still in use ([`SectorPool::conserved`]), and two
+//! live runs never alias — the property tests in `tests/prop.rs` drive
+//! both across arbitrary alloc/free interleavings.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use decaf_simkernel::{costs, CpuClass, DmaMemory, Kernel};
+
+use crate::pool::PoolError;
+
+/// Handle to one allocated sector run: the index of its first sector.
+/// Like [`crate::BufHandle`], 4 bytes standing in for a whole payload —
+/// the run length is the pool's bookkeeping, not the descriptor's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SectorHandle(pub u32);
+
+/// Conservation counters for one sector pool.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SectorPoolStats {
+    /// Successful run allocations.
+    pub allocs: u64,
+    /// Runs handed back.
+    pub frees: u64,
+    /// Allocations refused for want of a contiguous free run.
+    pub exhausted: u64,
+    /// Sectors ever allocated (summed over runs).
+    pub sectors_allocated: u64,
+    /// Sectors ever reclaimed.
+    pub sectors_reclaimed: u64,
+    /// Most sectors simultaneously in use.
+    pub in_use_hwm: u64,
+}
+
+/// A pool of `sector_size`-byte sectors carved out of a [`DmaMemory`]
+/// region, allocated as variable-length contiguous runs.
+///
+/// # Example
+///
+/// ```
+/// use decaf_shmring::SectorPool;
+/// use decaf_simkernel::Kernel;
+///
+/// let kernel = Kernel::new();
+/// let pool = SectorPool::with_capacity(512, 8);
+/// // A 517-byte flash write command spans two sectors.
+/// let run = pool.alloc(517).unwrap();
+/// assert_eq!(pool.run_sectors(run).unwrap(), 2);
+/// // Adoption maps the caller's pages instead of copying them.
+/// pool.adopt_payload(&kernel, &vec![0xa5; 517], run).unwrap();
+/// assert_eq!(kernel.stats().bytes_copied, 0);
+/// assert_eq!(pool.read_payload(run, 517).unwrap(), vec![0xa5; 517]);
+/// pool.free(run).unwrap();
+/// assert!(pool.conserved());
+/// ```
+#[derive(Debug)]
+pub struct SectorPool {
+    dma: DmaMemory,
+    base: usize,
+    sector_size: usize,
+    /// Per-sector in-use flags.
+    in_use: RefCell<Vec<bool>>,
+    /// Run length (in sectors) keyed by the run's first sector.
+    runs: RefCell<HashMap<u32, u32>>,
+    stats: Cell<SectorPoolStats>,
+}
+
+impl SectorPool {
+    /// Builds a pool of `count` sectors of `sector_size` bytes starting
+    /// at byte `base` of `dma`.
+    ///
+    /// # Panics
+    /// Panics if the region does not fit inside `dma`, or `count` or
+    /// `sector_size` is zero.
+    pub fn new(dma: DmaMemory, base: usize, sector_size: usize, count: usize) -> Self {
+        assert!(count > 0, "a pool needs at least one sector");
+        assert!(sector_size > 0, "sectors need a size");
+        assert!(
+            base + sector_size * count <= dma.len(),
+            "sector region {base}+{sector_size}x{count} exceeds DMA size {}",
+            dma.len()
+        );
+        SectorPool {
+            dma,
+            base,
+            sector_size,
+            in_use: RefCell::new(vec![false; count]),
+            runs: RefCell::new(HashMap::new()),
+            stats: Cell::new(SectorPoolStats::default()),
+        }
+    }
+
+    /// Builds a standalone pool over its own fresh DMA region (tests and
+    /// the storage ablation, where no device model is attached).
+    pub fn with_capacity(sector_size: usize, count: usize) -> Self {
+        SectorPool::new(DmaMemory::new(sector_size * count), 0, sector_size, count)
+    }
+
+    /// Bytes per sector.
+    pub fn sector_size(&self) -> usize {
+        self.sector_size
+    }
+
+    /// Total sectors.
+    pub fn capacity_sectors(&self) -> usize {
+        self.in_use.borrow().len()
+    }
+
+    /// Sectors currently free (not necessarily contiguous).
+    pub fn available_sectors(&self) -> usize {
+        self.in_use.borrow().iter().filter(|u| !**u).count()
+    }
+
+    /// Sectors currently allocated.
+    pub fn in_use_sectors(&self) -> usize {
+        self.capacity_sectors() - self.available_sectors()
+    }
+
+    /// Live runs (allocated, not yet freed).
+    pub fn live_runs(&self) -> usize {
+        self.runs.borrow().len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SectorPoolStats {
+        self.stats.get()
+    }
+
+    /// The conservation invariant: every sector ever allocated is either
+    /// reclaimed or still in use — none lost, none double-counted.
+    pub fn conserved(&self) -> bool {
+        let s = self.stats.get();
+        s.sectors_allocated == s.sectors_reclaimed + self.in_use_sectors() as u64
+    }
+
+    /// Sectors a `len`-byte transfer occupies (at least one).
+    pub fn sectors_for(&self, len: usize) -> usize {
+        (len.max(1)).div_ceil(self.sector_size)
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut SectorPoolStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
+
+    /// Allocates a contiguous run of sectors for a `len`-byte transfer
+    /// (first-fit). Returns [`PoolError::Exhausted`] when no contiguous
+    /// run is free, [`PoolError::TooLarge`] when `len` exceeds the whole
+    /// pool.
+    pub fn alloc(&self, len: usize) -> Result<SectorHandle, PoolError> {
+        let need = self.sectors_for(len);
+        if need > self.capacity_sectors() {
+            return Err(PoolError::TooLarge {
+                len,
+                buf_size: self.capacity_sectors() * self.sector_size,
+            });
+        }
+        let mut in_use = self.in_use.borrow_mut();
+        let mut run_start = 0usize;
+        let mut run_len = 0usize;
+        let mut found = None;
+        for (i, used) in in_use.iter().enumerate() {
+            if *used {
+                run_len = 0;
+                run_start = i + 1;
+            } else {
+                run_len += 1;
+                if run_len == need {
+                    found = Some(run_start);
+                    break;
+                }
+            }
+        }
+        let Some(first) = found else {
+            self.bump(|s| s.exhausted += 1);
+            return Err(PoolError::Exhausted);
+        };
+        for flag in in_use.iter_mut().skip(first).take(need) {
+            *flag = true;
+        }
+        drop(in_use);
+        self.runs.borrow_mut().insert(first as u32, need as u32);
+        let in_use_now = self.in_use_sectors() as u64;
+        self.bump(|s| {
+            s.allocs += 1;
+            s.sectors_allocated += need as u64;
+            s.in_use_hwm = s.in_use_hwm.max(in_use_now);
+        });
+        Ok(SectorHandle(first as u32))
+    }
+
+    /// Returns a run to the pool. Order-independent; double frees and
+    /// stale handles are rejected. Returns the number of sectors
+    /// reclaimed.
+    pub fn free(&self, h: SectorHandle) -> Result<usize, PoolError> {
+        if h.0 as usize >= self.capacity_sectors() {
+            return Err(PoolError::BadHandle(h.0));
+        }
+        let Some(len) = self.runs.borrow_mut().remove(&h.0) else {
+            return Err(PoolError::NotAllocated(h.0));
+        };
+        let mut in_use = self.in_use.borrow_mut();
+        for flag in in_use.iter_mut().skip(h.0 as usize).take(len as usize) {
+            debug_assert!(*flag, "freed run covers a sector not in use");
+            *flag = false;
+        }
+        self.bump(|s| {
+            s.frees += 1;
+            s.sectors_reclaimed += len as u64;
+        });
+        Ok(len as usize)
+    }
+
+    fn check(&self, h: SectorHandle) -> Result<(usize, usize), PoolError> {
+        if h.0 as usize >= self.capacity_sectors() {
+            return Err(PoolError::BadHandle(h.0));
+        }
+        match self.runs.borrow().get(&h.0) {
+            None => Err(PoolError::NotAllocated(h.0)),
+            Some(&len) => Ok((
+                self.base + h.0 as usize * self.sector_size,
+                len as usize * self.sector_size,
+            )),
+        }
+    }
+
+    /// Sectors in a live run.
+    pub fn run_sectors(&self, h: SectorHandle) -> Result<usize, PoolError> {
+        self.check(h).map(|(_, bytes)| bytes / self.sector_size)
+    }
+
+    /// DMA offset of a run — what a transfer descriptor points at.
+    pub fn offset_of(&self, h: SectorHandle) -> Result<usize, PoolError> {
+        self.check(h).map(|(off, _)| off)
+    }
+
+    /// Copies `data` into the run, charging the copy through
+    /// [`Kernel::charge_copy`] — for callers whose payload really does
+    /// move through the CPU (the by-value baselines).
+    pub fn write_payload(
+        &self,
+        kernel: &Kernel,
+        class: CpuClass,
+        h: SectorHandle,
+        data: &[u8],
+    ) -> Result<(), PoolError> {
+        let (off, run_bytes) = self.check(h)?;
+        if data.len() > run_bytes {
+            return Err(PoolError::TooLarge {
+                len: data.len(),
+                buf_size: run_bytes,
+            });
+        }
+        self.dma.write_bytes(off, data);
+        kernel.charge_copy(class, data.len() as u64);
+        Ok(())
+    }
+
+    /// Donates `data`'s pages to the run *without a CPU copy*: the
+    /// storage stack's zero-copy submission path (page cache or
+    /// `O_DIRECT` pages are DMA-able where they sit; the "write" below
+    /// only keeps the simulated [`DmaMemory`] coherent). Charges
+    /// [`costs::SECTOR_MAP_NS`] per sector — the page-table/IOMMU work of
+    /// mapping the run — and *not* [`Kernel::charge_copy`].
+    pub fn adopt_payload(
+        &self,
+        kernel: &Kernel,
+        data: &[u8],
+        h: SectorHandle,
+    ) -> Result<(), PoolError> {
+        let (off, run_bytes) = self.check(h)?;
+        if data.len() > run_bytes {
+            return Err(PoolError::TooLarge {
+                len: data.len(),
+                buf_size: run_bytes,
+            });
+        }
+        self.dma.write_bytes(off, data);
+        kernel.charge_kernel(self.sectors_for(data.len()) as u64 * costs::SECTOR_MAP_NS);
+        Ok(())
+    }
+
+    /// Reads `len` payload bytes back out of a run.
+    ///
+    /// No copy cost is charged: the consumer reads the payload *in
+    /// place* — the `Vec` is a simulation artifact, not a modeled copy.
+    /// This is the IN-direction ownership handback: the completion hands
+    /// the *run* back, never a copied payload.
+    pub fn read_payload(&self, h: SectorHandle, len: usize) -> Result<Vec<u8>, PoolError> {
+        let (off, run_bytes) = self.check(h)?;
+        if len > run_bytes {
+            return Err(PoolError::TooLarge {
+                len,
+                buf_size: run_bytes,
+            });
+        }
+        Ok(self.dma.read_bytes(off, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variable_length_runs_allocate_and_reclaim() {
+        let p = SectorPool::with_capacity(512, 8);
+        let a = p.alloc(5).unwrap(); // 1 sector
+        let b = p.alloc(517).unwrap(); // 2 sectors
+        let c = p.alloc(1536).unwrap(); // 3 sectors
+        assert_eq!(p.run_sectors(a).unwrap(), 1);
+        assert_eq!(p.run_sectors(b).unwrap(), 2);
+        assert_eq!(p.run_sectors(c).unwrap(), 3);
+        assert_eq!(p.in_use_sectors(), 6);
+        // Out-of-order reclaim.
+        assert_eq!(p.free(b).unwrap(), 2);
+        assert_eq!(p.free(a).unwrap(), 1);
+        assert_eq!(p.free(c).unwrap(), 3);
+        assert_eq!(p.available_sectors(), 8);
+        assert!(p.conserved());
+        assert_eq!(p.stats().sectors_allocated, 6);
+        assert_eq!(p.stats().sectors_reclaimed, 6);
+    }
+
+    #[test]
+    fn runs_never_alias_and_fragmentation_exhausts() {
+        let p = SectorPool::with_capacity(64, 4);
+        let a = p.alloc(64).unwrap();
+        let b = p.alloc(128).unwrap();
+        let c = p.alloc(64).unwrap();
+        let offs = [
+            (p.offset_of(a).unwrap(), 64),
+            (p.offset_of(b).unwrap(), 128),
+            (p.offset_of(c).unwrap(), 64),
+        ];
+        for (i, &(o1, l1)) in offs.iter().enumerate() {
+            for &(o2, l2) in offs.iter().skip(i + 1) {
+                assert!(o1 + l1 <= o2 || o2 + l2 <= o1, "live runs alias");
+            }
+        }
+        // Free the two singles: 2 sectors free but not contiguous.
+        p.free(a).unwrap();
+        p.free(c).unwrap();
+        assert_eq!(p.available_sectors(), 2);
+        assert_eq!(p.alloc(128), Err(PoolError::Exhausted));
+        assert_eq!(p.stats().exhausted, 1);
+        // A single still fits in either hole.
+        let d = p.alloc(10).unwrap();
+        assert_eq!(p.run_sectors(d).unwrap(), 1);
+    }
+
+    #[test]
+    fn adopt_is_zero_copy_and_write_is_not() {
+        let k = Kernel::new();
+        let p = SectorPool::with_capacity(512, 4);
+        let a = p.alloc(512).unwrap();
+        p.adopt_payload(&k, &[7u8; 512], a).unwrap();
+        assert_eq!(k.stats().bytes_copied, 0, "adoption maps, never copies");
+        assert_eq!(p.read_payload(a, 512).unwrap(), [7u8; 512]);
+        let b = p.alloc(512).unwrap();
+        p.write_payload(&k, CpuClass::Kernel, b, &[9u8; 512])
+            .unwrap();
+        assert_eq!(k.stats().bytes_copied, 512, "the by-value path pays");
+    }
+
+    #[test]
+    fn double_free_and_stale_handles_rejected() {
+        let p = SectorPool::with_capacity(512, 2);
+        let a = p.alloc(1024).unwrap();
+        p.free(a).unwrap();
+        assert!(matches!(p.free(a), Err(PoolError::NotAllocated(_))));
+        assert!(matches!(
+            p.free(SectorHandle(99)),
+            Err(PoolError::BadHandle(_))
+        ));
+        assert!(matches!(
+            p.read_payload(SectorHandle(1), 4),
+            Err(PoolError::NotAllocated(_))
+        ));
+        // A transfer bigger than the whole pool is TooLarge, not
+        // Exhausted: no amount of reclaim will ever satisfy it.
+        assert!(matches!(p.alloc(4096), Err(PoolError::TooLarge { .. })));
+        assert!(p.conserved());
+    }
+
+    #[test]
+    fn oversize_payload_for_run_rejected() {
+        let k = Kernel::new();
+        let p = SectorPool::with_capacity(512, 4);
+        let a = p.alloc(512).unwrap();
+        assert!(matches!(
+            p.adopt_payload(&k, &[0; 513], a),
+            Err(PoolError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            p.write_payload(&k, CpuClass::Kernel, a, &[0; 513]),
+            Err(PoolError::TooLarge { .. })
+        ));
+    }
+}

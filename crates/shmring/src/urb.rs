@@ -1,0 +1,129 @@
+//! URB-shaped descriptors: the request/response vocabulary of the
+//! storage data path.
+//!
+//! The NIC rings are unidirectional streams — TX descriptors flow one
+//! way, RX descriptors the other, and a completion only has to say
+//! "this buffer is yours again". A USB request block (URB) is a
+//! *request/response* pair: the submit side says what transfer it wants
+//! (direction, endpoint, length, payload run); the giveback side answers
+//! with what actually happened (status, transferred length) **and**
+//! hands the payload run's ownership back — for IN transfers the
+//! response *is* the data, read in place from the
+//! [`crate::SectorPool`] run the device DMA'd into, never a copied
+//! payload.
+//!
+//! A [`UrbDescriptor`] rides a pair of [`crate::ShmRing`]s (the ring is
+//! generic over its slot type): a **submit ring** carrying requests
+//! kernel → driver, and a **giveback ring** carrying completed
+//! descriptors driver → kernel. The same 'ownership flag + wrap-around +
+//! backpressure' protocol and the same descriptor-post/cache-line costs
+//! apply — request/response changes what a descriptor *means*, not what
+//! it *costs*.
+
+use crate::sector::SectorHandle;
+
+/// Transfer direction of a URB descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum XferDir {
+    /// Host-to-device: the payload run is full at submit time.
+    #[default]
+    Out,
+    /// Device-to-host: the run is empty at submit time; the device fills
+    /// it and the giveback hands it back with the actual length.
+    In,
+}
+
+/// One URB descriptor: request fields set by the submitter, response
+/// fields (`status`, `actual`) filled in by the completer. A few dozen
+/// bytes of ring traffic stand in for the whole transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UrbDescriptor {
+    /// The sector run holding (OUT) or receiving (IN) the payload.
+    pub buf: SectorHandle,
+    /// Requested transfer length in bytes.
+    pub len: u32,
+    /// Bytes actually transferred (valid on the giveback ring; short
+    /// reads report the true length, not the padded run).
+    pub actual: u32,
+    /// Device endpoint.
+    pub endpoint: u8,
+    /// Transfer direction.
+    pub dir: XferDir,
+    /// Completion status: 0 on success, a negative errno on failure
+    /// (valid on the giveback ring).
+    pub status: i32,
+    /// Submitter-defined cookie correlating the giveback with its
+    /// request (and with the submitter's completion callback).
+    pub cookie: u64,
+}
+
+impl UrbDescriptor {
+    /// A host-to-device request: `buf` holds `len` payload bytes.
+    pub fn request_out(buf: SectorHandle, len: u32, endpoint: u8, cookie: u64) -> Self {
+        UrbDescriptor {
+            buf,
+            len,
+            actual: 0,
+            endpoint,
+            dir: XferDir::Out,
+            status: 0,
+            cookie,
+        }
+    }
+
+    /// A device-to-host request: `buf` is an empty run of at least `len`
+    /// bytes for the device to fill.
+    pub fn request_in(buf: SectorHandle, len: u32, endpoint: u8, cookie: u64) -> Self {
+        UrbDescriptor {
+            buf,
+            len,
+            actual: 0,
+            endpoint,
+            dir: XferDir::In,
+            status: 0,
+            cookie,
+        }
+    }
+
+    /// This request, completed: the consumer fills in the response
+    /// fields before pushing the descriptor onto the giveback ring.
+    pub fn completed(mut self, status: i32, actual: u32) -> Self {
+        self.status = status;
+        self.actual = actual;
+        self
+    }
+
+    /// Whether the transfer succeeded.
+    pub fn ok(&self) -> bool {
+        self.status == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShmRing;
+    use decaf_simkernel::{CpuClass, Kernel};
+
+    #[test]
+    fn urb_descriptors_ride_a_generic_ring() {
+        let k = Kernel::new();
+        let ring: ShmRing<UrbDescriptor> = ShmRing::new("urb-submit", 4);
+        let req = UrbDescriptor::request_in(SectorHandle(3), 512, 1, 7);
+        ring.push(&k, CpuClass::Kernel, req).unwrap();
+        let got = ring.pop(&k, CpuClass::User).unwrap();
+        assert_eq!(got, req);
+        assert_eq!(got.dir, XferDir::In);
+        let done = got.completed(0, 100);
+        assert!(done.ok());
+        assert_eq!(done.actual, 100, "short read reports the true length");
+        assert_eq!(done.cookie, 7);
+    }
+
+    #[test]
+    fn failed_completion_carries_errno() {
+        let d = UrbDescriptor::request_out(SectorHandle(0), 5, 2, 1).completed(-5, 0);
+        assert!(!d.ok());
+        assert_eq!(d.status, -5);
+    }
+}

@@ -1,10 +1,14 @@
 //! Property-based tests for the shmring subsystem: the ring against a
-//! queue model (wrap-around, backpressure, ownership handback) and the
-//! pool against an allocation model (out-of-order completion reclaim).
+//! queue model (wrap-around, backpressure, ownership handback), the
+//! pool against an allocation model (out-of-order completion reclaim),
+//! and the sector pool against an interval model (variable-length runs
+//! never alias, conservation counters survive arbitrary interleavings).
 
 use std::collections::VecDeque;
 
-use decaf_shmring::{BufHandle, BufPool, Descriptor, PoolError, RingError, ShmRing};
+use decaf_shmring::{
+    BufHandle, BufPool, Descriptor, PoolError, RingError, SectorHandle, SectorPool, ShmRing,
+};
 use decaf_simkernel::{CpuClass, Kernel};
 use proptest::prelude::*;
 
@@ -99,7 +103,7 @@ proptest! {
             }
             let victim = held.remove((*key as usize + i) % held.len());
             pool.free(victim).unwrap();
-            prop_assert_eq!(pool.free(victim), Err(PoolError::NotAllocated(victim)));
+            prop_assert_eq!(pool.free(victim), Err(PoolError::NotAllocated(victim.0)));
         }
         let freed = count - held.len();
         prop_assert_eq!(pool.available(), freed);
@@ -108,6 +112,98 @@ proptest! {
         again.sort_unstable();
         again.dedup();
         prop_assert_eq!(again.len(), freed, "reallocated handles are distinct");
+    }
+
+    /// Arbitrary alloc/free interleavings of variable-length transfers:
+    /// live sector runs never alias, and the conservation counters hold
+    /// under out-of-order reclaim at every step.
+    #[test]
+    fn sector_runs_never_alias_and_conserve(
+        ops in proptest::collection::vec(any::<u16>(), 1..200),
+    ) {
+        const SECTOR: usize = 64;
+        const COUNT: usize = 16;
+        let pool = SectorPool::with_capacity(SECTOR, COUNT);
+        // Live runs as (handle, byte offset, byte length).
+        let mut live: Vec<(SectorHandle, usize, usize)> = Vec::new();
+        for op in ops {
+            // Bias 3:2 toward allocs so the map fragments and refills;
+            // lengths span sub-sector to multi-sector transfers.
+            if op % 5 < 3 {
+                let len = 1 + (op as usize * 37) % (4 * SECTOR);
+                match pool.alloc(len) {
+                    Ok(h) => {
+                        let off = pool.offset_of(h).unwrap();
+                        let bytes = pool.run_sectors(h).unwrap() * SECTOR;
+                        prop_assert!(bytes >= len, "run covers the transfer");
+                        for &(_, o, b) in &live {
+                            prop_assert!(
+                                off + bytes <= o || o + b <= off,
+                                "run [{off}, {}) aliases live run [{o}, {})",
+                                off + bytes,
+                                o + b
+                            );
+                        }
+                        live.push((h, off, bytes));
+                    }
+                    Err(PoolError::Exhausted) => {
+                        // Legal whenever no contiguous hole fits; never
+                        // legal with an empty pool and a fitting length.
+                        prop_assert!(
+                            !live.is_empty() || len > SECTOR * COUNT,
+                            "empty pool refused a fitting alloc"
+                        );
+                    }
+                    Err(e) => prop_assert!(false, "unexpected alloc error: {e}"),
+                }
+            } else if !live.is_empty() {
+                // Out-of-order reclaim: free a pseudo-random live run.
+                let (h, _, _) = live.remove(op as usize % live.len());
+                pool.free(h).unwrap();
+                prop_assert_eq!(pool.free(h), Err(PoolError::NotAllocated(h.0)));
+            }
+            // Conservation holds at every step, not just at quiescence.
+            prop_assert!(pool.conserved(), "conservation broke mid-history");
+            let in_use: usize = live.iter().map(|&(_, _, b)| b / SECTOR).sum();
+            prop_assert_eq!(pool.in_use_sectors(), in_use);
+            prop_assert_eq!(pool.live_runs(), live.len());
+        }
+        // Draining everything returns the pool to pristine capacity.
+        for (h, _, _) in live.drain(..) {
+            pool.free(h).unwrap();
+        }
+        prop_assert_eq!(pool.available_sectors(), COUNT);
+        prop_assert!(pool.conserved());
+        let s = pool.stats();
+        prop_assert_eq!(s.sectors_allocated, s.sectors_reclaimed);
+    }
+
+    /// Adopted payloads survive the handoff bit-for-bit, in place: no
+    /// audited copy is ever charged on the sector path, whatever the
+    /// interleaving of writes and reads.
+    #[test]
+    fn adopted_payloads_survive_without_copies(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..200), 1..8),
+    ) {
+        let k = Kernel::new();
+        let pool = SectorPool::with_capacity(64, 32);
+        let runs: Vec<_> = payloads
+            .iter()
+            .map(|p| {
+                let h = pool.alloc(p.len()).unwrap();
+                pool.adopt_payload(&k, p, h).unwrap();
+                h
+            })
+            .collect();
+        // Reads in arbitrary (reverse) order see exactly what was
+        // adopted; nothing ever hits the copy audit.
+        for (h, p) in runs.iter().zip(&payloads).rev() {
+            prop_assert_eq!(&pool.read_payload(*h, p.len()).unwrap(), p);
+            pool.free(*h).unwrap();
+        }
+        prop_assert_eq!(k.stats().bytes_copied, 0, "adoption and in-place reads");
+        prop_assert!(pool.conserved());
     }
 
     /// A descriptor round trip through ring + pool preserves the payload

@@ -149,6 +149,19 @@ impl UhciDevice {
         self.flash.writes
     }
 
+    /// Completed read commands.
+    pub fn flash_reads(&self) -> u64 {
+        self.flash.reads
+    }
+
+    /// Places `data` in a sector directly, bypassing the bus — models
+    /// media that already holds an archive (streaming-read workloads
+    /// start from preloaded flash instead of paying write traffic
+    /// inside their measurement window).
+    pub fn preload_sector(&mut self, sector: u32, data: Vec<u8>) {
+        self.flash.sectors.insert(sector, data);
+    }
+
     /// Walks the frame list, executing every active TD chain.
     fn run_schedule(&mut self, kernel: &Kernel) {
         if self.usbcmd & CMD_RS == 0 || !self.frbase_installed {

@@ -53,6 +53,12 @@ pub const RING_POST_NS: u64 = 60;
 /// The consumer pulling one descriptor's dirtied cache line across cores
 /// (a coherence miss, 2009-era magnitudes).
 pub const RING_CACHELINE_NS: u64 = 120;
+/// Mapping one sector-granular buffer for device DMA (page-table/IOMMU
+/// work): what the zero-copy storage submission path pays *instead of* a
+/// per-byte payload copy. Page-cache and `O_DIRECT` pages are DMA-able
+/// where they sit; donating them to a sector pool costs a mapping per
+/// sector, never a memcpy.
+pub const SECTOR_MAP_NS: u64 = 200;
 /// Doorbell-coalescing window: descriptors parked in a ring (or deferred
 /// calls parked in a batched transport) are flushed no later than this
 /// much virtual time after the first post, so low-rate paths do not hold

@@ -463,6 +463,24 @@ impl XpcChannel {
         kernel.charge(class, bytes as u64 * costs::MARSHAL_BYTE_NS);
     }
 
+    /// XDR wire size of one by-value scalar (RFC 4506: everything packs
+    /// to 4-byte alignment). Counted and charged like object bytes, so a
+    /// payload smuggled through an opaque scalar is never free.
+    fn scalar_wire_bytes(v: &XdrValue) -> usize {
+        match v {
+            XdrValue::Void => 0,
+            XdrValue::Hyper(_) | XdrValue::UHyper(_) | XdrValue::Double(_) => 8,
+            XdrValue::Opaque(b) => 4 + b.len().next_multiple_of(4),
+            XdrValue::Str(s) => 4 + s.len().next_multiple_of(4),
+            XdrValue::Array(items) => 4 + items.iter().map(Self::scalar_wire_bytes).sum::<usize>(),
+            XdrValue::Struct { fields, .. } => {
+                fields.iter().map(|(_, f)| Self::scalar_wire_bytes(f)).sum()
+            }
+            XdrValue::Optional(inner) => 4 + inner.as_deref().map_or(0, Self::scalar_wire_bytes),
+            _ => 4,
+        }
+    }
+
     /// Stub steps 2+3: tracker translation and delta-aware marshaling of
     /// `roots` out of `end`'s heap.
     fn marshal_from(
@@ -606,12 +624,16 @@ impl XpcChannel {
         self.record_atomic_violation(kernel, target, proc);
         let def = self.lookup_proc(target, proc)?;
 
-        // Steps 2+3: translate and marshal.
+        // Steps 2+3: translate and marshal. Scalar arguments travel by
+        // value too: they are encoded onto the same wire and accounted
+        // the same way — a payload smuggled through an opaque scalar
+        // pays exactly what it would as an object field.
+        let scalar_in: usize = scalars.iter().map(Self::scalar_wire_bytes).sum();
         let wire_in = self.marshal_from(kernel, caller, args, Direction::In)?;
-        self.bump(|s| s.bytes_in += wire_in.len() as u64);
+        self.bump(|s| s.bytes_in += (wire_in.len() + scalar_in) as u64);
 
         // Step 4: control transfer.
-        self.charge_transfer(kernel, from, wire_in.len());
+        self.charge_transfer(kernel, from, wire_in.len() + scalar_in);
 
         // Step 5: unmarshal at the target, tracker-aware.
         let arg_type_refs: Vec<&str> = def.arg_types.iter().map(String::as_str).collect();
@@ -643,10 +665,12 @@ impl XpcChannel {
         // Deferred calls the handler parked must land before it returns.
         self.flush(kernel)?;
 
-        // Step 6: marshal out-parameters back and update caller objects.
+        // Step 6: marshal out-parameters (and the scalar return) back
+        // and update caller objects.
+        let scalar_out = Self::scalar_wire_bytes(&ret);
         let wire_out = self.marshal_from(kernel, target, &locals, Direction::Out)?;
-        self.bump(|s| s.bytes_out += wire_out.len() as u64);
-        self.charge_transfer(kernel, target.domain, wire_out.len());
+        self.bump(|s| s.bytes_out += (wire_out.len() + scalar_out) as u64);
+        self.charge_transfer(kernel, target.domain, wire_out.len() + scalar_out);
         self.unmarshal_into(kernel, caller, &wire_out, &arg_type_refs, Direction::Out, 0)?;
 
         self.bump(|s| s.round_trips += 1);
@@ -776,9 +800,14 @@ impl XpcChannel {
             .iter()
             .flat_map(|d| d.arg_types.iter().map(String::as_str))
             .collect();
+        let scalar_in: usize = group
+            .iter()
+            .flat_map(|c| c.scalars.iter())
+            .map(Self::scalar_wire_bytes)
+            .sum();
         let wire_in = self.marshal_from(kernel, caller, &all_roots, Direction::In)?;
-        self.bump(|s| s.bytes_in += wire_in.len() as u64);
-        self.charge_transfer(kernel, from, wire_in.len());
+        self.bump(|s| s.bytes_in += (wire_in.len() + scalar_in) as u64);
+        self.charge_transfer(kernel, from, wire_in.len() + scalar_in);
 
         let locals = self.unmarshal_into(
             kernel,

@@ -27,7 +27,11 @@
 //! descriptors ride single-producer/single-consumer rings, and a
 //! watermark/deadline-coalesced doorbell rides the control transport —
 //! so hosting the packet hot path at user level stops costing per-byte
-//! marshaling.
+//! marshaling. [`urbpath::UrbDataPath`] is its request/response sibling
+//! for storage: URB submit descriptors flow one way, completions carry
+//! status, actual length and the payload run's *ownership* back the
+//! other — the mechanism that lets a `tar` stream ride the rings just
+//! like netperf does.
 //!
 //! [`shard::ShardedChannel`] scales both layers out: N parallel channels
 //! (per-CPU or per-flow) behind one facade, each with its own transport
@@ -54,6 +58,7 @@ pub mod runtime;
 pub mod shard;
 pub mod tracker;
 pub mod transport;
+pub mod urbpath;
 
 pub use combolock::{ComboStats, Combolock};
 pub use datapath::{DataPathChannel, DataPathEnd};
@@ -64,3 +69,4 @@ pub use runtime::{DecafRuntime, NuclearRuntime};
 pub use shard::{ShardPolicy, ShardedChannel, MAX_SHARDS, SHARD_HEAP_STRIDE};
 pub use tracker::{ObjectTracker, TrackerStats};
 pub use transport::{Batched, DeferredCall, InProc, Threaded, Transport, TransportKind};
+pub use urbpath::{UrbDataPath, UrbEnd, UrbPathStats, UrbReclaim};

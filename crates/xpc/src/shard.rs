@@ -75,6 +75,43 @@ pub enum ShardPolicy {
 }
 
 /// N parallel [`XpcChannel`]s behind one facade.
+///
+/// # Example
+///
+/// ```
+/// use std::rc::Rc;
+/// use decaf_simkernel::Kernel;
+/// use decaf_xdr::{mask::MaskSet, XdrSpec, XdrValue};
+/// use decaf_xpc::{ChannelConfig, Domain, ProcDef, ShardPolicy, ShardedChannel};
+///
+/// let kernel = Kernel::new();
+/// let ch = ShardedChannel::new(
+///     XdrSpec::parse("struct dev { int busy; };").unwrap(),
+///     MaskSet::full(),
+///     ChannelConfig::kernel_user_batched(),
+///     Domain::Nucleus,
+///     Domain::Decaf,
+///     4,
+///     ShardPolicy::FlowHash,
+/// );
+/// ch.register_proc(
+///     Domain::Decaf,
+///     ProcDef {
+///         name: "touch".into(),
+///         arg_types: vec!["dev".into()],
+///         handler: Rc::new(|_, _, _, _| XdrValue::Int(0)),
+///     },
+/// )
+/// .unwrap();
+///
+/// // Objects allocate through the facade and get a home shard; calls
+/// // carrying the object always steer there.
+/// let dev = ch.alloc_shared(Domain::Nucleus, "dev").unwrap();
+/// let home = ch.home_of(dev).unwrap();
+/// ch.call(&kernel, Domain::Nucleus, "touch", &[Some(dev)], &[]).unwrap();
+/// assert_eq!(ch.shard_stats(home).round_trips, 1);
+/// assert_eq!(ch.stats().round_trips, 1, "merged view sums the shards");
+/// ```
 pub struct ShardedChannel {
     shards: Vec<Rc<XpcChannel>>,
     policy: ShardPolicy,
@@ -221,8 +258,10 @@ impl ShardedChannel {
         })
     }
 
-    /// A synchronous call through the facade; steering as per
-    /// [`ShardedChannel::steer`]. Returns the handler's scalar result.
+    /// A synchronous call through the facade; steered to the argument's
+    /// home shard (object-carrying calls) or by the facade's
+    /// [`ShardPolicy`] (scalar-only calls). Returns the handler's scalar
+    /// result.
     pub fn call(
         &self,
         kernel: &Kernel,

@@ -1,0 +1,607 @@
+//! The request/response data-path channel for URB-shaped (storage/USB)
+//! transfers: the storage sibling of [`crate::DataPathChannel`].
+//!
+//! The NIC data path is a pair of unidirectional streams; a storage
+//! data path is a stream of *transactions*. A [`UrbDataPath`] pairs an
+//! [`XpcChannel`] with the [`decaf_shmring`] URB pieces:
+//!
+//! * the **submitter** (the nucleus' USB core) allocates a
+//!   variable-length sector run, *adopts* the payload into it —
+//!   zero-copy page donation, never a marshal or a memcpy — and posts a
+//!   [`UrbDescriptor`] request into the **submit ring**;
+//! * the **doorbell** is an ordinary XPC call with zero object
+//!   arguments, coalesced by a [`DoorbellPolicy`] exactly like the NIC
+//!   paths: ring at a watermark, or once the oldest request has waited
+//!   out the coalescing deadline;
+//! * the **completer** (the decaf driver's drain handler) consumes
+//!   requests, programs the hardware straight from the shared sector
+//!   run, and pushes each descriptor — now carrying `status` and the
+//!   *actual* transferred length — onto the **giveback ring**;
+//! * the submitter [`UrbDataPath::reclaim`]s givebacks: OUT runs are
+//!   freed, IN runs are read *in place* (the ownership handback — the
+//!   completion carries the run, not a copied payload) and then freed.
+//!
+//! Conservation is tracked end to end: every URB submitted is either
+//! given back or still in flight, and the sector pool's own counters
+//! guarantee no run leaks across the boundary.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use decaf_shmring::{
+    DoorbellPolicy, PoolError, RingError, SectorPool, ShmRing, UrbDescriptor, XferDir,
+};
+use decaf_simkernel::Kernel;
+use decaf_xdr::XdrValue;
+
+use crate::domain::Domain;
+use crate::endpoint::XpcChannel;
+use crate::error::{XpcError, XpcResult};
+
+/// Conservation counters for one URB data path.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct UrbPathStats {
+    /// URB requests posted into the submit ring.
+    pub submitted: u64,
+    /// Completed URBs reclaimed from the giveback ring.
+    pub given_back: u64,
+    /// Most URBs simultaneously in flight.
+    pub in_flight_hwm: u64,
+}
+
+/// One reclaimed URB completion, ready for the submitter's callback
+/// dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UrbReclaim {
+    /// The submitter's correlation cookie.
+    pub cookie: u64,
+    /// 0 on success, a negative errno on failure.
+    pub status: i32,
+    /// Bytes actually transferred (short reads report the true length).
+    pub actual: u32,
+    /// Transfer direction.
+    pub dir: XferDir,
+    /// IN-direction payload, read *in place* from the handed-back sector
+    /// run before the run was freed — a simulation artifact of the
+    /// ownership handback, not a modeled copy.
+    pub data: Vec<u8>,
+}
+
+impl UrbReclaim {
+    /// The completion as a `Result`, for callers that map errno to their
+    /// own error type.
+    pub fn ok(&self) -> bool {
+        self.status == 0
+    }
+}
+
+/// Submitter-side handle: posts URB requests, coalesces doorbells,
+/// reclaims givebacks.
+pub struct UrbDataPath {
+    channel: Rc<XpcChannel>,
+    producer: Domain,
+    submit: Rc<ShmRing<UrbDescriptor>>,
+    giveback: Rc<ShmRing<UrbDescriptor>>,
+    pool: Rc<SectorPool>,
+    policy: DoorbellPolicy,
+    doorbell_proc: String,
+    in_flight: Cell<u64>,
+    stats: Cell<UrbPathStats>,
+}
+
+impl UrbDataPath {
+    /// Builds a URB data path whose requests flow `producer` → peer and
+    /// whose doorbell invokes `doorbell_proc` (which must be registered
+    /// at the peer end of `channel`). `pool` is the sector pool both
+    /// ends share — normally carved from the device's own DMA region.
+    pub fn new(
+        channel: Rc<XpcChannel>,
+        producer: Domain,
+        doorbell_proc: impl Into<String>,
+        submit: Rc<ShmRing<UrbDescriptor>>,
+        giveback: Rc<ShmRing<UrbDescriptor>>,
+        pool: Rc<SectorPool>,
+        policy: DoorbellPolicy,
+    ) -> XpcResult<Rc<Self>> {
+        channel.peer_domain(producer)?;
+        Ok(Rc::new(UrbDataPath {
+            channel,
+            producer,
+            submit,
+            giveback,
+            pool,
+            policy,
+            doorbell_proc: doorbell_proc.into(),
+            in_flight: Cell::new(0),
+            stats: Cell::new(UrbPathStats::default()),
+        }))
+    }
+
+    /// The underlying control channel.
+    pub fn channel(&self) -> &Rc<XpcChannel> {
+        &self.channel
+    }
+
+    /// The shared sector pool.
+    pub fn pool(&self) -> &Rc<SectorPool> {
+        &self.pool
+    }
+
+    /// The submit ring (requests, submitter → completer).
+    pub fn submit_ring(&self) -> &Rc<ShmRing<UrbDescriptor>> {
+        &self.submit
+    }
+
+    /// The giveback ring (completions, completer → submitter).
+    pub fn giveback_ring(&self) -> &Rc<ShmRing<UrbDescriptor>> {
+        &self.giveback
+    }
+
+    /// Requests posted and not yet drained by a doorbell.
+    pub fn pending(&self) -> usize {
+        self.submit.len()
+    }
+
+    /// URBs submitted and not yet given back.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.get()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> UrbPathStats {
+        self.stats.get()
+    }
+
+    /// The conservation invariant: every URB ever submitted is either
+    /// given back or still in flight.
+    pub fn conserved(&self) -> bool {
+        let s = self.stats.get();
+        s.submitted == s.given_back + self.in_flight.get()
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut UrbPathStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
+
+    fn map_pool_err(e: PoolError) -> XpcError {
+        XpcError::Backpressure(e.to_string())
+    }
+
+    /// An end handle for `domain` — what the completer's drain handler
+    /// captures instead of the whole path (no reference cycles through
+    /// registered procedures).
+    pub fn end(&self, domain: Domain) -> UrbEnd {
+        UrbEnd {
+            submit: Rc::clone(&self.submit),
+            giveback: Rc::clone(&self.giveback),
+            pool: Rc::clone(&self.pool),
+            domain,
+        }
+    }
+
+    /// Submits a host-to-device transfer: allocates a sector run sized
+    /// to the payload, adopts the payload into it (zero-copy page
+    /// donation — [`decaf_simkernel::costs::SECTOR_MAP_NS`] per sector,
+    /// no `charge_copy`), posts the request descriptor and rings the
+    /// doorbell if the policy says it is due.
+    ///
+    /// On sector exhaustion the path forces a doorbell so the completer
+    /// drains, then reports [`XpcError::Backpressure`]; the caller
+    /// reclaims givebacks and retries. An error always means the URB was
+    /// *not* submitted.
+    pub fn submit_out(
+        &self,
+        kernel: &Kernel,
+        endpoint: u8,
+        payload: &[u8],
+        cookie: u64,
+    ) -> XpcResult<()> {
+        let run = self.alloc_run(kernel, payload.len())?;
+        if let Err(e) = self.pool.adopt_payload(kernel, payload, run) {
+            let _ = self.pool.free(run);
+            return Err(Self::map_pool_err(e));
+        }
+        self.post(
+            kernel,
+            UrbDescriptor::request_out(run, payload.len() as u32, endpoint, cookie),
+        )
+    }
+
+    /// Submits a device-to-host transfer: allocates an empty run of
+    /// `expected_len` bytes for the device to DMA into and posts the
+    /// request. The giveback hands the run back with the *actual*
+    /// transferred length.
+    pub fn submit_in(
+        &self,
+        kernel: &Kernel,
+        endpoint: u8,
+        expected_len: usize,
+        cookie: u64,
+    ) -> XpcResult<()> {
+        let run = self.alloc_run(kernel, expected_len)?;
+        self.post(
+            kernel,
+            UrbDescriptor::request_in(run, expected_len as u32, endpoint, cookie),
+        )
+    }
+
+    fn alloc_run(&self, kernel: &Kernel, len: usize) -> XpcResult<decaf_shmring::SectorHandle> {
+        match self.pool.alloc(len) {
+            Ok(run) => Ok(run),
+            Err(PoolError::Exhausted) => {
+                // Force the completer to drain; the freed runs come back
+                // through the giveback ring, which only the caller may
+                // reclaim (completions carry callbacks it must dispatch).
+                self.ring_doorbell(kernel)?;
+                Err(XpcError::Backpressure(
+                    "sector pool exhausted: reclaim givebacks and retry".into(),
+                ))
+            }
+            Err(e) => Err(Self::map_pool_err(e)),
+        }
+    }
+
+    fn post(&self, kernel: &Kernel, desc: UrbDescriptor) -> XpcResult<()> {
+        let run = desc.buf;
+        match self.submit.push(kernel, self.producer.cpu_class(), desc) {
+            Ok(()) => {}
+            Err(RingError::Full) => {
+                let _ = self.pool.free(run);
+                // Same staged backpressure as sector exhaustion: force
+                // the completer to drain, so the caller's
+                // reclaim-and-retry can actually succeed.
+                let _ = self.ring_doorbell(kernel);
+                return Err(XpcError::Backpressure(format!(
+                    "ring `{}` full: reclaim givebacks and retry",
+                    self.submit.name()
+                )));
+            }
+        }
+        self.policy.note_post(kernel.now_ns());
+        let in_flight = self.in_flight.get() + 1;
+        self.in_flight.set(in_flight);
+        let hwm = self.submit.stats().occupancy_hwm;
+        self.bump(|s| {
+            s.submitted += 1;
+            s.in_flight_hwm = s.in_flight_hwm.max(in_flight);
+        });
+        self.channel.bump(|s| {
+            s.ring_posts += 1;
+            s.ring_occupancy_hwm = s.ring_occupancy_hwm.max(hwm);
+        });
+        // The URB is committed; the doorbell is best-effort (a completer
+        // fault is contained by the XPC layer and the deadline poll
+        // retries the crossing).
+        let _ = self.maybe_ring(kernel);
+        Ok(())
+    }
+
+    /// Rings the doorbell if the policy says the parked requests are due
+    /// (watermark reached or coalescing deadline expired).
+    pub fn maybe_ring(&self, kernel: &Kernel) -> XpcResult<bool> {
+        if self.policy.due(kernel.now_ns(), self.submit.len()) {
+            self.ring_doorbell(kernel)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Rings the doorbell unconditionally (no-op on an empty submit
+    /// ring): one XPC crossing, zero object arguments, carrying only the
+    /// request count.
+    pub fn ring_doorbell(&self, kernel: &Kernel) -> XpcResult<()> {
+        if self.submit.is_empty() {
+            return Ok(());
+        }
+        let count = self.submit.len() as u32;
+        self.channel.call(
+            kernel,
+            self.producer,
+            &self.doorbell_proc,
+            &[],
+            &[XdrValue::UInt(count)],
+        )?;
+        self.channel.bump(|s| s.doorbells += 1);
+        self.policy.rang();
+        Ok(())
+    }
+
+    /// Submitter-side poll hook (call from a timer's work item): rings
+    /// the doorbell if the coalescing deadline has expired on parked
+    /// requests. Returns whether a doorbell was rung; the caller
+    /// reclaims givebacks afterwards either way.
+    pub fn poll(&self, kernel: &Kernel) -> XpcResult<bool> {
+        self.maybe_ring(kernel)
+    }
+
+    /// Drains the giveback ring: for every completed descriptor, reads
+    /// the IN-direction payload in place (the ownership handback), frees
+    /// the sector run, and returns a [`UrbReclaim`] for the submitter's
+    /// callback dispatch. Givebacks may arrive in any order.
+    pub fn reclaim(&self, kernel: &Kernel) -> Vec<UrbReclaim> {
+        let done = self.giveback.drain(kernel, self.producer.cpu_class());
+        let mut out = Vec::with_capacity(done.len());
+        for d in done {
+            // An inconsistent giveback (actual exceeding the run, a
+            // stale handle) must surface as -EIO, never masquerade as a
+            // successful zero-byte read.
+            let (status, data) = if d.dir == XferDir::In && d.ok() {
+                match self.pool.read_payload(d.buf, d.actual as usize) {
+                    Ok(data) => (d.status, data),
+                    Err(_) => (-5, Vec::new()),
+                }
+            } else {
+                (d.status, Vec::new())
+            };
+            let freed = self.pool.free(d.buf);
+            debug_assert!(
+                freed.is_ok(),
+                "giveback carried a handle the pool rejects: {freed:?}"
+            );
+            self.in_flight.set(self.in_flight.get() - 1);
+            self.bump(|s| s.given_back += 1);
+            out.push(UrbReclaim {
+                cookie: d.cookie,
+                status,
+                actual: d.actual,
+                dir: d.dir,
+                data,
+            });
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for UrbDataPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UrbDataPath")
+            .field("producer", &self.producer)
+            .field("submit", &self.submit.name())
+            .field("pending", &self.submit.len())
+            .field("in_flight", &self.in_flight.get())
+            .finish()
+    }
+}
+
+/// The completer's view of the shared rings: just `Rc`s to pinned
+/// memory, so drain handlers capture it without creating a reference
+/// cycle through the channel's procedure table.
+#[derive(Clone)]
+pub struct UrbEnd {
+    submit: Rc<ShmRing<UrbDescriptor>>,
+    giveback: Rc<ShmRing<UrbDescriptor>>,
+    pool: Rc<SectorPool>,
+    domain: Domain,
+}
+
+impl UrbEnd {
+    /// The shared sector pool (for [`SectorPool::offset_of`]: the
+    /// completer programs the hardware straight from the run's DMA
+    /// offset).
+    pub fn pool(&self) -> &Rc<SectorPool> {
+        &self.pool
+    }
+
+    /// Pops every posted request, oldest first — FIFO order is what
+    /// keeps multi-URB transactions (command, then data stage) correct.
+    pub fn consume(&self, kernel: &Kernel) -> Vec<UrbDescriptor> {
+        self.submit.drain(kernel, self.domain.cpu_class())
+    }
+
+    /// Hands a completed descriptor (response fields filled in via
+    /// [`UrbDescriptor::completed`]) back through the giveback ring.
+    pub fn complete(&self, kernel: &Kernel, desc: UrbDescriptor) -> XpcResult<()> {
+        self.giveback
+            .push(kernel, self.domain.cpu_class(), desc)
+            .map_err(|_| {
+                XpcError::Backpressure(format!("giveback ring `{}` full", self.giveback.name()))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{ChannelConfig, ProcDef};
+    use decaf_simkernel::costs;
+    use decaf_xdr::mask::MaskSet;
+    use decaf_xdr::XdrSpec;
+
+    fn channel() -> Rc<XpcChannel> {
+        Rc::new(XpcChannel::new(
+            XdrSpec::parse("struct unused { int x; };").unwrap(),
+            MaskSet::full(),
+            ChannelConfig::kernel_user_shmring(),
+            Domain::Nucleus,
+            Domain::Decaf,
+        ))
+    }
+
+    /// A completer that echoes OUT payload lengths and "reads" 100 bytes
+    /// for IN requests (a short read against 512-byte runs).
+    fn register_drain(ch: &Rc<XpcChannel>, end: UrbEnd) {
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "urb_drain".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |k, _, _, _| {
+                    for d in end.consume(k) {
+                        let off = end.pool().offset_of(d.buf).expect("live run");
+                        assert!(off < 512 * 64);
+                        let actual = match d.dir {
+                            XferDir::Out => d.len,
+                            XferDir::In => 100,
+                        };
+                        end.complete(k, d.completed(0, actual)).unwrap();
+                    }
+                    XdrValue::Void
+                }),
+            },
+        )
+        .unwrap();
+    }
+
+    fn path(watermark: usize) -> (Kernel, Rc<UrbDataPath>) {
+        let k = Kernel::new();
+        let ch = channel();
+        let dp = UrbDataPath::new(
+            Rc::clone(&ch),
+            Domain::Nucleus,
+            "urb_drain",
+            Rc::new(ShmRing::new("urb-submit", 32)),
+            Rc::new(ShmRing::new("urb-giveback", 64)),
+            Rc::new(SectorPool::with_capacity(512, 64)),
+            DoorbellPolicy::with_watermark(watermark),
+        )
+        .unwrap();
+        register_drain(&ch, dp.end(Domain::Decaf));
+        (k, dp)
+    }
+
+    #[test]
+    fn out_urbs_cross_as_descriptors_with_zero_copies() {
+        let (k, dp) = path(4);
+        for i in 0..8u64 {
+            dp.submit_out(&k, 2, &[0x5a; 517], i).unwrap();
+        }
+        let done = dp.reclaim(&k);
+        assert_eq!(done.len(), 8, "two watermark doorbells drained all");
+        assert!(done.iter().all(|r| r.ok() && r.actual == 517));
+        assert_eq!(
+            k.stats().bytes_copied,
+            0,
+            "payloads are adopted, not copied"
+        );
+        let s = dp.channel().stats();
+        assert_eq!(s.doorbells, 2);
+        assert_eq!(s.ring_posts, 8);
+        assert!(
+            s.bytes_in + s.bytes_out < 64,
+            "only doorbell headers marshal"
+        );
+        assert!(dp.conserved());
+        assert_eq!(dp.pool().in_use_sectors(), 0, "every run handed back");
+    }
+
+    #[test]
+    fn in_completions_hand_ownership_back_with_actual_length() {
+        let (k, dp) = path(1);
+        dp.submit_in(&k, 1, 512, 42).unwrap();
+        let done = dp.reclaim(&k);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].cookie, 42);
+        assert_eq!(done[0].actual, 100, "short read reports the true length");
+        assert_eq!(done[0].data.len(), 100);
+        assert_eq!(k.stats().bytes_copied, 0, "handback is in place");
+        assert!(dp.conserved());
+    }
+
+    #[test]
+    fn deadline_flushes_a_lone_urb_via_poll() {
+        let (k, dp) = path(8);
+        dp.submit_out(&k, 2, b"cmd", 1).unwrap();
+        assert_eq!(dp.pending(), 1, "below watermark, parked");
+        assert!(!dp.poll(&k).unwrap());
+        k.run_for(costs::DOORBELL_COALESCE_NS + 1);
+        assert!(dp.poll(&k).unwrap(), "coalescing deadline expired");
+        assert_eq!(dp.reclaim(&k).len(), 1);
+    }
+
+    #[test]
+    fn exhaustion_rings_doorbell_then_backpressures() {
+        let k = Kernel::new();
+        let ch = channel();
+        let dp = UrbDataPath::new(
+            Rc::clone(&ch),
+            Domain::Nucleus,
+            "urb_drain",
+            Rc::new(ShmRing::new("urb-submit", 8)),
+            Rc::new(ShmRing::new("urb-giveback", 8)),
+            Rc::new(SectorPool::with_capacity(512, 2)),
+            DoorbellPolicy::with_watermark(64),
+        )
+        .unwrap();
+        register_drain(&ch, dp.end(Domain::Decaf));
+        dp.submit_out(&k, 2, &[1; 512], 0).unwrap();
+        dp.submit_out(&k, 2, &[1; 512], 1).unwrap();
+        // Pool exhausted: the path forces a drain and backpressures.
+        let err = dp.submit_out(&k, 2, &[1; 512], 2);
+        assert!(matches!(err, Err(XpcError::Backpressure(_))));
+        // The caller reclaims and retries — now it fits.
+        assert_eq!(dp.reclaim(&k).len(), 2);
+        dp.submit_out(&k, 2, &[1; 512], 2).unwrap();
+        dp.ring_doorbell(&k).unwrap();
+        assert_eq!(dp.reclaim(&k).len(), 1);
+        assert!(dp.conserved());
+        assert_eq!(dp.stats().submitted, 3);
+    }
+
+    #[test]
+    fn full_submit_ring_forces_doorbell_so_retry_succeeds() {
+        let k = Kernel::new();
+        let ch = channel();
+        // Ring shallower than the watermark: posts park until full.
+        let dp = UrbDataPath::new(
+            Rc::clone(&ch),
+            Domain::Nucleus,
+            "urb_drain",
+            Rc::new(ShmRing::new("urb-submit", 2)),
+            Rc::new(ShmRing::new("urb-giveback", 8)),
+            Rc::new(SectorPool::with_capacity(512, 16)),
+            DoorbellPolicy::with_watermark(64),
+        )
+        .unwrap();
+        register_drain(&ch, dp.end(Domain::Decaf));
+        dp.submit_out(&k, 2, &[1; 64], 0).unwrap();
+        dp.submit_out(&k, 2, &[1; 64], 1).unwrap();
+        // Ring full: the refusal must force a drain, not just refuse.
+        let err = dp.submit_out(&k, 2, &[1; 64], 2);
+        assert!(matches!(err, Err(XpcError::Backpressure(_))));
+        assert_eq!(dp.reclaim(&k).len(), 2, "forced doorbell drained the ring");
+        dp.submit_out(&k, 2, &[1; 64], 2).unwrap();
+        dp.ring_doorbell(&k).unwrap();
+        assert_eq!(dp.reclaim(&k).len(), 1);
+        assert!(dp.conserved());
+        assert_eq!(dp.pool().in_use_sectors(), 0, "refused URB freed its run");
+    }
+
+    #[test]
+    fn failed_transfers_report_errno_and_still_free_runs() {
+        let k = Kernel::new();
+        let ch = channel();
+        let dp = UrbDataPath::new(
+            Rc::clone(&ch),
+            Domain::Nucleus,
+            "urb_drain",
+            Rc::new(ShmRing::new("urb-submit", 8)),
+            Rc::new(ShmRing::new("urb-giveback", 8)),
+            Rc::new(SectorPool::with_capacity(512, 8)),
+            DoorbellPolicy::with_watermark(1),
+        )
+        .unwrap();
+        let end = dp.end(Domain::Decaf);
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "urb_drain".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |k, _, _, _| {
+                    for d in end.consume(k) {
+                        end.complete(k, d.completed(-5, 0)).unwrap();
+                    }
+                    XdrValue::Void
+                }),
+            },
+        )
+        .unwrap();
+        dp.submit_in(&k, 1, 512, 9).unwrap();
+        let done = dp.reclaim(&k);
+        assert_eq!(done[0].status, -5);
+        assert!(done[0].data.is_empty(), "no payload on a failed IN");
+        assert_eq!(dp.pool().in_use_sectors(), 0, "failed runs still reclaimed");
+        assert!(dp.conserved());
+    }
+}

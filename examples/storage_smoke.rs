@@ -1,0 +1,59 @@
+//! Storage shmring smoke: drives the `tar` write + streaming-read pair
+//! through the uhci `install_shmring` build and prints the three-way
+//! storage ablation.
+//!
+//! The heavy lifting — and every invariant check (URB conservation,
+//! sector-run reclamation, zero kernel-rule violations, and the
+//! tentpole claim that bulk `bytes_copied` is exactly zero under the
+//! shmring hosting) — lives in
+//! `decaf_core::experiments::storage_run`, the same measurement the
+//! storage ablation rows are built from, so this smoke and the
+//! published numbers can never diverge. On top, it gates the ablation
+//! ordering: shmring must beat both by-value hostings on marshaled
+//! bytes and virtual CPU time.
+//!
+//! Run with: `cargo run --release --example storage_smoke`
+
+use decaf_core::experiments::{storage_ablation, STORAGE_FILES, STORAGE_SECTORS_PER_FILE};
+
+fn main() {
+    println!(
+        "storage smoke: tar write + streaming read, {} files x {} sectors each way",
+        STORAGE_FILES, STORAGE_SECTORS_PER_FILE
+    );
+
+    let rows = storage_ablation();
+    for row in &rows {
+        println!(
+            "  {:<24} urbs={:<3} payload={:<6} marshaled={:<7} RT={:<3} dbell={:<2} copied={:<6} virt={:.1}µs",
+            row.label,
+            row.urbs,
+            row.payload_bytes,
+            row.marshaled_bytes,
+            row.round_trips,
+            row.doorbells,
+            row.bytes_copied,
+            row.virtual_ns as f64 / 1e3,
+        );
+    }
+
+    let (copy, batched, shm) = (&rows[0], &rows[1], &rows[2]);
+    assert_eq!(
+        shm.bytes_copied, 0,
+        "shmring bulk payloads must cross as descriptor traffic only"
+    );
+    assert!(
+        shm.marshaled_bytes < batched.marshaled_bytes && shm.marshaled_bytes < copy.marshaled_bytes,
+        "shmring must keep payloads out of the marshaler"
+    );
+    assert!(
+        shm.virtual_ns < batched.virtual_ns && batched.virtual_ns < copy.virtual_ns,
+        "each hosting must beat the one below it on virtual CPU time"
+    );
+    println!(
+        "OK: zero-copy storage path holds ({} B copied vs {} B by value, {:.1}x virtual speedup)",
+        shm.bytes_copied,
+        copy.bytes_copied,
+        copy.virtual_ns as f64 / shm.virtual_ns as f64
+    );
+}
