@@ -247,6 +247,17 @@ fn bench_shard_ablation(c: &mut Criterion) {
     }
 }
 
+fn bench_storage_shard_ablation(c: &mut Criterion) {
+    // Ablation: the sharded uhci build at 1/2/4/8 URB queues on the
+    // same short multi-LUN tar pair — every iteration also re-asserts
+    // the bytes_copied == 0 invariant inside storage_shard_run.
+    for shards in decaf_core::experiments::STORAGE_SHARD_COUNTS {
+        c.bench_function(&format!("storage-shard/tar[shards={shards}]"), |b| {
+            b.iter(|| decaf_core::experiments::storage_shard_run(shards, 1, 8))
+        });
+    }
+}
+
 fn bench_combolock(c: &mut Criterion) {
     // Ablation: combolock (spin when kernel-only) vs forced semaphore.
     let kernel = Kernel::new();
@@ -280,6 +291,7 @@ criterion_group!(
     bench_storage_ablation,
     bench_transport_ablation,
     bench_shard_ablation,
+    bench_storage_shard_ablation,
     bench_combolock,
     bench_slicer
 );

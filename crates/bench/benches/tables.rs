@@ -11,6 +11,7 @@ fn main() {
     datapath_ablation();
     storage_ablation();
     shard_ablation();
+    storage_shard_ablation();
     table4();
 }
 
@@ -254,6 +255,51 @@ fn shard_ablation() {
          steering, never copy accounting. shards=4 beating shards=1 on\n\
          Virt.Mb/s is the tentpole acceptance claim, asserted in\n\
          decaf-core's shard_ablation_parallelism_wins test)"
+    );
+}
+
+fn storage_shard_ablation() {
+    println!("\n==================================================================");
+    println!("Sharded storage ablation: multi-LUN tar over per-shard URB queues");
+    println!("==================================================================");
+    println!(
+        "{:>6} {:>6} {:>6} {:>9} | {:>10} {:>10} {:>10} | {:>5} {:>5} | {:>9} {:>9}",
+        "Shards",
+        "Used",
+        "URBs",
+        "Payload",
+        "Serial µs",
+        "Crit. µs",
+        "Eff. µs",
+        "DBell",
+        "D/DB",
+        "Copied",
+        "Virt.Mb/s"
+    );
+    for row in experiments::storage_shard_ablation() {
+        println!(
+            "{:>6} {:>6} {:>6} {:>9} | {:>10.1} {:>10.1} {:>10.1} | {:>5} {:>5.1} | {:>9} {:>9.1}",
+            row.shards,
+            row.shards_used,
+            row.urbs,
+            row.payload_bytes,
+            (row.effective_ns - row.shard_max_ns) as f64 / 1e3,
+            row.shard_max_ns as f64 / 1e3,
+            row.effective_ns as f64 / 1e3,
+            row.doorbells,
+            row.descs_per_doorbell,
+            row.bytes_copied,
+            row.virtual_mbps(),
+        );
+    }
+    println!(
+        "(identical 4-LUN tar write + streaming-read pair at every shard\n\
+         count; each LUN's URBs stay FIFO on one queue while LUNs spread.\n\
+         Copied is asserted EXACTLY ZERO at every width inside\n\
+         storage_shard_run — sharding changes steering, payload adoption\n\
+         stays zero-copy. shards=4 beating shards=1 on Virt.Mb/s is the\n\
+         tentpole acceptance claim, asserted in decaf-core's\n\
+         storage_shard_ablation_parallelism_wins_and_stays_zero_copy test)"
     );
 }
 

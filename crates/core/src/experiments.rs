@@ -1105,6 +1105,168 @@ pub fn shard_ablation() -> Vec<ShardAblationRow> {
         .collect()
 }
 
+// ------------------------------------- Sharded storage ablation
+
+/// LUN streams the sharded storage ablation drives. The simulated flash
+/// exposes [`decaf_simdev::uhci::MAX_LUNS`] logical units; four parallel
+/// `tar` streams are enough to exercise multi-queue steering at every
+/// shard width while keeping the suite fast.
+pub const STORAGE_LUNS: u32 = 4;
+
+/// One row of the sharded storage ablation: the identical multi-LUN
+/// `tar` write + streaming-read pair over the sharded uhci build at one
+/// shard count.
+#[derive(Debug, Clone)]
+pub struct StorageShardAblationRow {
+    /// Shard count.
+    pub shards: usize,
+    /// Completed data-bearing transfers (write + read sectors, all LUNs).
+    pub urbs: u64,
+    /// Payload bytes moved (written + read back).
+    pub payload_bytes: u64,
+    /// Total busy virtual time, kernel + user (the serial model).
+    pub total_busy_ns: u64,
+    /// Busy time of the busiest shard (the critical path).
+    pub shard_max_ns: u64,
+    /// Busy time attributed to shards, summed.
+    pub shard_sum_ns: u64,
+    /// The parallel wall-clock estimate: serial (unattributed) work plus
+    /// the critical-path shard.
+    pub effective_ns: u64,
+    /// URB doorbells rung across all shards.
+    pub doorbells: u64,
+    /// Average URB descriptors per doorbell.
+    pub descs_per_doorbell: f64,
+    /// Shards that actually carried URB traffic (≤ min(shards, LUNs)).
+    pub shards_used: usize,
+    /// CPU-copied payload bytes — the acceptance invariant: **exactly
+    /// zero at every shard width**. Sharding changes steering; payloads
+    /// stay adopted, never copied.
+    pub bytes_copied: u64,
+}
+
+impl StorageShardAblationRow {
+    /// Virtual-time storage throughput under the parallel wall model.
+    pub fn virtual_mbps(&self) -> f64 {
+        if self.effective_ns == 0 {
+            return 0.0;
+        }
+        (self.payload_bytes as f64 * 8.0) / (self.effective_ns as f64 / 1e9) / 1e6
+    }
+}
+
+/// Shard counts the storage ablation sweeps.
+pub const STORAGE_SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs the multi-LUN tar write + streaming-read pair over the sharded
+/// uhci build with `shards` queues and reports the per-shard cost
+/// breakdown. Asserts the invariants every width must uphold — most
+/// importantly `bytes_copied == 0`: the zero-copy claim is not allowed
+/// to regress as queues are added.
+pub fn storage_shard_run(
+    shards: usize,
+    files: u32,
+    sectors_per_file: u32,
+) -> StorageShardAblationRow {
+    let k = Kernel::new();
+    let drv =
+        decaf_drivers::uhci::install_sharded(&k, "uhci0", shards).expect("sharded uhci installs");
+    let busy_before = {
+        let s = k.snapshot();
+        s.kernel_busy_ns + s.user_busy_ns
+    };
+    let shard_before = k.shard_busy_ns();
+    let copied_before = k.stats().bytes_copied;
+    let stats_before = drv.channels.stats();
+
+    let w = workloads::tar_to_flash_luns(&k, "uhci0", STORAGE_LUNS, files, sectors_per_file)
+        .expect("multi-LUN tar write");
+    let r = workloads::tar_from_flash_luns(&k, "uhci0", STORAGE_LUNS, files, sectors_per_file)
+        .expect("multi-LUN streaming read");
+    k.run_for(4 * costs::DOORBELL_COALESCE_NS);
+
+    let snap = k.snapshot();
+    let total_busy_ns = snap.kernel_busy_ns + snap.user_busy_ns - busy_before;
+    let shard_busy: Vec<u64> = k
+        .shard_busy_ns()
+        .iter()
+        .enumerate()
+        .map(|(i, &ns)| ns - shard_before.get(i).copied().unwrap_or(0))
+        .collect();
+    let shard_max_ns = shard_busy.iter().copied().max().unwrap_or(0);
+    let shard_sum_ns = shard_busy.iter().sum::<u64>();
+    let serial_ns = total_busy_ns.saturating_sub(shard_sum_ns);
+    let s = drv.channels.stats();
+
+    // Invariants every width must uphold — the ablation rows and the CI
+    // storage smoke gate on the same checks.
+    let sectors = (STORAGE_LUNS * files * sectors_per_file) as u64;
+    assert_eq!(w.ops, sectors, "every sector of every LUN written");
+    assert_eq!(r.ops, sectors, "every sector of every LUN read back");
+    assert_eq!(r.bytes, w.bytes, "reads return exactly what writes stored");
+    assert_eq!(
+        k.stats().bytes_copied - copied_before,
+        0,
+        "sharded storage bulk payloads must never be CPU-copied (shards={shards})"
+    );
+    assert!(
+        drv.urb_path.conserved(),
+        "per-shard URB conservation violated"
+    );
+    assert_eq!(drv.urb_path.in_flight(), 0, "URBs leaked in flight");
+    assert_eq!(
+        drv.urb_path.set().pool().in_use_sectors(),
+        0,
+        "sector runs leaked"
+    );
+    assert!(
+        k.violations().is_empty(),
+        "kernel-rule violations: {:?}",
+        k.violations()
+    );
+    let shards_used = (0..shards)
+        .filter(|&i| drv.urb_path.set().shard_stats(i).submitted > 0)
+        .count();
+    if shards > 1 {
+        assert!(
+            shards_used >= 2,
+            "LUN steering left all URB traffic on {shards_used} shard(s)"
+        );
+    }
+
+    let doorbells = s.doorbells - stats_before.doorbells;
+    let ring_posts = s.ring_posts - stats_before.ring_posts;
+    StorageShardAblationRow {
+        shards,
+        urbs: w.ops + r.ops,
+        payload_bytes: w.bytes + r.bytes,
+        total_busy_ns,
+        shard_max_ns,
+        shard_sum_ns,
+        effective_ns: serial_ns + shard_max_ns,
+        doorbells,
+        descs_per_doorbell: if doorbells == 0 {
+            0.0
+        } else {
+            ring_posts as f64 / doorbells as f64
+        },
+        shards_used,
+        bytes_copied: k.stats().bytes_copied - copied_before,
+    }
+}
+
+/// Regenerates the sharded storage ablation: the identical multi-LUN
+/// tar pair at shards = 1, 2, 4, 8, `bytes_copied == 0` asserted at
+/// every width. The storage counterpart of [`shard_ablation`]: per-URB
+/// drain work divides across queues under the parallel wall model while
+/// the zero-copy property holds unchanged.
+pub fn storage_shard_ablation() -> Vec<StorageShardAblationRow> {
+    STORAGE_SHARD_COUNTS
+        .into_iter()
+        .map(|n| storage_shard_run(n, STORAGE_FILES, STORAGE_SECTORS_PER_FILE))
+        .collect()
+}
+
 // ------------------------------------------------- Transport ablation
 
 /// One row of the transport/delta ablation: the same repeated-
@@ -1531,6 +1693,39 @@ mod tests {
         assert_eq!(one.shard_max_ns, one.shard_sum_ns);
         // With four shards the critical path is strictly below the sum.
         assert!(four.shard_max_ns < four.shard_sum_ns);
+    }
+
+    #[test]
+    fn storage_shard_ablation_parallelism_wins_and_stays_zero_copy() {
+        // Smaller run than the bench prints, same acceptance properties:
+        // shards=4 beats shards=1 on virtual-time storage throughput,
+        // and bytes_copied is exactly zero at both widths (the
+        // assertion inside storage_shard_run enforces it for every row).
+        let rows: Vec<StorageShardAblationRow> = [1usize, 4]
+            .into_iter()
+            .map(|n| storage_shard_run(n, 1, 8))
+            .collect();
+        let (one, four) = (&rows[0], &rows[1]);
+        assert_eq!(one.urbs, four.urbs, "identical offered workload");
+        assert_eq!(one.bytes_copied, 0);
+        assert_eq!(four.bytes_copied, 0);
+        assert!(
+            four.virtual_mbps() > one.virtual_mbps(),
+            "shards=4 ({:.1} Mb/s) must beat shards=1 ({:.1} Mb/s)",
+            four.virtual_mbps(),
+            one.virtual_mbps()
+        );
+        assert!(
+            four.effective_ns < one.effective_ns,
+            "parallel wall estimate must shrink: {} vs {}",
+            four.effective_ns,
+            one.effective_ns
+        );
+        // With one shard the sharded portion IS the critical path; with
+        // four the critical path sits strictly below the sum.
+        assert_eq!(one.shard_max_ns, one.shard_sum_ns);
+        assert!(four.shard_max_ns < four.shard_sum_ns);
+        assert!(four.shards_used >= 2, "{} shards used", four.shards_used);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod sched;
 
 /// Re-export of the simulated kernel substrate.
 pub use decaf_simkernel as simkernel;

@@ -1,0 +1,108 @@
+//! Deterministic schedule exploration support.
+//!
+//! The sharded layers' invariants (home-channel pinning, descriptor and
+//! URB conservation, completion-steering affinity, sector-run alias
+//! freedom) must hold under *every* ordering of per-shard work, not
+//! just the one a happy-path test happens to produce. The repo's
+//! schedule-exploration harnesses — `tests/shard_sched.rs` for the NIC
+//! side, `tests/storage_sched.rs` for storage — replay invariant checks
+//! over exhaustively enumerated interleavings; this module is the
+//! enumerator they share.
+//!
+//! Enumeration is lexicographic over multiset permutations: no
+//! randomness, no seeds, every run produces the identical schedule list
+//! — which is what makes a failing schedule a *reproducer*, not a
+//! flake. ("Verifying Device Drivers with Pancake" makes the same
+//! argument for pairing driver rewrites with systematic exploration:
+//! the rewrite is only as trustworthy as the orderings it was checked
+//! under.)
+
+/// Enumerates interleavings of `counts[s]` ops per shard `s` in
+/// lexicographic order, stopping at `cap` schedules. With a large
+/// enough cap this is the complete multiset-permutation set
+/// ([`schedule_count`] tells how many that is).
+///
+/// Each schedule is a vector of shard indices; schedule position `t`
+/// says whose op runs at step `t`.
+pub fn interleavings(counts: &[usize], cap: usize) -> Vec<Vec<usize>> {
+    fn step(
+        remaining: &mut Vec<usize>,
+        prefix: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+        cap: usize,
+    ) {
+        if out.len() >= cap {
+            return;
+        }
+        if remaining.iter().all(|&r| r == 0) {
+            out.push(prefix.clone());
+            return;
+        }
+        for shard in 0..remaining.len() {
+            if remaining[shard] > 0 {
+                remaining[shard] -= 1;
+                prefix.push(shard);
+                step(remaining, prefix, out, cap);
+                prefix.pop();
+                remaining[shard] += 1;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    step(&mut counts.to_vec(), &mut Vec::new(), &mut out, cap);
+    out
+}
+
+/// The full multiset-permutation count for `counts`: the multinomial
+/// `(Σ counts)! / Π counts[s]!` — what [`interleavings`] returns when
+/// `cap` is at least this large.
+pub fn schedule_count(counts: &[usize]) -> u128 {
+    let total: usize = counts.iter().sum();
+    let mut n = 1u128;
+    let mut k = 0usize;
+    for &c in counts {
+        for i in 1..=c {
+            k += 1;
+            n = n * k as u128 / i as u128;
+        }
+    }
+    debug_assert_eq!(k, total);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_exhaustive_and_deterministic() {
+        assert_eq!(interleavings(&[1, 1], 100), vec![vec![0, 1], vec![1, 0]]);
+        // C(4,2) = 6 interleavings of two shards with two ops each.
+        assert_eq!(interleavings(&[2, 2], 100).len(), 6);
+        // Multinomial 6!/(2!2!2!) = 90 for three shards with two ops.
+        assert_eq!(interleavings(&[2, 2, 2], 1_000).len(), 90);
+        // Deterministic: two enumerations are identical.
+        assert_eq!(interleavings(&[2, 2, 2], 50), interleavings(&[2, 2, 2], 50));
+        // The cap truncates without reordering.
+        let full = interleavings(&[2, 2], 100);
+        assert_eq!(interleavings(&[2, 2], 3), full[..3].to_vec());
+    }
+
+    #[test]
+    fn schedule_count_matches_enumeration() {
+        for counts in [
+            vec![1, 1],
+            vec![2, 2],
+            vec![2, 2, 2],
+            vec![3, 2],
+            vec![2; 4],
+        ] {
+            assert_eq!(
+                schedule_count(&counts) as usize,
+                interleavings(&counts, usize::MAX).len(),
+                "{counts:?}"
+            );
+        }
+        assert_eq!(schedule_count(&[0, 0]), 1, "the empty schedule");
+    }
+}

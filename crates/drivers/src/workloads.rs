@@ -163,27 +163,48 @@ pub fn tar_to_flash(
     files: u32,
     sectors_per_file: u32,
 ) -> KResult<WorkloadStats> {
-    use decaf_simdev::uhci::{EP_BULK_OUT, FLASH_CMD_WRITE, SECTOR_SIZE};
+    tar_to_flash_luns(kernel, hcd, 1, files, sectors_per_file)
+}
+
+/// Multi-LUN tar extraction: `luns` parallel archive streams, one per
+/// logical unit, each writing `files` files of `sectors_per_file`
+/// sectors. The streams interleave sector by sector — the shape of N
+/// writers hitting N flash LUNs at once, which is what the sharded
+/// storage queues spread across shards (each LUN's URBs stay FIFO on
+/// one queue). Pacing stays ~1 ms per *sector slot*: the LUN streams
+/// progress in lockstep, modeling media that serves its units in
+/// parallel.
+pub fn tar_to_flash_luns(
+    kernel: &Kernel,
+    hcd: &str,
+    luns: u32,
+    files: u32,
+    sectors_per_file: u32,
+) -> KResult<WorkloadStats> {
+    use decaf_simdev::uhci::{ep_bulk_out, FLASH_CMD_WRITE, SECTOR_SIZE};
     let before = kernel.snapshot();
     let mut written = 0u64;
-    let mut sector = 0u32;
+    let mut ops = 0u64;
     for f in 0..files {
-        for _ in 0..sectors_per_file {
-            let mut data = vec![FLASH_CMD_WRITE];
-            data.extend_from_slice(&sector.to_le_bytes());
-            data.extend_from_slice(&vec![(f & 0xff) as u8; SECTOR_SIZE]);
-            kernel.usb_submit_urb(
-                hcd,
-                Urb {
-                    endpoint: EP_BULK_OUT as u8,
-                    dir: UrbDir::Out,
-                    data,
-                },
-                Rc::new(|_, _| {}),
-            )?;
-            kernel.schedule_point();
-            sector += 1;
-            written += SECTOR_SIZE as u64;
+        for s in 0..sectors_per_file {
+            let sector = f * sectors_per_file + s;
+            for lun in 0..luns {
+                let mut data = vec![FLASH_CMD_WRITE];
+                data.extend_from_slice(&sector.to_le_bytes());
+                data.extend_from_slice(&vec![(f & 0xff) as u8 ^ lun as u8; SECTOR_SIZE]);
+                kernel.usb_submit_urb(
+                    hcd,
+                    Urb {
+                        endpoint: ep_bulk_out(lun as usize) as u8,
+                        dir: UrbDir::Out,
+                        data,
+                    },
+                    Rc::new(|_, _| {}),
+                )?;
+                kernel.schedule_point();
+                ops += 1;
+                written += SECTOR_SIZE as u64;
+            }
         }
         // USB 1.0 is slow: the file's burst drains at ~1 ms per sector
         // (about 4 Mb/s on the wire, half of full speed, realistic for
@@ -191,12 +212,7 @@ pub fn tar_to_flash(
         kernel.run_for(sectors_per_file as u64 * 1_000_000);
     }
     let after = kernel.snapshot();
-    Ok(WorkloadStats::from_interval(
-        &before,
-        &after,
-        sector as u64,
-        written,
-    ))
+    Ok(WorkloadStats::from_interval(&before, &after, ops, written))
 }
 
 /// Sectors a streaming read keeps in flight before pacing — the shape
@@ -209,52 +225,85 @@ pub const READAHEAD_SECTORS: u32 = 8;
 /// wire rate as [`tar_to_flash`]. `ops`/`bytes` count completed data
 /// transfers — short sectors report their true length, so `bytes` is
 /// what the device actually delivered.
+///
+/// The readahead window is **per file**: an archiver reads file by
+/// file, so the window drains at each file boundary instead of spanning
+/// into the next file's sectors. (Bugfix: the window used to run over
+/// the flat sector stream, so whenever the file length was not a
+/// multiple of [`READAHEAD_SECTORS`] the file's final partial burst was
+/// merged into the next file's window — the tail sectors of every file
+/// were issued and paced as if they belonged to its successor. The
+/// regression tests pin both the per-file burst structure and the
+/// partial-tail totals.)
 pub fn tar_from_flash(
     kernel: &Kernel,
     hcd: &str,
     files: u32,
     sectors_per_file: u32,
 ) -> KResult<WorkloadStats> {
-    use decaf_simdev::uhci::{EP_BULK_IN, EP_BULK_OUT, FLASH_CMD_READ};
+    tar_from_flash_luns(kernel, hcd, 1, files, sectors_per_file)
+}
+
+/// Multi-LUN streaming read: `luns` parallel readers, one per logical
+/// unit, each streaming back `files` files of `sectors_per_file`
+/// sectors in per-file readahead windows. Within a burst the LUN
+/// streams interleave command/data pairs sector by sector, so the
+/// sharded build sees concurrent per-LUN transactions whose FIFO order
+/// (stage `R`, then IN) must survive shard steering.
+pub fn tar_from_flash_luns(
+    kernel: &Kernel,
+    hcd: &str,
+    luns: u32,
+    files: u32,
+    sectors_per_file: u32,
+) -> KResult<WorkloadStats> {
+    use decaf_simdev::uhci::{ep_bulk_in, ep_bulk_out, FLASH_CMD_READ};
     let before = kernel.snapshot();
     let bytes = Rc::new(std::cell::Cell::new(0u64));
     let done = Rc::new(std::cell::Cell::new(0u64));
-    let total = files * sectors_per_file;
-    let mut sector = 0u32;
-    while sector < total {
-        let burst = READAHEAD_SECTORS.min(total - sector);
-        for _ in 0..burst {
-            let mut cmd = vec![FLASH_CMD_READ];
-            cmd.extend_from_slice(&sector.to_le_bytes());
-            kernel.usb_submit_urb(
-                hcd,
-                Urb {
-                    endpoint: EP_BULK_OUT as u8,
-                    dir: UrbDir::Out,
-                    data: cmd,
-                },
-                Rc::new(|_, _| {}),
-            )?;
-            let b = Rc::clone(&bytes);
-            let d = Rc::clone(&done);
-            kernel.usb_submit_urb(
-                hcd,
-                Urb {
-                    endpoint: EP_BULK_IN as u8,
-                    dir: UrbDir::In,
-                    data: Vec::new(),
-                },
-                Rc::new(move |_, r| {
-                    if let Ok(data) = r {
-                        b.set(b.get() + data.len() as u64);
-                        d.set(d.get() + 1);
-                    }
-                }),
-            )?;
-            kernel.schedule_point();
-            sector += 1;
+    for f in 0..files {
+        // The readahead window lives inside one file: the final burst
+        // of a non-multiple file is issued (and paced) on its own, never
+        // merged with the next file's sectors.
+        let mut s = 0u32;
+        while s < sectors_per_file {
+            let burst = READAHEAD_SECTORS.min(sectors_per_file - s);
+            for _ in 0..burst {
+                let sector = f * sectors_per_file + s;
+                for lun in 0..luns {
+                    let mut cmd = vec![FLASH_CMD_READ];
+                    cmd.extend_from_slice(&sector.to_le_bytes());
+                    kernel.usb_submit_urb(
+                        hcd,
+                        Urb {
+                            endpoint: ep_bulk_out(lun as usize) as u8,
+                            dir: UrbDir::Out,
+                            data: cmd,
+                        },
+                        Rc::new(|_, _| {}),
+                    )?;
+                    let b = Rc::clone(&bytes);
+                    let d = Rc::clone(&done);
+                    kernel.usb_submit_urb(
+                        hcd,
+                        Urb {
+                            endpoint: ep_bulk_in(lun as usize) as u8,
+                            dir: UrbDir::In,
+                            data: Vec::new(),
+                        },
+                        Rc::new(move |_, r| {
+                            if let Ok(data) = r {
+                                b.set(b.get() + data.len() as u64);
+                                d.set(d.get() + 1);
+                            }
+                        }),
+                    )?;
+                    kernel.schedule_point();
+                }
+                s += 1;
+            }
+            kernel.run_for(burst as u64 * 1_000_000);
         }
-        kernel.run_for(burst as u64 * 1_000_000);
     }
     // Let coalesced doorbells flush and the last givebacks land.
     kernel.run_for(2 * decaf_simkernel::costs::DOORBELL_COALESCE_NS);
@@ -383,6 +432,70 @@ mod tests {
             "readahead bursts amortize doorbells: {}",
             drv.channel.stats().descriptors_per_doorbell()
         );
+        assert!(k.violations().is_empty(), "{:?}", k.violations());
+    }
+
+    #[test]
+    fn tar_streaming_read_windows_do_not_span_files() {
+        // Regression (readahead-window fix): with sectors_per_file not a
+        // multiple of READAHEAD_SECTORS, every file ends in a partial
+        // burst that must be issued and completed on its own — before
+        // the fix the window ran over the flat sector stream and merged
+        // each file's tail into the next file's window. 3 files x 11
+        // sectors: per-file windows are 8+3; the flat stream would have
+        // produced 8+8+8+8+1.
+        let k = Kernel::new();
+        let drv = crate::uhci::install_native(&k, "uhci0").unwrap();
+        for s in 0..33u32 {
+            drv.dev.borrow_mut().preload_sector(s, vec![s as u8; 512]);
+        }
+        let stats = tar_from_flash(&k, "uhci0", 3, 11).unwrap();
+        assert_eq!(stats.ops, 33, "every sector of every partial tail read");
+        assert_eq!(stats.bytes, 33 * 512);
+        assert_eq!(drv.dev.borrow().flash_reads(), 33);
+        // Pacing covers each file's full window sequence (8 + 3 slots
+        // per file): the partial tail is paced, not dropped or deferred
+        // into the next file.
+        assert!(
+            stats.elapsed_ns >= 33 * 1_000_000,
+            "partial tails must be paced: {} ns",
+            stats.elapsed_ns
+        );
+    }
+
+    #[test]
+    fn tar_streaming_read_partial_tail_on_shmring_build() {
+        // The same regression on the ring path: sub-watermark tails rely
+        // on the coalescing deadline, so a lost partial burst would show
+        // up as missing ops here first.
+        let k = Kernel::new();
+        let drv = crate::uhci::install_shmring(&k, "uhci0").unwrap();
+        for s in 0..10u32 {
+            drv.dev.borrow_mut().preload_sector(s, vec![7; 512]);
+        }
+        let stats = tar_from_flash(&k, "uhci0", 2, 5).unwrap();
+        assert_eq!(stats.ops, 10, "both files' sub-window tails completed");
+        assert_eq!(stats.bytes, 10 * 512);
+        assert_eq!(k.stats().bytes_copied, 0);
+        assert!(drv.urb_path.conserved());
+    }
+
+    #[test]
+    fn multi_lun_tar_round_trips_on_sharded_uhci() {
+        let k = Kernel::new();
+        let drv = crate::uhci::install_sharded(&k, "uhci0", 4).unwrap();
+        let w = tar_to_flash_luns(&k, "uhci0", 4, 2, 8).unwrap();
+        assert_eq!(w.ops, 4 * 2 * 8, "every LUN stream written");
+        assert_eq!(drv.dev.borrow().flash_sector_count(), 64);
+        let r = tar_from_flash_luns(&k, "uhci0", 4, 2, 8).unwrap();
+        assert_eq!(r.ops, w.ops, "every LUN stream read back");
+        assert_eq!(r.bytes, w.bytes);
+        assert_eq!(k.stats().bytes_copied, 0, "zero-copy across all LUNs");
+        assert!(drv.urb_path.conserved());
+        let used = (0..4)
+            .filter(|&i| drv.urb_path.set().shard_stats(i).submitted > 0)
+            .count();
+        assert!(used >= 2, "LUN steering left traffic on {used} shard(s)");
         assert!(k.violations().is_empty(), "{:?}", k.violations());
     }
 

@@ -43,6 +43,11 @@
 //!   and completion rings behind one object, with deterministic flow
 //!   steering and a completion-steering policy that routes the IRQ-side
 //!   handback to the shard that posted the descriptor.
+//! * [`UrbRingSet`] — the storage-shaped multi-queue: N per-shard URB
+//!   submit/giveback ring *pairs* over one shared [`SectorPool`], with
+//!   per-LUN steering (a storage transaction's FIFO order is
+//!   load-bearing, so one LUN stays on one shard) and per-shard
+//!   conservation counters.
 //!
 //! The XPC layer builds its data-path channels on these pieces
 //! (`DataPathChannel` for NIC streams, `UrbDataPath` for storage
@@ -104,6 +109,7 @@ pub mod ring;
 pub mod ringset;
 pub mod sector;
 pub mod urb;
+pub mod urbset;
 
 pub use doorbell::DoorbellPolicy;
 pub use pool::{BufHandle, BufPool, PoolError, PoolStats};
@@ -111,3 +117,4 @@ pub use ring::{Descriptor, RingError, RingStats, ShmRing, SlotOwner};
 pub use ringset::{flow_hash, RingSet, RingSetError, RingSetStats};
 pub use sector::{SectorHandle, SectorPool, SectorPoolStats};
 pub use urb::{UrbDescriptor, XferDir};
+pub use urbset::{UrbRingSet, UrbShardStats};

@@ -12,6 +12,14 @@
 //! instead of once per 1 ms frame; queue heads are not modelled (TDs link
 //! directly); the flash protocol is a two-command subset of bulk-only
 //! transport (`W` = write sector, `R` = stage sector for reading).
+//!
+//! The drive exposes [`MAX_LUNS`] logical units, each with its own
+//! sector store and staged-read state, addressed by per-LUN endpoint
+//! pairs ([`ep_bulk_out`]/[`ep_bulk_in`]) — real bulk-only devices put
+//! the LUN in the CBW; the model spends endpoint numbers instead so a
+//! TD's 4-bit endpoint field still names the full target. Endpoints
+//! [`EP_BULK_OUT`]/[`EP_BULK_IN`] remain LUN 0, so single-LUN callers
+//! are unchanged.
 
 use std::collections::HashMap;
 
@@ -50,12 +58,47 @@ pub const TD_STALLED: u32 = 1 << 22;
 /// Frame-list/link terminate bit.
 pub const LINK_TERMINATE: u32 = 1;
 
-/// Bulk OUT endpoint of the flash drive.
+/// Bulk OUT endpoint of the flash drive (LUN 0).
 pub const EP_BULK_OUT: u32 = 2;
-/// Bulk IN endpoint of the flash drive.
+/// Bulk IN endpoint of the flash drive (LUN 0).
 pub const EP_BULK_IN: u32 = 1;
 /// Flash sector size in bytes.
 pub const SECTOR_SIZE: usize = 512;
+/// Logical units on the flash drive. Each LUN owns an endpoint pair —
+/// OUT on `EP_BULK_OUT + 2·lun`, IN on `EP_BULK_IN + 2·lun` — and the
+/// TD token's endpoint field is 4 bits, so seven LUNs exhaust the
+/// endpoint space (OUT endpoints 2..=14, IN endpoints 1..=13).
+pub const MAX_LUNS: usize = 7;
+
+/// The bulk OUT endpoint of logical unit `lun`.
+///
+/// # Panics
+/// Panics if `lun` is not below [`MAX_LUNS`].
+pub fn ep_bulk_out(lun: usize) -> u32 {
+    assert!(lun < MAX_LUNS, "LUN {lun} outside 0..{MAX_LUNS}");
+    EP_BULK_OUT + 2 * lun as u32
+}
+
+/// The bulk IN endpoint of logical unit `lun`.
+///
+/// # Panics
+/// Panics if `lun` is not below [`MAX_LUNS`].
+pub fn ep_bulk_in(lun: usize) -> u32 {
+    assert!(lun < MAX_LUNS, "LUN {lun} outside 0..{MAX_LUNS}");
+    EP_BULK_IN + 2 * lun as u32
+}
+
+/// The logical unit an endpoint addresses (IN endpoints are odd, OUT
+/// endpoints even — both pairs stride by 2), or `None` for endpoint 0
+/// (control) and endpoints beyond the LUN space.
+pub fn lun_of_endpoint(endpoint: u32) -> Option<usize> {
+    let lun = match endpoint {
+        0 => return None,
+        ep if ep % 2 == 0 => ((ep - EP_BULK_OUT) / 2) as usize,
+        ep => ((ep - EP_BULK_IN) / 2) as usize,
+    };
+    (lun < MAX_LUNS).then_some(lun)
+}
 
 /// Flash command byte: write the following sector payload.
 pub const FLASH_CMD_WRITE: u8 = b'W';
@@ -111,13 +154,18 @@ pub struct UhciDevice {
     frbase: u32,
     frbase_installed: bool,
     portsc1: u32,
-    flash: FlashDrive,
+    /// One flash drive per logical unit, each with its own sector store
+    /// *and its own staged-read state* — concurrent per-LUN streams must
+    /// not clobber each other's `R`-command staging, which is what lets
+    /// the sharded build interleave LUNs safely.
+    luns: Vec<FlashDrive>,
     /// Transfer descriptors completed.
     pub tds_completed: u64,
 }
 
 impl UhciDevice {
-    /// Creates a UHCI controller with an attached flash drive.
+    /// Creates a UHCI controller with an attached [`MAX_LUNS`]-unit
+    /// flash drive.
     pub fn new(irq_line: u32, dma: DmaMemory) -> Self {
         UhciDevice {
             irq_line,
@@ -129,37 +177,75 @@ impl UhciDevice {
             frbase: 0,
             frbase_installed: false,
             portsc1: PORT_CCS, // flash drive present
-            flash: FlashDrive::default(),
+            luns: (0..MAX_LUNS).map(|_| FlashDrive::default()).collect(),
             tds_completed: 0,
         }
     }
 
-    /// Sectors currently stored on the flash drive.
+    /// Logical units on the attached drive.
+    pub fn lun_count(&self) -> usize {
+        self.luns.len()
+    }
+
+    /// Sectors currently stored across every LUN.
     pub fn flash_sector_count(&self) -> usize {
-        self.flash.sectors.len()
+        self.luns.iter().map(|l| l.sectors.len()).sum()
     }
 
-    /// Sector contents, if written.
+    /// LUN 0 sector contents, if written.
     pub fn flash_sector(&self, sector: u32) -> Option<Vec<u8>> {
-        self.flash.sectors.get(&sector).cloned()
+        self.flash_sector_lun(0, sector)
     }
 
-    /// Completed write commands.
+    /// One LUN's sector contents, if written.
+    pub fn flash_sector_lun(&self, lun: usize, sector: u32) -> Option<Vec<u8>> {
+        self.luns.get(lun)?.sectors.get(&sector).cloned()
+    }
+
+    /// Completed write commands across every LUN.
     pub fn flash_writes(&self) -> u64 {
-        self.flash.writes
+        self.luns.iter().map(|l| l.writes).sum()
     }
 
-    /// Completed read commands.
+    /// Completed read commands across every LUN.
     pub fn flash_reads(&self) -> u64 {
-        self.flash.reads
+        self.luns.iter().map(|l| l.reads).sum()
     }
 
-    /// Places `data` in a sector directly, bypassing the bus — models
-    /// media that already holds an archive (streaming-read workloads
-    /// start from preloaded flash instead of paying write traffic
-    /// inside their measurement window).
+    /// Places `data` in a LUN 0 sector directly, bypassing the bus —
+    /// models media that already holds an archive (streaming-read
+    /// workloads start from preloaded flash instead of paying write
+    /// traffic inside their measurement window).
     pub fn preload_sector(&mut self, sector: u32, data: Vec<u8>) {
-        self.flash.sectors.insert(sector, data);
+        self.preload_sector_lun(0, sector, data);
+    }
+
+    /// Places `data` in a sector of one LUN directly, bypassing the bus.
+    ///
+    /// # Panics
+    /// Panics if `lun` is not below [`MAX_LUNS`].
+    pub fn preload_sector_lun(&mut self, lun: usize, sector: u32, data: Vec<u8>) {
+        self.luns[lun].sectors.insert(sector, data);
+    }
+
+    /// A sorted snapshot of the entire media: `(lun, sector, contents)`
+    /// for every stored sector. The differential oracle compares these
+    /// across driver builds — two hostings of the same workload must
+    /// leave byte-identical flash.
+    pub fn flash_contents(&self) -> Vec<(usize, u32, Vec<u8>)> {
+        let mut out: Vec<(usize, u32, Vec<u8>)> = self
+            .luns
+            .iter()
+            .enumerate()
+            .flat_map(|(lun, drive)| {
+                drive
+                    .sectors
+                    .iter()
+                    .map(move |(&sector, data)| (lun, sector, data.clone()))
+            })
+            .collect();
+        out.sort_by_key(|&(lun, sector, _)| (lun, sector));
+        out
     }
 
     /// Walks the frame list, executing every active TD chain.
@@ -185,17 +271,25 @@ impl UhciDevice {
                     let endpoint = (token >> 15) & 0xf;
                     let max_len = ((token >> 21) & 0x7ff) as usize;
                     let len = if max_len == 0x7ff { 0 } else { max_len + 1 };
-                    let result = if endpoint == EP_BULK_OUT {
-                        let data = self.dma.read_bytes(buffer, len);
-                        self.flash.handle_out(&data).map(|_| len)
-                    } else if endpoint == EP_BULK_IN {
-                        self.flash.handle_in().map(|data| {
-                            let n = data.len().min(len.max(data.len()));
-                            self.dma.write_bytes(buffer, &data);
+                    // Each LUN owns an endpoint pair: odd endpoints are
+                    // IN, even (non-zero) endpoints OUT, striding by 2.
+                    let result = match lun_of_endpoint(endpoint) {
+                        Some(lun) if endpoint.is_multiple_of(2) => {
+                            let data = self.dma.read_bytes(buffer, len);
+                            self.luns[lun].handle_out(&data).map(|_| len)
+                        }
+                        Some(lun) => self.luns[lun].handle_in().map(|data| {
+                            // The TD's maxlen bounds the transfer: a
+                            // staged sector longer than the buffer the
+                            // TD names is truncated, never written past
+                            // it — and `actual` reports the truncated
+                            // length, honouring the TD contract the OUT
+                            // path enforces via its read window.
+                            let n = data.len().min(len);
+                            self.dma.write_bytes(buffer, &data[..n]);
                             n
-                        })
-                    } else {
-                        Err(())
+                        }),
+                        None => Err(()),
                     };
                     let new_status = match result {
                         Ok(actual) => (actual as u32) & 0x7ff,
@@ -240,9 +334,9 @@ impl MmioDevice for UhciDevice {
                 if value & CMD_HCRESET != 0 {
                     let irq = self.irq_line;
                     let dma = self.dma.clone();
-                    let flash = std::mem::take(&mut self.flash);
+                    let luns = std::mem::take(&mut self.luns);
                     *self = UhciDevice::new(irq, dma);
-                    self.flash = flash; // media survives controller reset
+                    self.luns = luns; // media survives controller reset
                     return;
                 }
                 self.usbcmd = value;
@@ -358,6 +452,40 @@ mod tests {
     }
 
     #[test]
+    fn in_td_maxlen_truncates_a_longer_staged_sector() {
+        // The TD contract: the device must never DMA past the buffer
+        // the TD names. A 512-byte staged sector read through a
+        // 64-byte IN TD delivers exactly 64 bytes, reports actual=64,
+        // and leaves the bytes beyond the buffer untouched.
+        let (k, mut dev, dma) = setup();
+        let mut w = vec![FLASH_CMD_WRITE];
+        w.extend_from_slice(&6u32.to_le_bytes());
+        w.extend_from_slice(&[0xee; SECTOR_SIZE]);
+        dma.write_bytes(0x6000, &w);
+        build_td(&dma, 0x2000, EP_BULK_OUT, 0x6000, w.len());
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+
+        let mut r = vec![FLASH_CMD_READ];
+        r.extend_from_slice(&6u32.to_le_bytes());
+        dma.write_bytes(0x6000, &r);
+        build_td(&dma, 0x2000, EP_BULK_OUT, 0x6000, r.len());
+        dma.write_u32(0x2000, 0x2010);
+        build_td(&dma, 0x2010, EP_BULK_IN, 0x7000, 64);
+        dma.write_bytes(0x7000 + 64, &[0u8; 16]); // guard canary
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+
+        assert_eq!(dma.read_bytes(0x7000, 64), vec![0xee; 64]);
+        assert_eq!(dma.read_bytes(0x7000 + 64, 16), vec![0u8; 16], "overrun");
+        assert_eq!(
+            dma.read_u32(0x2010 + 4) & 0x7ff,
+            64,
+            "actual reports the truncated length"
+        );
+    }
+
+    #[test]
     fn in_without_staged_read_stalls() {
         let (k, mut dev, dma) = setup();
         build_td(&dma, 0x2000, EP_BULK_IN, 0x7000, SECTOR_SIZE);
@@ -374,6 +502,58 @@ mod tests {
         // RS never set.
         assert_eq!(dev.tds_completed, 0);
         assert!(dev.read32(&k, USBSTS) & STS_HCHALTED != 0);
+    }
+
+    #[test]
+    fn luns_have_independent_stores_and_staged_reads() {
+        let (k, mut dev, dma) = setup();
+        assert_eq!(dev.lun_count(), MAX_LUNS);
+        assert_eq!(lun_of_endpoint(EP_BULK_OUT), Some(0));
+        assert_eq!(lun_of_endpoint(EP_BULK_IN), Some(0));
+        assert_eq!(lun_of_endpoint(ep_bulk_out(3)), Some(3));
+        assert_eq!(lun_of_endpoint(ep_bulk_in(6)), Some(6));
+        assert_eq!(lun_of_endpoint(0), None, "control endpoint is no LUN");
+        assert_eq!(lun_of_endpoint(15), None, "beyond the LUN space");
+
+        // Write sector 4 on LUN 0 and LUN 2 with different fill bytes.
+        for (lun, fill) in [(0usize, 0x11u8), (2, 0x22)] {
+            let mut w = vec![FLASH_CMD_WRITE];
+            w.extend_from_slice(&4u32.to_le_bytes());
+            w.extend_from_slice(&[fill; SECTOR_SIZE]);
+            dma.write_bytes(0x6000, &w);
+            build_td(&dma, 0x2000, ep_bulk_out(lun), 0x6000, w.len());
+            install_frame_list(&k, &mut dev, &dma, 0x2000);
+            dev.write32(&k, USBCMD, CMD_RS);
+        }
+        assert_eq!(dev.flash_sector_lun(0, 4).unwrap(), vec![0x11; SECTOR_SIZE]);
+        assert_eq!(dev.flash_sector_lun(2, 4).unwrap(), vec![0x22; SECTOR_SIZE]);
+        assert_eq!(dev.flash_sector_count(), 2, "counts span LUNs");
+
+        // Staged reads are per LUN: stage both, then fetch in the
+        // *opposite* order — a single shared staging slot would cross
+        // the streams.
+        for lun in [0usize, 2] {
+            let mut r = vec![FLASH_CMD_READ];
+            r.extend_from_slice(&4u32.to_le_bytes());
+            dma.write_bytes(0x6000, &r);
+            build_td(&dma, 0x2000, ep_bulk_out(lun), 0x6000, r.len());
+            install_frame_list(&k, &mut dev, &dma, 0x2000);
+            dev.write32(&k, USBCMD, CMD_RS);
+        }
+        for (lun, fill) in [(2usize, 0x22u8), (0, 0x11)] {
+            build_td(&dma, 0x2000, ep_bulk_in(lun), 0x7000, SECTOR_SIZE);
+            install_frame_list(&k, &mut dev, &dma, 0x2000);
+            dev.write32(&k, USBCMD, CMD_RS);
+            assert_eq!(
+                dma.read_bytes(0x7000, SECTOR_SIZE),
+                vec![fill; SECTOR_SIZE],
+                "LUN {lun} staged read"
+            );
+        }
+        let contents = dev.flash_contents();
+        assert_eq!(contents.len(), 2);
+        assert_eq!(contents[0].0, 0, "snapshot sorted by (lun, sector)");
+        assert_eq!(contents[1].0, 2);
     }
 
     #[test]

@@ -38,6 +38,11 @@
 //! queue, delta maps and generation counters — home-channel pinning for
 //! shared objects, flow-hash steering for data-path traffic, stats that
 //! aggregate across shards, and per-shard fault recovery.
+//! [`shardurb::ShardedUrbPath`] rides that facade for storage: one URB
+//! data path per shard over a [`decaf_shmring::UrbRingSet`], steered per
+//! LUN (a storage transaction's FIFO order is load-bearing), with
+//! per-shard staged backpressure and completion steering back to the
+//! submitting shard.
 //!
 //! Domains are [`domain::Domain::Nucleus`] (kernel),
 //! [`domain::Domain::Library`] (user-level C) and
@@ -56,6 +61,7 @@ pub mod endpoint;
 pub mod error;
 pub mod runtime;
 pub mod shard;
+pub mod shardurb;
 pub mod tracker;
 pub mod transport;
 pub mod urbpath;
@@ -67,6 +73,7 @@ pub use endpoint::{ChannelConfig, ChannelStats, ProcDef, SharedObject, XpcChanne
 pub use error::{XpcError, XpcResult};
 pub use runtime::{DecafRuntime, NuclearRuntime};
 pub use shard::{ShardPolicy, ShardedChannel, MAX_SHARDS, SHARD_HEAP_STRIDE};
+pub use shardurb::ShardedUrbPath;
 pub use tracker::{ObjectTracker, TrackerStats};
 pub use transport::{Batched, DeferredCall, InProc, Threaded, Transport, TransportKind};
 pub use urbpath::{UrbDataPath, UrbEnd, UrbPathStats, UrbReclaim};

@@ -1,22 +1,72 @@
 //! Storage shmring smoke: drives the `tar` write + streaming-read pair
 //! through the uhci `install_shmring` build and prints the three-way
-//! storage ablation.
+//! storage ablation. With a shard-count argument it instead drives the
+//! **sharded multi-LUN** build at that width (the CI storage-sched job
+//! runs `storage_smoke 4`).
 //!
 //! The heavy lifting — and every invariant check (URB conservation,
 //! sector-run reclamation, zero kernel-rule violations, and the
 //! tentpole claim that bulk `bytes_copied` is exactly zero under the
-//! shmring hosting) — lives in
-//! `decaf_core::experiments::storage_run`, the same measurement the
-//! storage ablation rows are built from, so this smoke and the
-//! published numbers can never diverge. On top, it gates the ablation
-//! ordering: shmring must beat both by-value hostings on marshaled
-//! bytes and virtual CPU time.
+//! shmring hosting *and at every shard width*) — lives in
+//! `decaf_core::experiments::storage_run` /
+//! `decaf_core::experiments::storage_shard_run`, the same measurements
+//! the ablation rows are built from, so this smoke and the published
+//! numbers can never diverge. On top, it gates the ablation orderings:
+//! shmring must beat both by-value hostings on marshaled bytes and
+//! virtual CPU time, and a sharded run must beat shards=1 on the
+//! parallel wall model.
 //!
-//! Run with: `cargo run --release --example storage_smoke`
+//! Run with: `cargo run --release --example storage_smoke [shards]`
 
-use decaf_core::experiments::{storage_ablation, STORAGE_FILES, STORAGE_SECTORS_PER_FILE};
+use decaf_core::experiments::{
+    storage_ablation, storage_shard_run, STORAGE_FILES, STORAGE_LUNS, STORAGE_SECTORS_PER_FILE,
+};
+
+fn sharded_smoke(shards: usize) {
+    println!(
+        "storage shard smoke: {}-LUN tar write + streaming read, {} files x {} sectors, shards={}",
+        STORAGE_LUNS, STORAGE_FILES, STORAGE_SECTORS_PER_FILE, shards
+    );
+    let rows: Vec<_> = [1, shards]
+        .into_iter()
+        .map(|n| storage_shard_run(n, STORAGE_FILES, STORAGE_SECTORS_PER_FILE))
+        .collect();
+    for row in &rows {
+        println!(
+            "  shards={:<2} used={:<2} urbs={:<4} eff={:<9.1}µs crit={:<9.1}µs dbell={:<3} copied={} virt={:.1}Mb/s",
+            row.shards,
+            row.shards_used,
+            row.urbs,
+            row.effective_ns as f64 / 1e3,
+            row.shard_max_ns as f64 / 1e3,
+            row.doorbells,
+            row.bytes_copied,
+            row.virtual_mbps(),
+        );
+    }
+    let (one, n) = (&rows[0], &rows[1]);
+    // bytes_copied == 0 is already asserted inside storage_shard_run for
+    // every row; gate the parallel-speedup ordering on top.
+    assert!(
+        n.virtual_mbps() > one.virtual_mbps(),
+        "shards={} ({:.1} Mb/s) must beat shards=1 ({:.1} Mb/s)",
+        n.shards,
+        n.virtual_mbps(),
+        one.virtual_mbps()
+    );
+    println!(
+        "OK: sharded storage queues hold (zero copies at both widths, {:.2}x parallel speedup)",
+        one.effective_ns as f64 / n.effective_ns as f64
+    );
+}
 
 fn main() {
+    if let Some(shards) = std::env::args().nth(1) {
+        let shards: usize = shards.parse().expect("shard count argument");
+        sharded_smoke(shards.max(2));
+        return;
+    }
+
     println!(
         "storage smoke: tar write + streaming read, {} files x {} sectors each way",
         STORAGE_FILES, STORAGE_SECTORS_PER_FILE

@@ -587,6 +587,81 @@ fn sharded_fault_recovery_requeues_without_double_applying_deltas() {
     assert_eq!(sc.pending_deferred(), 0);
 }
 
+/// Fault injection on the *storage* sharded path — the uhci mirror of
+/// the NIC case above: one shard's decaf end dies with URB requests
+/// still parked (below the doorbell watermark) in its submit ring. The
+/// rings and the sector pool live in pinned shared memory, so the fault
+/// loses nothing: recovery resets the dead end, requeues surviving
+/// deferred control calls, and re-rings the shard's doorbell — every
+/// parked URB completes exactly once on the fresh channel, the flash
+/// ends up byte-identical to a fault-free run, and per-shard
+/// conservation plus the zero-copy audit survive the crash.
+#[test]
+fn sharded_storage_fault_recovery_redrains_pinned_urbs() {
+    use decaf_core::simdev::uhci as hwreg;
+    use decaf_core::simkernel::usb::{Urb, UrbDir};
+
+    let write_urb = |lun: usize, sector: u32| {
+        let mut data = vec![hwreg::FLASH_CMD_WRITE];
+        data.extend_from_slice(&sector.to_le_bytes());
+        data.extend_from_slice(&vec![(lun as u8) << 4 | sector as u8; hwreg::SECTOR_SIZE]);
+        Urb {
+            endpoint: hwreg::ep_bulk_out(lun) as u8,
+            dir: UrbDir::Out,
+            data,
+        }
+    };
+    let run = |inject_fault: bool| {
+        let k = Kernel::new();
+        let drv = decaf_core::drivers::uhci::install_sharded(&k, "uhci0", 3).unwrap();
+        let done = Rc::new(std::cell::Cell::new(0u32));
+        for lun in 0..3usize {
+            for sector in 0..2u32 {
+                let d = Rc::clone(&done);
+                k.usb_submit_urb(
+                    "uhci0",
+                    write_urb(lun, sector),
+                    Rc::new(move |_, r| {
+                        r.unwrap();
+                        d.set(d.get() + 1);
+                    }),
+                )
+                .unwrap();
+            }
+        }
+        if inject_fault {
+            // Mid-burst: at least one shard still has sub-watermark URBs
+            // parked in its pinned submit ring when its decaf end dies.
+            let victim = (0..3)
+                .find(|&i| drv.urb_path.path(i).pending() > 0)
+                .expect("burst must leave URBs parked on some shard");
+            drv.recover_shard(victim).unwrap();
+            assert_eq!(
+                drv.channels.heap(victim, Domain::Decaf).borrow().len(),
+                0,
+                "failed end reset"
+            );
+        }
+        // The poll timer dispatches whatever the recovery doorbell (or
+        // the ordinary deadline) drained.
+        k.run_for(4 * decaf_core::simkernel::costs::DOORBELL_COALESCE_NS);
+        assert_eq!(done.get(), 6, "every URB completed exactly once");
+        assert!(drv.urb_path.conserved(), "per-shard conservation");
+        assert_eq!(drv.urb_path.set().pool().in_use_sectors(), 0);
+        assert_eq!(k.stats().bytes_copied, 0, "recovery never copies");
+        assert!(k.violations().is_empty(), "{:?}", k.violations());
+        let contents = drv.dev.borrow().flash_contents();
+        contents
+    };
+    let with_fault = run(true);
+    let without_fault = run(false);
+    assert_eq!(with_fault.len(), 6);
+    assert_eq!(
+        with_fault, without_fault,
+        "a recovered run must leave flash byte-identical to a fault-free run"
+    );
+}
+
 /// The shmring rtl8139 build: the second NIC exposes the same user-level
 /// data path, and its four-slot transmit pool applies backpressure
 /// rather than overwriting in-flight buffers.

@@ -19,43 +19,12 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use decaf_core::sched::interleavings;
 use decaf_core::shmring::{BufHandle, Descriptor, RingSet};
 use decaf_core::simkernel::{CpuClass, Kernel};
 use decaf_core::xdr::mask::MaskSet;
 use decaf_core::xdr::{XdrSpec, XdrValue};
 use decaf_core::xpc::{ChannelConfig, Domain, ProcDef, ShardPolicy, ShardedChannel};
-
-/// Enumerates interleavings of `counts[s]` ops per shard `s` in
-/// lexicographic order, stopping at `cap` schedules. With a large
-/// enough cap this is the complete multiset-permutation set.
-fn interleavings(counts: &[usize], cap: usize) -> Vec<Vec<usize>> {
-    fn step(
-        remaining: &mut Vec<usize>,
-        prefix: &mut Vec<usize>,
-        out: &mut Vec<Vec<usize>>,
-        cap: usize,
-    ) {
-        if out.len() >= cap {
-            return;
-        }
-        if remaining.iter().all(|&r| r == 0) {
-            out.push(prefix.clone());
-            return;
-        }
-        for shard in 0..remaining.len() {
-            if remaining[shard] > 0 {
-                remaining[shard] -= 1;
-                prefix.push(shard);
-                step(remaining, prefix, out, cap);
-                prefix.pop();
-                remaining[shard] += 1;
-            }
-        }
-    }
-    let mut out = Vec::new();
-    step(&mut counts.to_vec(), &mut Vec::new(), &mut out, cap);
-    out
-}
 
 fn spec() -> XdrSpec {
     XdrSpec::parse("struct st { int id; int value; };").unwrap()

@@ -1,0 +1,426 @@
+//! Deterministic schedule exploration for the sharded storage path,
+//! plus the differential oracle across every uhci hosting.
+//!
+//! The NIC harness (`tests/shard_sched.rs`) checks home pinning and
+//! descriptor conservation; storage adds three invariants of its own,
+//! and this harness replays them against *every* enumerated ordering of
+//! per-shard submit / giveback / reclaim work (the shared enumerator
+//! lives in `decaf_core::sched` — lexicographic multiset permutations,
+//! no randomness, every failing schedule is a reproducer):
+//!
+//! * **sector-run alias freedom** — at every step of every schedule, no
+//!   two live runs of the one shared [`SectorPool`] overlap, whatever
+//!   allocate/reclaim interleaving the shards produce;
+//! * **pool conservation** — every sector ever allocated is reclaimed
+//!   or still in use, checked mid-schedule and at quiescence, with the
+//!   payloads read back bit-for-bit and zero audited copies;
+//! * **posting-shard completion affinity** — a completer draining any
+//!   shard's submit ring must see every giveback steered home to the
+//!   shard that submitted it ([`UrbRingSet::complete`]), and per-shard
+//!   conservation counters must balance on every schedule.
+//!
+//! The **differential oracle** then replays one multi-LUN workload —
+//! interleaved short and full sector writes, then streaming reads —
+//! through every hosting of the uhci URB path (`install_native`,
+//! `install_value` copy + batched, `install_shmring`,
+//! `install_sharded(1..=4)`) and asserts byte-identical flash contents
+//! and identical actual-length read results across all of them: eight
+//! drivers, one observable behaviour.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use decaf_core::drivers::uhci;
+use decaf_core::sched::{interleavings, schedule_count};
+use decaf_core::shmring::{SectorPool, UrbDescriptor, UrbRingSet};
+use decaf_core::simdev::uhci as hwreg;
+use decaf_core::simkernel::usb::{Urb, UrbDir};
+use decaf_core::simkernel::{costs, CpuClass, Kernel};
+
+// ------------------------------------------------ schedule exploration
+
+const SECTOR: usize = 64;
+const POOL_SECTORS: usize = 24;
+
+/// Transfer length of step `t` on shard `s`: spans sub-sector to
+/// three-sector runs, deterministically.
+fn xfer_len(t: usize, shard: usize) -> usize {
+    1 + (t * 37 + shard * 53) % (3 * SECTOR)
+}
+
+/// Deterministic payload for one step.
+fn payload(t: usize, shard: usize) -> Vec<u8> {
+    let len = xfer_len(t, shard);
+    (0..len)
+        .map(|i| (t as u8) ^ (shard as u8).wrapping_mul(29) ^ (i as u8).wrapping_mul(13))
+        .collect()
+}
+
+/// Replays one schedule against a [`UrbRingSet`] over one shared
+/// [`SectorPool`]: step `t` submits a URB on shard `schedule[t]`
+/// (allocate a run, adopt the payload, post, note origin); every third
+/// step a completer drains a schedule-dependent victim shard and gives
+/// everything back; every fifth step a reclaimer drains a giveback ring
+/// and frees the runs. The quiesce phase completes and reclaims the
+/// rest. Invariants are asserted at every step, not just at the end.
+fn run_storage_schedule(shards: usize, schedule: &[usize]) {
+    let kernel = Kernel::new();
+    let pool = Rc::new(SectorPool::with_capacity(SECTOR, POOL_SECTORS));
+    let set = UrbRingSet::new(
+        "sched",
+        shards,
+        schedule.len().max(1),
+        2 * schedule.len().max(1),
+        pool,
+    );
+    // Live runs as cookie -> (byte offset, byte length, submitting shard).
+    let mut live: HashMap<u64, (usize, usize, usize)> = HashMap::new();
+    let mut reclaimed_per_shard = vec![0u64; shards];
+
+    let complete_ring =
+        |kernel: &Kernel, victim: usize, live: &HashMap<u64, (usize, usize, usize)>| {
+            for d in set.submit_ring(victim).drain(kernel, CpuClass::User) {
+                let (_, _, submitter) = live[&d.cookie];
+                let home = set
+                    .complete(kernel, CpuClass::User, d.completed(0, d.len))
+                    .unwrap();
+                assert_eq!(
+                    home, submitter,
+                    "schedule {schedule:?}: cookie {} steered astray",
+                    d.cookie
+                );
+            }
+        };
+
+    for (t, &shard) in schedule.iter().enumerate() {
+        let cookie = t as u64;
+        let data = payload(t, shard);
+        let run = set.pool().alloc(data.len()).unwrap();
+        set.pool().adopt_payload(&kernel, &data, run).unwrap();
+        let off = set.pool().offset_of(run).unwrap();
+        let bytes = set.pool().run_sectors(run).unwrap() * SECTOR;
+        // Alias freedom: the fresh run overlaps no live run.
+        for (&other, &(o, b, _)) in &live {
+            assert!(
+                off + bytes <= o || o + b <= off,
+                "schedule {schedule:?}: run of cookie {cookie} [{off}, {}) \
+                 aliases live run of cookie {other} [{o}, {})",
+                off + bytes,
+                o + b
+            );
+        }
+        set.submit_ring(shard)
+            .push(
+                &kernel,
+                CpuClass::Kernel,
+                UrbDescriptor::request_out(run, data.len() as u32, 2, cookie),
+            )
+            .unwrap();
+        set.note_submit(shard, cookie);
+        live.insert(cookie, (off, bytes, shard));
+
+        if t % 3 == 2 {
+            complete_ring(&kernel, (shard + t) % shards, &live);
+        }
+        if t % 5 == 4 {
+            let rshard = (shard + 2 * t) % shards;
+            for d in set.reclaim(&kernel, CpuClass::Kernel, rshard) {
+                let (_, _, submitter) = live[&d.cookie];
+                assert_eq!(
+                    submitter, rshard,
+                    "schedule {schedule:?}: cookie {} reclaimed on the wrong shard",
+                    d.cookie
+                );
+                // The adopted payload reads back bit-for-bit, in place.
+                let idx = d.cookie as usize;
+                assert_eq!(
+                    set.pool().read_payload(d.buf, d.actual as usize).unwrap(),
+                    payload(idx, submitter),
+                    "schedule {schedule:?}: payload of cookie {} corrupted",
+                    d.cookie
+                );
+                set.pool().free(d.buf).unwrap();
+                live.remove(&d.cookie);
+                reclaimed_per_shard[rshard] += 1;
+            }
+        }
+        // Conservation holds mid-schedule, not just at quiescence.
+        assert!(set.conserved(), "schedule {schedule:?} at step {t}");
+        assert!(set.pool().conserved(), "schedule {schedule:?} at step {t}");
+    }
+
+    // Quiesce: complete every parked request, reclaim every giveback.
+    for victim in 0..shards {
+        complete_ring(&kernel, victim, &live);
+    }
+    for (rshard, reclaimed) in reclaimed_per_shard.iter_mut().enumerate() {
+        for d in set.reclaim(&kernel, CpuClass::Kernel, rshard) {
+            let (_, _, submitter) = live[&d.cookie];
+            assert_eq!(submitter, rshard, "schedule {schedule:?}");
+            set.pool().free(d.buf).unwrap();
+            live.remove(&d.cookie);
+            *reclaimed += 1;
+        }
+    }
+
+    assert!(live.is_empty(), "schedule {schedule:?}: runs left live");
+    for (shard, &reclaimed) in reclaimed_per_shard.iter().enumerate() {
+        assert!(
+            set.shard_conserved(shard),
+            "schedule {schedule:?}: shard {shard} not conserved"
+        );
+        assert_eq!(
+            reclaimed,
+            set.shard_stats(shard).submitted,
+            "schedule {schedule:?}: shard {shard} reclaim count"
+        );
+        assert_eq!(
+            set.shard_stats(shard).submitted,
+            schedule.iter().filter(|&&s| s == shard).count() as u64,
+            "schedule {schedule:?}: shard {shard} submit count"
+        );
+    }
+    assert!(set.conserved(), "schedule {schedule:?}");
+    assert_eq!(set.in_flight(), 0, "schedule {schedule:?}");
+    assert!(set.pool().conserved(), "schedule {schedule:?}");
+    assert_eq!(set.pool().in_use_sectors(), 0, "schedule {schedule:?}");
+    assert_eq!(
+        kernel.stats().bytes_copied,
+        0,
+        "schedule {schedule:?}: adoption and in-place reads never copy"
+    );
+}
+
+#[test]
+fn shared_enumerator_counts_storage_configurations() {
+    // The storage sweep below: 20 + 90 + 140-of-2520 = 250 schedules.
+    assert_eq!(schedule_count(&[3, 3]), 20);
+    assert_eq!(schedule_count(&[2, 2, 2]), 90);
+    assert_eq!(schedule_count(&[2, 2, 2, 2]), 2520);
+    assert_eq!(
+        interleavings(&[2, 2, 2, 2], 140).len(),
+        140,
+        "the cap truncates the 4-shard set deterministically"
+    );
+}
+
+#[test]
+fn enumerated_storage_schedules_preserve_invariants() {
+    // (shards, ops-per-shard, cap): 20 + 90 + 140 = 250 schedules, each
+    // replaying the submit/giveback/reclaim protocol with interleaved
+    // completers and reclaimers. The acceptance floor is 200.
+    let mut total = 0usize;
+    for (shards, ops, cap) in [(2usize, 3usize, 1_000), (3, 2, 1_000), (4, 2, 140)] {
+        let schedules = interleavings(&vec![ops; shards], cap);
+        for schedule in &schedules {
+            run_storage_schedule(shards, schedule);
+        }
+        total += schedules.len();
+    }
+    assert!(total >= 200, "only {total} interleavings enumerated");
+}
+
+// ------------------------------------------------- differential oracle
+
+const ORACLE_LUNS: usize = 3;
+const ORACLE_SECTORS: u32 = 4;
+
+/// Read results keyed by cell: `(lun, sector, actual bytes delivered)`.
+type CellReads = Vec<(usize, u32, Vec<u8>)>;
+
+/// Payload length of one (lun, sector) cell: full sectors interleaved
+/// with short ones, so actual-length reporting is part of the oracle.
+fn cell_len(lun: usize, sector: u32) -> usize {
+    match (lun + sector as usize) % 4 {
+        0 => hwreg::SECTOR_SIZE,
+        1 => 100,
+        2 => hwreg::SECTOR_SIZE,
+        _ => 37,
+    }
+}
+
+/// Payload bytes of one cell (deterministic, distinct per cell).
+fn cell_payload(lun: usize, sector: u32) -> Vec<u8> {
+    (0..cell_len(lun, sector))
+        .map(|i| (lun as u8) ^ (sector as u8).wrapping_mul(41) ^ (i as u8).wrapping_mul(7))
+        .collect()
+}
+
+/// Runs the multi-LUN oracle workload against an installed uhci build:
+/// writes every (lun, sector) cell with LUN streams interleaved sector
+/// by sector, then streams everything back the same way. Returns the
+/// read results sorted by (lun, sector) — the actual bytes each IN
+/// transfer delivered.
+fn oracle_workload(k: &Kernel, hcd: &str) -> CellReads {
+    for sector in 0..ORACLE_SECTORS {
+        for lun in 0..ORACLE_LUNS {
+            let mut data = vec![hwreg::FLASH_CMD_WRITE];
+            data.extend_from_slice(&sector.to_le_bytes());
+            data.extend_from_slice(&cell_payload(lun, sector));
+            k.usb_submit_urb(
+                hcd,
+                Urb {
+                    endpoint: hwreg::ep_bulk_out(lun) as u8,
+                    dir: UrbDir::Out,
+                    data,
+                },
+                Rc::new(|_, r| {
+                    r.unwrap();
+                }),
+            )
+            .unwrap();
+            k.schedule_point();
+        }
+    }
+    k.run_for(4 * costs::DOORBELL_COALESCE_NS);
+
+    let results: Rc<std::cell::RefCell<CellReads>> = Rc::new(std::cell::RefCell::new(Vec::new()));
+    for sector in 0..ORACLE_SECTORS {
+        for lun in 0..ORACLE_LUNS {
+            let mut cmd = vec![hwreg::FLASH_CMD_READ];
+            cmd.extend_from_slice(&sector.to_le_bytes());
+            k.usb_submit_urb(
+                hcd,
+                Urb {
+                    endpoint: hwreg::ep_bulk_out(lun) as u8,
+                    dir: UrbDir::Out,
+                    data: cmd,
+                },
+                Rc::new(|_, _| {}),
+            )
+            .unwrap();
+            let out = Rc::clone(&results);
+            k.usb_submit_urb(
+                hcd,
+                Urb {
+                    endpoint: hwreg::ep_bulk_in(lun) as u8,
+                    dir: UrbDir::In,
+                    data: Vec::new(),
+                },
+                Rc::new(move |_, r| {
+                    out.borrow_mut().push((lun, sector, r.unwrap()));
+                }),
+            )
+            .unwrap();
+            k.schedule_point();
+        }
+    }
+    k.run_for(4 * costs::DOORBELL_COALESCE_NS);
+
+    let mut out = Rc::try_unwrap(results).unwrap().into_inner();
+    // Completion *dispatch* order may legally differ across hostings
+    // (watermark vs deadline doorbells); per-cell results may not.
+    out.sort_by_key(|&(lun, sector, _)| (lun, sector));
+    out
+}
+
+#[test]
+fn differential_oracle_all_hostings_agree_bit_for_bit() {
+    type Snapshot = (CellReads, CellReads);
+    let run =
+        |label: &str,
+         install: &dyn Fn(&Kernel) -> Rc<std::cell::RefCell<decaf_core::simdev::UhciDevice>>|
+         -> Snapshot {
+            let k = Kernel::new();
+            let dev = install(&k);
+            let results = oracle_workload(&k, "uhci0");
+            assert_eq!(
+                results.len(),
+                ORACLE_LUNS * ORACLE_SECTORS as usize,
+                "{label}: not every read completed"
+            );
+            assert!(k.violations().is_empty(), "{label}: {:?}", k.violations());
+            let flash = dev.borrow().flash_contents();
+            (results, flash)
+        };
+
+    // The native build is the golden reference.
+    let golden = run("native", &|k| uhci::install_native(k, "uhci0").unwrap().dev);
+
+    // Every cell's read returns exactly the bytes written — including
+    // the short cells at their true actual length.
+    for (lun, sector, data) in &golden.0 {
+        assert_eq!(
+            data,
+            &cell_payload(*lun, *sector),
+            "native read of ({lun}, {sector})"
+        );
+    }
+
+    let hostings: Vec<(String, Snapshot)> = vec![
+        (
+            "value/copy".into(),
+            run("value/copy", &|k| {
+                uhci::install_value(k, "uhci0", false).unwrap().dev
+            }),
+        ),
+        (
+            "value/batched".into(),
+            run("value/batched", &|k| {
+                uhci::install_value(k, "uhci0", true).unwrap().dev
+            }),
+        ),
+        (
+            "shmring".into(),
+            run("shmring", &|k| {
+                uhci::install_shmring(k, "uhci0").unwrap().dev
+            }),
+        ),
+    ]
+    .into_iter()
+    .chain((1..=4).map(|shards| {
+        (
+            format!("sharded/{shards}"),
+            run(&format!("sharded/{shards}"), &move |k| {
+                uhci::install_sharded(k, "uhci0", shards).unwrap().dev
+            }),
+        )
+    }))
+    .collect();
+
+    for (label, (results, flash)) in &hostings {
+        assert_eq!(
+            results, &golden.0,
+            "{label}: actual-length read results diverge from native"
+        );
+        assert_eq!(
+            flash, &golden.1,
+            "{label}: flash contents diverge from native"
+        );
+    }
+}
+
+#[test]
+fn differential_oracle_zero_copy_only_on_ring_hostings() {
+    // The same workload also separates the hostings where it should:
+    // by-value copies, ring hostings adopt. A sharded build that
+    // quietly started copying would pass the contents oracle but fail
+    // here.
+    let copied = |install: &dyn Fn(&Kernel)| {
+        let k = Kernel::new();
+        install(&k);
+        oracle_workload(&k, "uhci0");
+        k.stats().bytes_copied
+    };
+    assert!(
+        copied(&|k| {
+            uhci::install_value(k, "uhci0", false).unwrap();
+        }) > 0,
+        "the by-value hosting must pay its copies"
+    );
+    assert_eq!(
+        copied(&|k| {
+            uhci::install_shmring(k, "uhci0").unwrap();
+        }),
+        0
+    );
+    for shards in [1usize, 4] {
+        assert_eq!(
+            copied(&|k| {
+                uhci::install_sharded(k, "uhci0", shards).unwrap();
+            }),
+            0,
+            "shards={shards}"
+        );
+    }
+}
