@@ -122,6 +122,7 @@ fn bench_xpc_call(c: &mut Criterion) {
         transport: TransportKind::InProc,
         delta: false,
         shmring: false,
+        ..ChannelConfig::kernel_user()
     });
     c.bench_function("xpc/roundtrip_inproc", |b| {
         b.iter(|| {
@@ -135,6 +136,7 @@ fn bench_xpc_call(c: &mut Criterion) {
         transport: TransportKind::Threaded,
         delta: false,
         shmring: false,
+        ..ChannelConfig::kernel_user()
     });
     c.bench_function("xpc/roundtrip_threaded_model", |b| {
         b.iter(|| {
@@ -149,6 +151,7 @@ fn bench_xpc_call(c: &mut Criterion) {
         transport: TransportKind::InProc,
         delta: false,
         shmring: false,
+        ..ChannelConfig::kernel_user()
     });
     c.bench_function("xpc/roundtrip_no_crosslang", |b| {
         b.iter(|| {
@@ -258,6 +261,46 @@ fn bench_storage_shard_ablation(c: &mut Criterion) {
     }
 }
 
+fn bench_async_transport(c: &mut Criterion) {
+    // Ablation: batched (synchronous flush) vs async (completion-token
+    // launch + harvest) on the identical paced deferred-call stream —
+    // wall time tracks the bookkeeping, virtual time the overlap credit.
+    use decaf_core::xpc::ChannelConfig;
+    for (label, config) in [
+        ("batched", ChannelConfig::kernel_user_batched()),
+        ("async", ChannelConfig::kernel_user_async()),
+    ] {
+        let (kernel, ch, a) = channel(config);
+        c.bench_function(&format!("xpc/deferred_flush_harvest[{label}]"), |b| {
+            b.iter(|| {
+                for _ in 0..8 {
+                    ch.call_deferred(&kernel, Domain::Nucleus, "touch", &[Some(a)], &[])
+                        .unwrap();
+                }
+                ch.flush(&kernel).unwrap();
+                ch.harvest(&kernel).len()
+            })
+        });
+    }
+}
+
+fn bench_rx_mode(c: &mut Criterion) {
+    // Ablation: interrupt-driven vs poll-mode receive servicing at one
+    // rate either side of the crossover — each iteration re-asserts the
+    // zero-copy invariant inside rx_mode_run.
+    use decaf_core::drivers::support::RxMode;
+    for (label, mode, pps) in [
+        ("interrupt@2k", RxMode::Interrupt, 2_000u32),
+        ("poll@2k", RxMode::Poll, 2_000),
+        ("interrupt@16k", RxMode::Interrupt, 16_000),
+        ("poll@16k", RxMode::Poll, 16_000),
+    ] {
+        c.bench_function(&format!("rx-mode/{label}"), |b| {
+            b.iter(|| decaf_core::experiments::rx_mode_run(mode, pps))
+        });
+    }
+}
+
 fn bench_combolock(c: &mut Criterion) {
     // Ablation: combolock (spin when kernel-only) vs forced semaphore.
     let kernel = Kernel::new();
@@ -292,6 +335,8 @@ criterion_group!(
     bench_transport_ablation,
     bench_shard_ablation,
     bench_storage_shard_ablation,
+    bench_async_transport,
+    bench_rx_mode,
     bench_combolock,
     bench_slicer
 );

@@ -1001,6 +1001,11 @@ pub struct ShardAblationRow {
     /// CPU-copied payload bytes (the audit counter: must not regress as
     /// shards are added — sharding changes steering, never copying).
     pub bytes_copied: u64,
+    /// Completion tokens issued by the async transport across all shards.
+    pub tokens: u64,
+    /// Crossing cost covered by computation that ran while the crossing
+    /// was in flight (the async transport's overlap credit, ns).
+    pub overlap_ns: u64,
 }
 
 impl ShardAblationRow {
@@ -1045,6 +1050,11 @@ pub fn shard_run(shards: usize, seconds: u32, pps: u32) -> ShardAblationRow {
     let shard_max_ns = shard_busy.iter().copied().max().unwrap_or(0);
     let shard_sum_ns = shard_busy.iter().sum::<u64>();
     let serial_ns = total_busy_ns.saturating_sub(shard_sum_ns);
+    // Settle the async transport: flush anything still parked, then
+    // harvest every launched crossing so token conservation is checked
+    // over a closed ledger.
+    drv.channels.flush_all(&k).expect("final flush");
+    drv.channels.harvest_all(&k);
     let s = drv.channels.stats();
 
     // Invariants every run must uphold — the ablation rows and the CI
@@ -1077,6 +1087,24 @@ pub fn shard_run(shards: usize, seconds: u32, pps: u32) -> ShardAblationRow {
             .count();
         assert!(rings_used >= 2, "flow steering left traffic on one ring");
     }
+    // Async-transport ledger: every issued token is harvested or
+    // cancelled, nothing is left in flight, and the doorbell crossings
+    // overlapped real computation.
+    assert_eq!(
+        s.tokens_issued,
+        s.tokens_harvested + s.tokens_cancelled,
+        "completion-token conservation violated"
+    );
+    assert_eq!(
+        drv.channels.tokens_outstanding(),
+        0,
+        "completion tokens left outstanding after harvest"
+    );
+    assert!(s.tokens_issued > 0, "async transport never launched");
+    assert!(
+        s.overlap_ns > 0,
+        "async crossings overlapped no computation"
+    );
 
     ShardAblationRow {
         shards,
@@ -1090,6 +1118,8 @@ pub fn shard_run(shards: usize, seconds: u32, pps: u32) -> ShardAblationRow {
         descs_per_doorbell: s.descriptors_per_doorbell(),
         ring_posts: s.ring_posts,
         bytes_copied: k.stats().bytes_copied - copied_before,
+        tokens: s.tokens_issued,
+        overlap_ns: s.overlap_ns,
     }
 }
 
@@ -1440,6 +1470,358 @@ pub fn transport_ablation() -> Vec<TransportAblationRow> {
         .collect()
 }
 
+// ------------------------------------------ Async transport rate sweep
+
+/// One row of the async-transport open-rate sweep: the identical paced
+/// deferred-call stream over the batched (synchronous flush) and async
+/// (completion-token) transports at one offered rate.
+#[derive(Debug, Clone)]
+pub struct AsyncSweepRow {
+    /// Offered deferred-call rate (calls per virtual second).
+    pub offered_cps: u32,
+    /// Busy virtual time under the batched transport (ns).
+    pub batched_ns: u64,
+    /// Busy virtual time under the async transport (ns).
+    pub async_ns: u64,
+    /// Crossing cost covered by computation that ran while crossings
+    /// were in flight (async run, ns).
+    pub overlap_ns: u64,
+    /// Completion tokens issued by the async run.
+    pub tokens: u64,
+}
+
+impl AsyncSweepRow {
+    /// Busy time the async transport saved, as a fraction of batched.
+    pub fn saving(&self) -> f64 {
+        if self.batched_ns == 0 {
+            return 0.0;
+        }
+        1.0 - self.async_ns as f64 / self.batched_ns as f64
+    }
+}
+
+/// Offered rates the async sweep walks (deferred calls per virtual
+/// second). Spanning two decades: at low rates the coalescing deadline
+/// launches small batches; at high rates the watermark launches full
+/// ones — the overlap credit must hold across both regimes.
+pub const ASYNC_SWEEP_RATES: [u32; 5] = [1_000, 2_000, 5_000, 10_000, 20_000];
+
+/// Deferred calls per async-sweep run.
+const ASYNC_SWEEP_CALLS: u32 = 60;
+
+/// Runs `ASYNC_SWEEP_CALLS` posted register writes paced at `gap_ns`
+/// apart over one channel configuration and returns the busy virtual
+/// time plus the channel counters.
+fn paced_deferred_run(
+    config: decaf_xpc::ChannelConfig,
+    gap_ns: u64,
+) -> (u64, decaf_xpc::ChannelStats) {
+    use decaf_xdr::XdrValue;
+    use decaf_xpc::{Domain, ProcDef, XpcChannel};
+    use std::rc::Rc;
+
+    let kernel = Kernel::new();
+    let spec = decaf_xdr::XdrSpec::parse("struct nil { int pad; };").expect("sweep spec parses");
+    let ch = XpcChannel::new(
+        spec,
+        decaf_xdr::mask::MaskSet::full(),
+        config,
+        Domain::Nucleus,
+        Domain::Decaf,
+    );
+    ch.register_proc(
+        Domain::Decaf,
+        ProcDef {
+            name: "writel".into(),
+            arg_types: vec![],
+            handler: Rc::new(|_, _, _, _| XdrValue::Void),
+        },
+    )
+    .expect("register writel");
+
+    for i in 0..ASYNC_SWEEP_CALLS {
+        ch.call_deferred(
+            &kernel,
+            Domain::Nucleus,
+            "writel",
+            &[],
+            &[XdrValue::UInt(0xc8), XdrValue::UInt(i)],
+        )
+        .expect("defer writel");
+        // The pacing gap: the nucleus goes on with unrelated work while
+        // the transport decides when to launch. On the async transport
+        // this is exactly the window an in-flight crossing hides under.
+        kernel.run_for(gap_ns);
+        ch.flush_if_due(&kernel).expect("deadline flush");
+    }
+    ch.flush(&kernel).expect("final flush");
+    ch.harvest(&kernel);
+
+    let snap = kernel.snapshot();
+    (snap.kernel_busy_ns + snap.user_busy_ns, ch.stats())
+}
+
+/// Regenerates the async-transport sweep: batched vs async on the
+/// identical paced deferred-call stream at every offered rate.
+///
+/// Asserts the tentpole acceptance property rate-by-rate: async busy
+/// time never exceeds batched (uncovered ≤ full crossing cost by
+/// construction), the overlap credit is real, and the completion-token
+/// ledger closes.
+pub fn async_transport_sweep() -> Vec<AsyncSweepRow> {
+    use decaf_xpc::ChannelConfig;
+    ASYNC_SWEEP_RATES
+        .into_iter()
+        .map(|cps| {
+            let gap_ns = 1_000_000_000 / cps as u64;
+            let (batched_ns, _) = paced_deferred_run(ChannelConfig::kernel_user_batched(), gap_ns);
+            let (async_ns, s) = paced_deferred_run(ChannelConfig::kernel_user_async(), gap_ns);
+            assert!(
+                async_ns <= batched_ns,
+                "async busy ({async_ns}) exceeds batched ({batched_ns}) at {cps} calls/s"
+            );
+            assert!(s.overlap_ns > 0, "no overlap credit at {cps} calls/s");
+            assert_eq!(
+                s.tokens_issued,
+                s.tokens_harvested + s.tokens_cancelled,
+                "token conservation violated at {cps} calls/s"
+            );
+            AsyncSweepRow {
+                offered_cps: cps,
+                batched_ns,
+                async_ns,
+                overlap_ns: s.overlap_ns,
+                tokens: s.tokens_issued,
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------- Interrupt-vs-poll RX sweep
+
+/// One row of the RX-mode sweep: the identical offered arrival stream
+/// serviced interrupt-driven (doorbell per watermark) vs poll-mode
+/// (budgeted probes on a fixed softirq grid) at one offered rate.
+#[derive(Debug, Clone)]
+pub struct RxModeSweepRow {
+    /// Offered arrival rate (packets per virtual second).
+    pub offered_pps: u32,
+    /// Frames delivered (must equal the offered count in both modes).
+    pub packets: u64,
+    /// Busy virtual time, interrupt-driven servicing (ns).
+    pub interrupt_ns: u64,
+    /// Busy virtual time, poll-mode servicing (ns).
+    pub poll_ns: u64,
+    /// Data-path doorbells rung by the interrupt-driven run.
+    pub interrupt_doorbells: u64,
+    /// Data-path doorbells rung by the poll-mode run (zero: polling
+    /// replaces the doorbell crossing entirely).
+    pub poll_doorbells: u64,
+}
+
+impl RxModeSweepRow {
+    /// Whichever mode burned less CPU at this rate.
+    pub fn winner(&self) -> &'static str {
+        if self.poll_ns < self.interrupt_ns {
+            "poll"
+        } else {
+            "interrupt"
+        }
+    }
+}
+
+/// Offered rates the RX-mode sweep walks (packets per virtual second).
+/// Every rate divides one virtual second exactly, so arrival times land
+/// on integer nanoseconds and the sweep is bit-deterministic.
+pub const RX_SWEEP_RATES: [u32; 6] = [500, 1_000, 2_000, 4_000, 8_000, 16_000];
+
+/// Runs one virtual second of paced descriptor arrivals through a
+/// pool-less shmring data path serviced in `mode`, returning
+/// `(busy_ns, delivered, doorbells)`.
+///
+/// Interrupt mode charges interrupt entry per arrival and rings the
+/// watermark doorbell; poll mode charges a softirq dispatch per
+/// [`decaf_drivers::support::RX_POLL_TICK_NS`] grid tick plus a poll
+/// probe per ring check, and never rings a doorbell. Neither mode
+/// copies payload bytes — the buffers stay where DMA wrote them.
+pub fn rx_mode_run(mode: decaf_drivers::support::RxMode, pps: u32) -> (u64, u64, u64) {
+    use decaf_drivers::support::{RxMode, RX_POLL_BUDGET, RX_POLL_TICK_NS};
+    use decaf_shmring::{BufHandle, Descriptor, DoorbellPolicy, ShmRing};
+    use decaf_xdr::XdrValue;
+    use decaf_xpc::{ChannelConfig, DataPathChannel, Domain, ProcDef, XpcChannel};
+    use std::rc::Rc;
+
+    let kernel = Kernel::new();
+    let spec = decaf_xdr::XdrSpec::parse("struct nil { int pad; };").expect("sweep spec parses");
+    let ch = Rc::new(XpcChannel::new(
+        spec,
+        decaf_xdr::mask::MaskSet::full(),
+        ChannelConfig::kernel_user_shmring(),
+        Domain::Nucleus,
+        Domain::Decaf,
+    ));
+    // Pool-less: descriptors name device receive slots; no payload ever
+    // enters a shared pool or the marshaler.
+    let dp = DataPathChannel::new(
+        Rc::clone(&ch),
+        Domain::Nucleus,
+        "rx_drain",
+        Rc::new(ShmRing::new("rxsweep", 64)),
+        Rc::new(ShmRing::new("rxsweep-done", 64)),
+        None,
+        DoorbellPolicy::with_watermark(8),
+    )
+    .expect("rx datapath builds");
+    let end = dp.end(Domain::Decaf);
+    {
+        let end = dp.end(Domain::Decaf);
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "rx_drain".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |k, _, _, _| {
+                    for d in end.consume(k) {
+                        k.charge(decaf_simkernel::CpuClass::User, costs::DMA_DESC_NS);
+                        let _ = end.complete(k, d);
+                    }
+                    XdrValue::Void
+                }),
+            },
+        )
+        .expect("register rx_drain");
+    }
+
+    let gap_ns = 1_000_000_000 / pps as u64;
+    let mut delivered = 0u64;
+    match mode {
+        RxMode::Interrupt => {
+            for slot in 0..pps {
+                kernel.run_for(gap_ns);
+                // Interrupt entry/exit per arriving frame, then the
+                // descriptor post; the watermark decides when the
+                // doorbell crossing launches the drain.
+                kernel.charge(decaf_simkernel::CpuClass::Kernel, costs::IRQ_ENTRY_NS);
+                dp.post(
+                    &kernel,
+                    Descriptor {
+                        buf: BufHandle(slot % 64),
+                        len: 1500,
+                        cookie: slot as u64,
+                    },
+                )
+                .expect("post");
+                dp.maybe_ring(&kernel).expect("watermark doorbell");
+                delivered += dp.reclaim_completions(&kernel).len() as u64;
+            }
+            dp.ring_doorbell(&kernel).expect("final doorbell");
+            delivered += dp.reclaim_completions(&kernel).len() as u64;
+        }
+        RxMode::Poll => {
+            // NAPI shape: interrupts stay masked; a softirq-grid tick
+            // posts whatever DMA delivered since the last tick, then the
+            // decaf side probes the ring under a budget.
+            let ticks = 1_000_000_000 / RX_POLL_TICK_NS;
+            let mut now_ns = 0u64;
+            let mut arrived = 0u64;
+            for tick in 1..=ticks {
+                let tick_ns = tick * RX_POLL_TICK_NS;
+                kernel.run_for(tick_ns - now_ns);
+                now_ns = tick_ns;
+                kernel.charge(
+                    decaf_simkernel::CpuClass::Kernel,
+                    costs::SOFTIRQ_DISPATCH_NS,
+                );
+                let due = (tick_ns / gap_ns).min(pps as u64);
+                while arrived < due && (arrived - delivered) < RX_POLL_BUDGET as u64 {
+                    dp.post(
+                        &kernel,
+                        Descriptor {
+                            buf: BufHandle((arrived % 64) as u32),
+                            len: 1500,
+                            cookie: arrived,
+                        },
+                    )
+                    .expect("post");
+                    arrived += 1;
+                }
+                for d in end.poll_and_reclaim(&kernel, RX_POLL_BUDGET) {
+                    kernel.charge(decaf_simkernel::CpuClass::User, costs::DMA_DESC_NS);
+                    end.complete(&kernel, d).expect("complete");
+                }
+                delivered += dp.reclaim_completions(&kernel).len() as u64;
+            }
+            assert_eq!(arrived, pps as u64, "poll grid missed arrivals");
+        }
+    }
+    assert_eq!(dp.pending(), 0, "descriptors stranded in the ring");
+    assert_eq!(
+        kernel.stats().bytes_copied,
+        0,
+        "rx sweep must not copy payload"
+    );
+    let snap = kernel.snapshot();
+    (
+        snap.kernel_busy_ns + snap.user_busy_ns,
+        delivered,
+        ch.stats().doorbells,
+    )
+}
+
+/// Regenerates the interrupt-vs-poll RX sweep and asserts the crossover
+/// shape: interrupt-driven servicing wins at the low end (the poll
+/// grid's fixed softirq + probe tax dominates), poll-mode wins at the
+/// high end (per-frame interrupt entry and doorbell crossings dominate),
+/// and the winner flips exactly once as the offered rate climbs.
+pub fn rx_mode_sweep() -> Vec<RxModeSweepRow> {
+    use decaf_drivers::support::RxMode;
+    let rows: Vec<RxModeSweepRow> = RX_SWEEP_RATES
+        .into_iter()
+        .map(|pps| {
+            let (interrupt_ns, int_delivered, interrupt_doorbells) =
+                rx_mode_run(RxMode::Interrupt, pps);
+            let (poll_ns, poll_delivered, poll_doorbells) = rx_mode_run(RxMode::Poll, pps);
+            assert_eq!(int_delivered, pps as u64, "interrupt mode dropped frames");
+            assert_eq!(poll_delivered, pps as u64, "poll mode dropped frames");
+            assert_eq!(poll_doorbells, 0, "poll mode rang a doorbell");
+            assert!(interrupt_doorbells > 0, "interrupt mode never rang");
+            RxModeSweepRow {
+                offered_pps: pps,
+                packets: pps as u64,
+                interrupt_ns,
+                poll_ns,
+                interrupt_doorbells,
+                poll_doorbells,
+            }
+        })
+        .collect();
+    let crossover = rows
+        .iter()
+        .position(|r| r.poll_ns < r.interrupt_ns)
+        .expect("poll mode never overtakes interrupt mode");
+    assert!(
+        crossover > 0,
+        "interrupt mode must win at the lowest offered rate"
+    );
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row.poll_ns < row.interrupt_ns,
+            i >= crossover,
+            "winner flipped more than once at {} pps",
+            row.offered_pps
+        );
+    }
+    rows
+}
+
+/// The offered rate at which poll-mode servicing first beats
+/// interrupt-driven servicing in `rows` (packets per virtual second).
+pub fn rx_crossover_pps(rows: &[RxModeSweepRow]) -> Option<u32> {
+    rows.iter()
+        .find(|r| r.poll_ns < r.interrupt_ns)
+        .map(|r| r.offered_pps)
+}
+
 // ---------------------------------------------------------------- Table 4
 
 /// The Table 4 study: plan, patch stream, classification.
@@ -1726,6 +2108,40 @@ mod tests {
         assert_eq!(one.shard_max_ns, one.shard_sum_ns);
         assert!(four.shard_max_ns < four.shard_sum_ns);
         assert!(four.shards_used >= 2, "{} shards used", four.shards_used);
+    }
+
+    #[test]
+    fn async_sweep_overlaps_at_every_rate() {
+        // The tentpole acceptance: at every offered rate the async
+        // transport's busy time is at or below batched, with a real
+        // overlap credit and a closed token ledger (the asserts inside
+        // async_transport_sweep enforce all three per row).
+        let rows = async_transport_sweep();
+        assert_eq!(rows.len(), ASYNC_SWEEP_RATES.len());
+        for row in &rows {
+            assert!(row.tokens > 0, "{row:?}");
+            assert!(row.saving() >= 0.0, "{row:?}");
+        }
+        // At the fastest pacing the deadline never fires first, so the
+        // watermark launches full batches and overlap still shows up.
+        assert!(rows.last().unwrap().overlap_ns > 0);
+    }
+
+    #[test]
+    fn rx_mode_sweep_crossover_is_monotone() {
+        // The interrupt-vs-poll acceptance: interrupt wins the low end,
+        // poll wins the high end, the winner flips exactly once, and
+        // neither mode copies a payload byte (asserted per run inside
+        // rx_mode_run / rx_mode_sweep).
+        let rows = rx_mode_sweep();
+        assert_eq!(rows.len(), RX_SWEEP_RATES.len());
+        assert_eq!(rows.first().unwrap().winner(), "interrupt");
+        assert_eq!(rows.last().unwrap().winner(), "poll");
+        let crossover = rx_crossover_pps(&rows).expect("crossover exists");
+        assert!(
+            crossover > RX_SWEEP_RATES[0] && crossover <= RX_SWEEP_RATES[5],
+            "crossover at {crossover} pps"
+        );
     }
 
     #[test]

@@ -9,6 +9,36 @@ use decaf_simkernel::{costs, KError, Kernel, MmioRegion, TimerId};
 use decaf_xdr::XdrValue;
 use decaf_xpc::{ChannelConfig, DataPathChannel, Domain, ProcDef, XpcChannel, XpcResult};
 
+/// How a shmring NIC build collects received frames.
+///
+/// Two explicit modes with opposite cost shapes: interrupt-driven
+/// receive pays interrupt entry plus a doorbell crossing per batch but
+/// is free when the line is quiet; poll-mode receive masks the receive
+/// interrupt (NAPI-style, after the first one) and probes the ring on a
+/// fixed virtual-time grid, paying [`decaf_simkernel::costs::POLL_SPIN_NS`]
+/// per probe whether or not traffic arrived. Poll wins once the offered
+/// rate is high enough that probes rarely miss — the crossover the
+/// rx-mode ablation sweeps out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RxMode {
+    /// Doorbell-interrupt receive: each hardware RX interrupt posts
+    /// harvested frames and rings the data-path doorbell from a work
+    /// item (the default, matching the kernel driver's shape).
+    #[default]
+    Interrupt,
+    /// Budgeted poll receive: the first RX interrupt masks further RX
+    /// interrupts; from then on a periodic tick probes the ring with
+    /// [`DataPathEnd::poll_and_reclaim`](decaf_xpc::DataPathEnd::poll_and_reclaim)
+    /// under [`RX_POLL_BUDGET`].
+    Poll,
+}
+
+/// Virtual-time period of the poll-mode receive tick.
+pub const RX_POLL_TICK_NS: u64 = 50_000;
+
+/// Descriptors one poll-mode tick may consume before yielding.
+pub const RX_POLL_BUDGET: usize = 64;
+
 /// The shmring data-path pieces of one installed driver build: the TX
 /// and RX descriptor paths, the interrupt handler that feeds them, and
 /// the coalescing poll timer.
@@ -21,6 +51,8 @@ pub struct ShmDataPath {
     pub irq_handler: IrqHandler,
     /// The periodic deadline-flush timer.
     pub poll_timer: TimerId,
+    /// The poll-mode receive tick ([`RxMode::Poll`] builds only).
+    pub rx_poll_timer: Option<TimerId>,
 }
 
 /// Builds the netdev transmit op for a shmring TX path: frames post

@@ -70,6 +70,13 @@ impl DoorbellPolicy {
     pub fn rang(&self) {
         self.armed_at.set(None);
     }
+
+    /// Re-anchors (or disarms, with `None`) the deadline explicitly —
+    /// used when the oldest parked item is dropped rather than flushed,
+    /// so the window is measured from the oldest *surviving* post.
+    pub fn rearm(&self, at_ns: Option<u64>) {
+        self.armed_at.set(at_ns);
+    }
 }
 
 #[cfg(test)]

@@ -65,3 +65,10 @@ pub const SECTOR_MAP_NS: u64 = 200;
 /// posted work indefinitely while high-rate paths amortize the crossing
 /// over a watermark's worth of descriptors.
 pub const DOORBELL_COALESCE_NS: u64 = 100_000;
+/// One budgeted poll-mode probe of a ring's head cache line: a read of
+/// the producer index plus the branch — what a poll-mode receive loop
+/// pays per iteration *instead of* interrupt entry and doorbell
+/// crossings. Cheap per probe, but charged continuously whether or not
+/// traffic arrives: the interrupt-vs-poll crossover falls out of this
+/// trade.
+pub const POLL_SPIN_NS: u64 = 120;

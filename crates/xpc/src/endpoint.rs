@@ -30,16 +30,27 @@
 //! share one seen-table (cross-call structure sharing) and the flush is
 //! charged one crossing, not one per call.
 //!
+//! On an *async* transport ([`TransportKind::Async`]), a flush goes one
+//! step further: it **launches** the crossing instead of blocking on it.
+//! [`XpcChannel::call_async`] returns a
+//! [`crate::transport::CompletionToken`]; the batch's crossing latency is
+//! banked at launch and settled by [`XpcChannel::harvest`] (or
+//! [`XpcChannel::wait_token`]) — computation that ran while the crossing
+//! was in flight counts as overlap ([`ChannelStats::overlap_ns`]), and
+//! only the *uncovered* remainder is charged as wait. Data effects
+//! (unmarshal, dispatch, out-parameters) still land at flush time; only
+//! the latency accounting is deferred.
+//!
 //! A panic in a user-level handler is caught and surfaced as
 //! [`XpcError::DecafFault`]: the kernel side survives, as it would with a
 //! crashed user process.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
-use decaf_simkernel::{costs, Kernel, ViolationKind};
+use decaf_simkernel::{costs, CpuClass, Kernel, ViolationKind};
 use decaf_xdr::graph::{self, CAddr, DeltaHook, NoDelta, ObjHeap};
 use decaf_xdr::mask::{Direction, MaskSet};
 use decaf_xdr::{XdrSpec, XdrValue};
@@ -47,7 +58,7 @@ use decaf_xdr::{XdrSpec, XdrValue};
 use crate::domain::Domain;
 use crate::error::{XpcError, XpcResult};
 use crate::tracker::{ObjectTracker, TrackerStats};
-use crate::transport::{self, DeferredCall, Transport, TransportKind};
+use crate::transport::{self, CompletionToken, DeferredCall, Transport, TransportKind};
 
 /// Static configuration of a channel.
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +80,14 @@ pub struct ChannelConfig {
     /// shared buffer pool and only 16-byte descriptors plus a coalesced
     /// doorbell cross the boundary. Control paths are unaffected.
     pub shmring: bool,
+    /// Flush watermark of a queueing transport: deferred calls queued
+    /// beyond this point force a flush. Ignored by non-queueing
+    /// transports.
+    pub batch_capacity: usize,
+    /// Adaptive-batching deadline of a queueing transport: a partial
+    /// batch flushes once its oldest call has waited this much virtual
+    /// time. Ignored by non-queueing transports.
+    pub batch_deadline_ns: u64,
 }
 
 impl ChannelConfig {
@@ -82,6 +101,8 @@ impl ChannelConfig {
             transport: TransportKind::InProc,
             delta: false,
             shmring: false,
+            batch_capacity: transport::DEFAULT_BATCH_CAPACITY,
+            batch_deadline_ns: transport::DEFAULT_BATCH_DEADLINE_NS,
         }
     }
 
@@ -90,11 +111,9 @@ impl ChannelConfig {
     /// their configuration/control paths.
     pub fn kernel_user_batched() -> Self {
         ChannelConfig {
-            domain_crossing: true,
-            cross_language: true,
             transport: TransportKind::Batched,
             delta: true,
-            shmring: false,
+            ..ChannelConfig::kernel_user()
         }
     }
 
@@ -111,14 +130,34 @@ impl ChannelConfig {
         }
     }
 
+    /// The completion-based kernel↔user configuration: everything
+    /// [`ChannelConfig::kernel_user_batched`] does, but flushes *launch*
+    /// the boundary crossing instead of blocking on it — the crossing's
+    /// latency is charged at harvest time, net of whatever computation
+    /// overlapped it.
+    pub fn kernel_user_async() -> Self {
+        ChannelConfig {
+            transport: TransportKind::Async,
+            ..ChannelConfig::kernel_user_batched()
+        }
+    }
+
+    /// The async data-path configuration: [`ChannelConfig::kernel_user_async`]
+    /// plus a shared-memory descriptor ring for payloads — doorbells
+    /// launch, descriptors ride rings, payload bytes never touch the
+    /// marshaler, and crossing latency hides behind driver computation.
+    pub fn kernel_user_async_shmring() -> Self {
+        ChannelConfig {
+            shmring: true,
+            ..ChannelConfig::kernel_user_async()
+        }
+    }
+
     /// A same-process C↔Java channel (driver library ↔ decaf driver).
     pub fn cross_language_only() -> Self {
         ChannelConfig {
             domain_crossing: false,
-            cross_language: true,
-            transport: TransportKind::InProc,
-            delta: false,
-            shmring: false,
+            ..ChannelConfig::kernel_user()
         }
     }
 }
@@ -157,6 +196,21 @@ pub struct ChannelStats {
     pub doorbells: u64,
     /// Highest data-path ring occupancy observed.
     pub ring_occupancy_hwm: u64,
+    /// Completion tokens issued by async calls (every async call gets
+    /// one; on a non-async transport the call resolves synchronously and
+    /// the token is born resolved).
+    pub tokens_issued: u64,
+    /// Tokens resolved by harvest (or synchronously, on a non-async
+    /// transport). Conservation: `tokens_issued == tokens_harvested +
+    /// tokens_cancelled` once the channel quiesces.
+    pub tokens_harvested: u64,
+    /// Tokens cancelled by fault recovery before their call launched.
+    pub tokens_cancelled: u64,
+    /// Crossing latency hidden behind computation: the portion of
+    /// launched crossings that had already elapsed by harvest time.
+    /// Overlap is the async transport's whole payoff — `wait = cost −
+    /// overlap`, so async busy time never exceeds batched busy time.
+    pub overlap_ns: u64,
 }
 
 impl ChannelStats {
@@ -189,6 +243,10 @@ impl ChannelStats {
         self.ring_posts += other.ring_posts;
         self.doorbells += other.doorbells;
         self.ring_occupancy_hwm = self.ring_occupancy_hwm.max(other.ring_occupancy_hwm);
+        self.tokens_issued += other.tokens_issued;
+        self.tokens_harvested += other.tokens_harvested;
+        self.tokens_cancelled += other.tokens_cancelled;
+        self.overlap_ns += other.overlap_ns;
     }
 }
 
@@ -259,6 +317,16 @@ impl DomainEnd {
     }
 }
 
+/// One launched flush on an async transport: the batch's tokens plus
+/// the crossing latency banked at launch time, settled at harvest.
+#[derive(Debug)]
+struct LaunchedBatch {
+    tokens: Vec<CompletionToken>,
+    class: CpuClass,
+    launched_at: u64,
+    cost_ns: u64,
+}
+
 /// A two-ended XPC channel: stub layer plus a pluggable transport.
 pub struct XpcChannel {
     spec: XdrSpec,
@@ -268,6 +336,19 @@ pub struct XpcChannel {
     a: DomainEnd,
     b: DomainEnd,
     stats: Cell<ChannelStats>,
+    /// True while a flush on an async transport is pricing its two
+    /// crossings: `charge_transfer` banks the cost instead of charging.
+    launching: Cell<bool>,
+    /// Crossing cost accumulated by the in-progress launch.
+    launch_cost: Cell<u64>,
+    /// Launched-but-unharvested batches, in launch order.
+    launched: RefCell<VecDeque<LaunchedBatch>>,
+    /// Tokens issued and not yet harvested or cancelled.
+    outstanding: RefCell<HashSet<u64>>,
+    /// Token numbers for calls that resolved synchronously (degraded
+    /// mode on a non-async transport, or per-call fallback): a disjoint
+    /// high range so they can never collide with transport-minted ones.
+    next_sync_token: Cell<u64>,
 }
 
 impl XpcChannel {
@@ -295,10 +376,19 @@ impl XpcChannel {
             spec,
             masks,
             config,
-            transport: transport::build(config.transport),
+            transport: transport::build(
+                config.transport,
+                config.batch_capacity,
+                config.batch_deadline_ns,
+            ),
             a: DomainEnd::new(a, a.heap_base() + heap_offset),
             b: DomainEnd::new(b, b.heap_base() + heap_offset),
             stats: Cell::new(ChannelStats::default()),
+            launching: Cell::new(false),
+            launch_cost: Cell::new(0),
+            launched: RefCell::new(VecDeque::new()),
+            outstanding: RefCell::new(HashSet::new()),
+            next_sync_token: Cell::new(1 << 63),
         }
     }
 
@@ -440,7 +530,8 @@ impl XpcChannel {
         *e.tracker.borrow_mut() = ObjectTracker::new();
         e.delta.borrow_mut().clear();
         self.peer(domain)?.delta.borrow_mut().clear();
-        self.transport.retain(&|c| c.from != domain);
+        let cancelled = self.transport.retain(&|c| c.from != domain);
+        self.cancel_tokens(&cancelled);
         Ok(())
     }
 
@@ -458,8 +549,18 @@ impl XpcChannel {
     fn charge_transfer(&self, kernel: &Kernel, payer: Domain, bytes: usize) {
         self.bump(|s| s.one_way_crossings += 1);
         let class = payer.cpu_class();
-        self.transport
-            .charge_crossing(kernel, class, self.config.domain_crossing);
+        if self.launching.get() {
+            // An async launch banks the crossing latency for harvest to
+            // settle; the marshal work below is CPU time spent *now* and
+            // is charged regardless.
+            self.launch_cost.set(
+                self.launch_cost.get()
+                    + self.transport.crossing_cost_ns(self.config.domain_crossing),
+            );
+        } else {
+            self.transport
+                .charge_crossing(kernel, class, self.config.domain_crossing);
+        }
         kernel.charge(class, bytes as u64 * costs::MARSHAL_BYTE_NS);
     }
 
@@ -619,6 +720,10 @@ impl XpcChannel {
         args: &[Option<CAddr>],
         scalars: &[XdrValue],
     ) -> XpcResult<XdrValue> {
+        debug_assert!(
+            !self.launching.get(),
+            "synchronous call entered while a launch was pricing its crossings"
+        );
         let caller = self.end(from)?;
         let target = self.peer(from)?;
         self.record_atomic_violation(kernel, target, proc);
@@ -704,9 +809,16 @@ impl XpcChannel {
             proc: proc.to_string(),
             args: args.to_vec(),
             scalars: scalars.to_vec(),
+            token: None,
         };
         match self.transport.offer(kernel, from.cpu_class(), call) {
-            Ok(()) => {
+            Ok(maybe_token) => {
+                // On a completion-based transport every deferred call is
+                // token-tracked, whoever enqueued it.
+                if let Some(token) = maybe_token {
+                    self.outstanding.borrow_mut().insert(token.0);
+                    self.bump(|s| s.tokens_issued += 1);
+                }
                 self.bump(|s| s.deferred_calls += 1);
                 if self.transport.flush_due(kernel) {
                     self.flush(kernel)?;
@@ -717,6 +829,187 @@ impl XpcChannel {
                 .call(kernel, from, &call.proc, &call.args, &call.scalars)
                 .map(|_| ()),
         }
+    }
+
+    /// Issues a result-free call asynchronously, returning a
+    /// [`CompletionToken`] that resolves when the call's launch crossing
+    /// is harvested. On a non-async transport the call degrades to the
+    /// transport's own policy (batched deferral or a synchronous call)
+    /// and the token is born resolved — drivers use one code path, the
+    /// transport decides how asynchronous it really is.
+    pub fn call_async(
+        &self,
+        kernel: &Kernel,
+        from: Domain,
+        proc: &str,
+        args: &[Option<CAddr>],
+        scalars: &[XdrValue],
+    ) -> XpcResult<CompletionToken> {
+        let target = self.peer(from)?;
+        self.lookup_proc(target, proc)?;
+        let call = DeferredCall {
+            from,
+            proc: proc.to_string(),
+            args: args.to_vec(),
+            scalars: scalars.to_vec(),
+            token: None,
+        };
+        match self.transport.offer(kernel, from.cpu_class(), call) {
+            Ok(Some(token)) => {
+                self.outstanding.borrow_mut().insert(token.0);
+                self.bump(|s| {
+                    s.deferred_calls += 1;
+                    s.tokens_issued += 1;
+                });
+                if self.transport.flush_due(kernel) {
+                    self.flush(kernel)?;
+                }
+                Ok(token)
+            }
+            Ok(None) => {
+                // Batched transport: the call is parked but completion is
+                // not tracked — the token resolves with the next flush,
+                // which is synchronous on this transport.
+                self.bump(|s| {
+                    s.deferred_calls += 1;
+                    s.tokens_issued += 1;
+                    s.tokens_harvested += 1;
+                });
+                if self.transport.flush_due(kernel) {
+                    self.flush(kernel)?;
+                }
+                Ok(self.mint_sync_token())
+            }
+            Err(call) => {
+                self.call(kernel, from, &call.proc, &call.args, &call.scalars)?;
+                self.bump(|s| {
+                    s.tokens_issued += 1;
+                    s.tokens_harvested += 1;
+                });
+                Ok(self.mint_sync_token())
+            }
+        }
+    }
+
+    /// A pre-resolved token from the disjoint synchronous range.
+    fn mint_sync_token(&self) -> CompletionToken {
+        let t = CompletionToken(self.next_sync_token.get());
+        self.next_sync_token.set(t.0 + 1);
+        t
+    }
+
+    /// Re-parks a deferred call taken out by [`XpcChannel::take_deferred`]
+    /// (the fault-recovery requeue path). The call keeps its completion
+    /// token if it has one — requeuing never re-issues — so conservation
+    /// (`tokens_issued == tokens_harvested + tokens_cancelled`) holds
+    /// across recovery. On a non-queueing transport the call executes
+    /// synchronously and its token (if any) resolves immediately.
+    pub fn requeue_deferred(&self, kernel: &Kernel, call: DeferredCall) -> XpcResult<()> {
+        let target = self.peer(call.from)?;
+        self.lookup_proc(target, &call.proc)?;
+        let token = call.token;
+        match self.transport.offer(kernel, call.from.cpu_class(), call) {
+            Ok(_) => {
+                self.bump(|s| s.deferred_calls += 1);
+                Ok(())
+            }
+            Err(call) => {
+                self.call(kernel, call.from, &call.proc, &call.args, &call.scalars)?;
+                if let Some(t) = token {
+                    self.resolve_tokens(&[t]);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Marks tokens resolved: removes them from the outstanding set and
+    /// counts them harvested.
+    fn resolve_tokens(&self, tokens: &[CompletionToken]) {
+        let mut outstanding = self.outstanding.borrow_mut();
+        let mut resolved = 0u64;
+        for t in tokens {
+            if outstanding.remove(&t.0) {
+                resolved += 1;
+            }
+        }
+        drop(outstanding);
+        if resolved > 0 {
+            self.bump(|s| s.tokens_harvested += resolved);
+        }
+    }
+
+    /// Cancels tokens whose calls were dropped before launching (fault
+    /// recovery): removes them from the outstanding set and counts them
+    /// cancelled, never harvested.
+    pub fn cancel_tokens(&self, tokens: &[CompletionToken]) {
+        let mut outstanding = self.outstanding.borrow_mut();
+        let mut cancelled = 0u64;
+        for t in tokens {
+            if outstanding.remove(&t.0) {
+                cancelled += 1;
+            }
+        }
+        drop(outstanding);
+        if cancelled > 0 {
+            self.bump(|s| s.tokens_cancelled += cancelled);
+        }
+    }
+
+    /// Tokens issued and not yet harvested or cancelled.
+    pub fn tokens_outstanding(&self) -> usize {
+        self.outstanding.borrow().len()
+    }
+
+    /// Harvests every launched batch: settles each batch's banked
+    /// crossing latency against the virtual time that elapsed since its
+    /// launch — elapsed time is *overlap* (the crossing was hidden
+    /// behind computation or idle latency), only the uncovered remainder
+    /// is charged as wait. Returns the resolved tokens.
+    pub fn harvest(&self, kernel: &Kernel) -> Vec<CompletionToken> {
+        let mut resolved = Vec::new();
+        loop {
+            let Some(batch) = self.launched.borrow_mut().pop_front() else {
+                break;
+            };
+            let elapsed = kernel.now_ns().saturating_sub(batch.launched_at);
+            let covered = elapsed.min(batch.cost_ns);
+            let uncovered = batch.cost_ns - covered;
+            if uncovered > 0 {
+                kernel.charge(batch.class, uncovered);
+            }
+            self.bump(|s| s.overlap_ns += covered);
+            self.resolve_tokens(&batch.tokens);
+            resolved.extend(batch.tokens);
+        }
+        resolved
+    }
+
+    /// Resolves one token: flushes the queue if the token's call has not
+    /// launched yet, then harvests. Returns every token resolved along
+    /// the way (harvest settles whole batches, never single calls).
+    pub fn wait_token(
+        &self,
+        kernel: &Kernel,
+        token: CompletionToken,
+    ) -> XpcResult<Vec<CompletionToken>> {
+        if !self.outstanding.borrow().contains(&token.0) {
+            return Ok(Vec::new());
+        }
+        let launched = self
+            .launched
+            .borrow()
+            .iter()
+            .any(|b| b.tokens.contains(&token));
+        if !launched {
+            self.flush(kernel)?;
+        }
+        let resolved = self.harvest(kernel);
+        debug_assert!(
+            !self.outstanding.borrow().contains(&token.0),
+            "wait_token must resolve its token"
+        );
+        Ok(resolved)
     }
 
     /// Flushes the deferred queue only if the transport says a flush is
@@ -744,7 +1037,13 @@ impl XpcChannel {
     pub fn flush(&self, kernel: &Kernel) -> XpcResult<()> {
         // A flushed handler may defer again; bound the ping-pong.
         for _ in 0..64 {
+            let pending_before = self.transport.pending();
             let queue = self.transport.drain();
+            debug_assert!(
+                pending_before > 0 || queue.is_empty(),
+                "transport reported pending() == 0 but drained {} calls",
+                queue.len()
+            );
             if queue.is_empty() {
                 return Ok(());
             }
@@ -756,6 +1055,10 @@ impl XpcChannel {
                     .position(|c| c.from != from)
                     .map_or(queue.len(), |p| i + p);
                 if self.flush_group(kernel, &queue[i..end]).is_err() {
+                    // A failed group launch banks nothing: clear the
+                    // launch bracket and any partially accumulated cost.
+                    self.launching.set(false);
+                    self.launch_cost.set(0);
                     for call in &queue[i..end] {
                         let one = self.call_inner(
                             kernel,
@@ -770,6 +1073,12 @@ impl XpcChannel {
                             Err(XpcError::DecafFault(_)) => {}
                             Err(_) => self.bump(|s| s.faults += 1),
                         }
+                        // The per-call fallback is synchronous: the
+                        // call's token (fault or not, the call is done)
+                        // resolves here.
+                        if let Some(t) = call.token {
+                            self.resolve_tokens(&[t]);
+                        }
                     }
                 }
                 i = end;
@@ -781,8 +1090,12 @@ impl XpcChannel {
     }
 
     /// Executes one same-direction batch of deferred calls as a single
-    /// crossing.
+    /// crossing — *launched* rather than waited on, on an async
+    /// transport: the two crossing charges are banked against the
+    /// batch's tokens and settled at harvest, while the data effects
+    /// (unmarshal, dispatch, out-parameter return) land right here.
     fn flush_group(&self, kernel: &Kernel, group: &[DeferredCall]) -> XpcResult<()> {
+        let launch = self.transport.kind() == TransportKind::Async;
         let from = group[0].from;
         let caller = self.end(from)?;
         let target = self.peer(from)?;
@@ -807,7 +1120,14 @@ impl XpcChannel {
             .sum();
         let wire_in = self.marshal_from(kernel, caller, &all_roots, Direction::In)?;
         self.bump(|s| s.bytes_in += (wire_in.len() + scalar_in) as u64);
+        if launch {
+            self.launching.set(true);
+        }
         self.charge_transfer(kernel, from, wire_in.len() + scalar_in);
+        // Nested synchronous calls made by the handlers below must price
+        // their own crossings normally — the bracket covers only this
+        // batch's two transfers.
+        self.launching.set(false);
 
         let locals = self.unmarshal_into(
             kernel,
@@ -837,8 +1157,24 @@ impl XpcChannel {
         // One return crossing updates every caller-side object.
         let wire_out = self.marshal_from(kernel, target, &locals, Direction::Out)?;
         self.bump(|s| s.bytes_out += wire_out.len() as u64);
+        if launch {
+            self.launching.set(true);
+        }
         self.charge_transfer(kernel, target.domain, wire_out.len());
+        self.launching.set(false);
         self.unmarshal_into(kernel, caller, &wire_out, &all_types, Direction::Out, 0)?;
+
+        if launch {
+            // Bank the batch's crossing latency for harvest to settle:
+            // elapsed virtual time from here on covers it as overlap.
+            let cost_ns = self.launch_cost.take();
+            self.launched.borrow_mut().push_back(LaunchedBatch {
+                tokens: group.iter().filter_map(|c| c.token).collect(),
+                class: from.cpu_class(),
+                launched_at: kernel.now_ns(),
+                cost_ns,
+            });
+        }
 
         self.bump(|s| {
             s.round_trips += 1;
@@ -1317,10 +1653,20 @@ mod tests {
     #[test]
     fn batched_queue_flushes_at_capacity() {
         let k = Kernel::new();
-        let ch = batched_channel();
+        let config = ChannelConfig {
+            batch_capacity: 5,
+            ..ChannelConfig::kernel_user_batched()
+        };
+        let ch = XpcChannel::new(
+            spec(),
+            MaskSet::full(),
+            config,
+            Domain::Nucleus,
+            Domain::Decaf,
+        );
         register_noop(&ch, "touch");
         let adapter = alloc_adapter(&ch);
-        for _ in 0..crate::transport::DEFAULT_BATCH_CAPACITY {
+        for _ in 0..config.batch_capacity {
             ch.call_deferred(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
                 .unwrap();
         }
@@ -1462,9 +1808,19 @@ mod tests {
         // reset drops the dead domain's deferred calls; the survivors'
         // deadline must then be measured from their own defer times, not
         // from the dropped (older) call the shared anchor used to track.
-        use crate::transport::DEFAULT_BATCH_DEADLINE_NS as WINDOW;
+        const WINDOW: u64 = 50_000;
         let k = Kernel::new();
-        let ch = batched_channel();
+        let config = ChannelConfig {
+            batch_deadline_ns: WINDOW,
+            ..ChannelConfig::kernel_user_batched()
+        };
+        let ch = XpcChannel::new(
+            spec(),
+            MaskSet::full(),
+            config,
+            Domain::Nucleus,
+            Domain::Decaf,
+        );
         register_noop(&ch, "touch");
         ch.register_proc(
             Domain::Nucleus,
@@ -1582,5 +1938,221 @@ mod tests {
         ch.call(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
             .unwrap();
         assert_eq!(ch.heap(Domain::Decaf).borrow().len(), 2);
+    }
+
+    fn async_channel() -> XpcChannel {
+        XpcChannel::new(
+            spec(),
+            MaskSet::full(),
+            ChannelConfig::kernel_user_async(),
+            Domain::Nucleus,
+            Domain::Decaf,
+        )
+    }
+
+    #[test]
+    fn async_flush_launches_and_harvest_settles_overlap() {
+        let k = Kernel::new();
+        let ch = async_channel();
+        register_noop(&ch, "touch");
+        let adapter = alloc_adapter(&ch);
+        let t = ch
+            .call_async(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+        assert_eq!(ch.tokens_outstanding(), 1);
+        ch.flush(&k).unwrap();
+        // The launch charged marshal work but banked the two crossing
+        // latencies (2 × (DOMAIN_CROSSING + BATCH_DOORBELL)).
+        let banked = 2 * (costs::DOMAIN_CROSSING_NS + costs::BATCH_DOORBELL_NS);
+        assert_eq!(ch.stats().flushes, 1, "flush launched the batch");
+        // Idle latency fully covers the crossings: harvest charges zero.
+        k.run_for(banked);
+        let busy_mid = k.snapshot().kernel_busy_ns;
+        let resolved = ch.harvest(&k);
+        assert_eq!(resolved, vec![t]);
+        assert_eq!(
+            k.snapshot().kernel_busy_ns,
+            busy_mid,
+            "a fully covered crossing charges nothing at harvest"
+        );
+        let s = ch.stats();
+        assert_eq!(s.overlap_ns, banked, "whole crossing was overlap");
+        assert_eq!(s.tokens_issued, 1);
+        assert_eq!(s.tokens_harvested, 1);
+        assert_eq!(ch.tokens_outstanding(), 0);
+    }
+
+    #[test]
+    fn async_immediate_harvest_charges_full_cost() {
+        let k = Kernel::new();
+        let ch = async_channel();
+        register_noop(&ch, "touch");
+        let adapter = alloc_adapter(&ch);
+        ch.call_async(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+        ch.flush(&k).unwrap();
+        // No time passes between launch and harvest: zero overlap, the
+        // full crossing latency lands as wait — exactly what Batched
+        // would have charged at flush time.
+        let busy_before = k.snapshot().kernel_busy_ns;
+        ch.harvest(&k);
+        let charged = k.snapshot().kernel_busy_ns - busy_before;
+        assert_eq!(
+            charged,
+            2 * (costs::DOMAIN_CROSSING_NS + costs::BATCH_DOORBELL_NS)
+        );
+        assert_eq!(ch.stats().overlap_ns, 0);
+    }
+
+    #[test]
+    fn wait_token_flushes_unlaunched_call_and_resolves() {
+        let k = Kernel::new();
+        let ch = async_channel();
+        register_noop(&ch, "touch");
+        let adapter = alloc_adapter(&ch);
+        let t = ch
+            .call_async(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+        assert_eq!(ch.pending_deferred(), 1, "still parked");
+        let resolved = ch.wait_token(&k, t).unwrap();
+        assert!(resolved.contains(&t));
+        assert_eq!(ch.tokens_outstanding(), 0);
+        // Waiting again on a resolved token is a no-op.
+        assert!(ch.wait_token(&k, t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn async_degrades_on_non_async_transports_with_resolved_tokens() {
+        let k = Kernel::new();
+        for config in [
+            ChannelConfig::kernel_user(),
+            ChannelConfig::kernel_user_batched(),
+        ] {
+            let ch = XpcChannel::new(
+                spec(),
+                MaskSet::full(),
+                config,
+                Domain::Nucleus,
+                Domain::Decaf,
+            );
+            register_noop(&ch, "touch");
+            let adapter = alloc_adapter(&ch);
+            let t = ch
+                .call_async(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+                .unwrap();
+            assert_eq!(ch.tokens_outstanding(), 0, "token born resolved");
+            assert!(ch.wait_token(&k, t).unwrap().is_empty());
+            ch.flush(&k).unwrap();
+            let s = ch.stats();
+            assert_eq!(s.tokens_issued, 1);
+            assert_eq!(s.tokens_harvested, 1);
+            assert_eq!(s.overlap_ns, 0, "nothing launches on a sync transport");
+        }
+    }
+
+    #[test]
+    fn reset_end_cancels_unlaunched_tokens() {
+        let k = Kernel::new();
+        let ch = async_channel();
+        ch.register_proc(
+            Domain::Nucleus,
+            ProcDef {
+                name: "writel".into(),
+                arg_types: vec![],
+                handler: Rc::new(|_, _, _, _| XdrValue::Void),
+            },
+        )
+        .unwrap();
+        register_noop(&ch, "touch");
+        // The decaf driver posts a register write, then faults before it
+        // launches: the token must resolve as cancelled, not leak.
+        ch.call_async(&k, Domain::Decaf, "writel", &[], &[])
+            .unwrap();
+        ch.call_async(&k, Domain::Nucleus, "touch", &[], &[])
+            .unwrap();
+        assert_eq!(ch.tokens_outstanding(), 2);
+        ch.reset_end(Domain::Decaf).unwrap();
+        let s = ch.stats();
+        assert_eq!(s.tokens_cancelled, 1, "the decaf call was cancelled");
+        assert_eq!(ch.tokens_outstanding(), 1, "the nucleus call survives");
+        ch.flush(&k).unwrap();
+        ch.harvest(&k);
+        let s = ch.stats();
+        assert_eq!(s.tokens_issued, s.tokens_harvested + s.tokens_cancelled);
+        assert_eq!(ch.tokens_outstanding(), 0);
+    }
+
+    #[test]
+    fn failed_async_batch_resolves_tokens_via_fallback() {
+        let k = Kernel::new();
+        let ch = async_channel();
+        register_noop(&ch, "touch");
+        let ran = Rc::new(Cell::new(0u32));
+        let r = Rc::clone(&ran);
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "count".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |_, _, _, _| {
+                    r.set(r.get() + 1);
+                    XdrValue::Void
+                }),
+            },
+        )
+        .unwrap();
+        let adapter = alloc_adapter(&ch);
+        ch.call_async(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+            .unwrap();
+        ch.call_async(&k, Domain::Nucleus, "count", &[], &[])
+            .unwrap();
+        // Yank the first call's argument: the batch launch fails and the
+        // per-call fallback runs synchronously — tokens must still
+        // resolve exactly once.
+        ch.heap(Domain::Nucleus).borrow_mut().free(adapter);
+        ch.flush(&k).unwrap();
+        assert_eq!(ran.get(), 1);
+        let s = ch.stats();
+        assert_eq!(s.tokens_issued, 2);
+        assert_eq!(s.tokens_harvested, 2, "fallback resolves synchronously");
+        assert_eq!(ch.tokens_outstanding(), 0);
+        assert!(ch.harvest(&k).is_empty(), "nothing was launched");
+    }
+
+    #[test]
+    fn async_busy_time_never_exceeds_batched() {
+        // The acceptance property in miniature: the same deferred
+        // workload, paced identically, costs no more busy time on async
+        // than on batched — uncovered ≤ full cost by construction.
+        let run = |config: ChannelConfig| {
+            let k = Kernel::new();
+            let ch = XpcChannel::new(
+                spec(),
+                MaskSet::full(),
+                config,
+                Domain::Nucleus,
+                Domain::Decaf,
+            );
+            register_noop(&ch, "touch");
+            let adapter = alloc_adapter(&ch);
+            for _ in 0..40 {
+                ch.call_deferred(&k, Domain::Nucleus, "touch", &[Some(adapter)], &[])
+                    .unwrap();
+                k.run_for(5_000);
+                ch.flush_if_due(&k).unwrap();
+            }
+            ch.flush(&k).unwrap();
+            ch.harvest(&k);
+            let snap = k.snapshot();
+            (snap.kernel_busy_ns + snap.user_busy_ns, ch.stats())
+        };
+        let (batched_busy, _) = run(ChannelConfig::kernel_user_batched());
+        let (async_busy, s) = run(ChannelConfig::kernel_user_async());
+        assert!(
+            async_busy <= batched_busy,
+            "async ({async_busy}) must not exceed batched ({batched_busy})"
+        );
+        assert!(s.overlap_ns > 0, "paced workload hides crossing latency");
+        assert_eq!(s.tokens_issued, s.tokens_harvested + s.tokens_cancelled);
     }
 }

@@ -7,8 +7,10 @@
 //! 1. **Control transfer** — procedure-call semantics across the
 //!    kernel/user boundary (block and wait), behind the pluggable
 //!    [`transport::Transport`] trait: thread reuse, dedicated-thread
-//!    handoff, or deferred-call batching that flushes many calls in one
-//!    crossing.
+//!    handoff, deferred-call batching that flushes many calls in one
+//!    crossing, or completion-based async launches whose crossing cost is
+//!    banked against a [`transport::CompletionToken`] and settled — net of
+//!    whatever computation overlapped the crossing — at harvest time.
 //! 2. **Object transfer** — field-selective XDR marshaling of structures
 //!    ([`decaf_xdr`]).
 //! 3. **Object sharing** — an [`tracker::ObjectTracker`] records each
@@ -75,5 +77,7 @@ pub use runtime::{DecafRuntime, NuclearRuntime};
 pub use shard::{ShardPolicy, ShardedChannel, MAX_SHARDS, SHARD_HEAP_STRIDE};
 pub use shardurb::ShardedUrbPath;
 pub use tracker::{ObjectTracker, TrackerStats};
-pub use transport::{Batched, DeferredCall, InProc, Threaded, Transport, TransportKind};
+pub use transport::{
+    Async, Batched, CompletionToken, DeferredCall, InProc, Threaded, Transport, TransportKind,
+};
 pub use urbpath::{UrbDataPath, UrbEnd, UrbPathStats, UrbReclaim};

@@ -306,6 +306,40 @@ impl ShardedChannel {
         })
     }
 
+    /// An asynchronous (completion-token) call through the facade;
+    /// steered like [`ShardedChannel::call_deferred`]. The token belongs
+    /// to the steered shard's channel — harvest it per shard, or sweep
+    /// every shard with [`ShardedChannel::harvest_all`].
+    pub fn call_async(
+        &self,
+        kernel: &Kernel,
+        from: Domain,
+        proc: &str,
+        args: &[Option<CAddr>],
+        scalars: &[XdrValue],
+    ) -> XpcResult<crate::transport::CompletionToken> {
+        let shard = self.steer(proc, args, None)?;
+        kernel.shard_scope(shard, || {
+            self.shards[shard].call_async(kernel, from, proc, args, scalars)
+        })
+    }
+
+    /// Harvests every shard's launched batches (settling each banked
+    /// crossing against the time that elapsed since its launch); returns
+    /// how many tokens resolved across the facade.
+    pub fn harvest_all(&self, kernel: &Kernel) -> usize {
+        let mut resolved = 0;
+        for (i, ch) in self.shards.iter().enumerate() {
+            resolved += kernel.shard_scope(i, || ch.harvest(kernel).len());
+        }
+        resolved
+    }
+
+    /// Completion tokens outstanding across all shards.
+    pub fn tokens_outstanding(&self) -> usize {
+        self.shards.iter().map(|ch| ch.tokens_outstanding()).sum()
+    }
+
     /// A deferred scalar-only call steered by an explicit flow key.
     pub fn call_deferred_flow(
         &self,
@@ -396,26 +430,42 @@ impl ShardedChannel {
 
     /// Recovers shard `shard` after its `failed` end died mid-burst:
     ///
-    /// 1. takes every deferred call parked in the shard's transport;
-    /// 2. resets the failed end (heap, tracker, both delta maps — so no
-    ///    later transfer delta-encodes against vanished state);
-    /// 3. requeues the calls that did *not* originate at the failed end
-    ///    (those died with their domain) onto the fresh channel.
+    /// 1. harvests the shard's already-launched batches first — a
+    ///    launched call's effects landed before the fault, so its token
+    ///    resolves as harvested, never lost to the reset;
+    /// 2. takes every still-parked deferred call out of the transport;
+    /// 3. resets the failed end (heap, tracker, both delta maps — so no
+    ///    later transfer delta-encodes against vanished state), which
+    ///    cancels the tokens of calls originating there;
+    /// 4. requeues the calls that did *not* originate at the failed end
+    ///    (those died with their domain) onto the fresh channel, each
+    ///    keeping its original completion token — requeuing never
+    ///    re-issues, so `tokens_issued == tokens_harvested +
+    ///    tokens_cancelled` holds across recovery.
     ///
     /// Each surviving call applies exactly once: calls already flushed
     /// before the fault are not requeued, and the taken queue is the
     /// not-yet-applied remainder. Returns the number of requeued calls.
     pub fn recover_shard(&self, kernel: &Kernel, shard: usize, failed: Domain) -> XpcResult<usize> {
         let ch = &self.shards[shard];
+        kernel.shard_scope(shard, || {
+            let _ = ch.harvest(kernel);
+        });
         let parked = ch.take_deferred();
         ch.reset_end(failed)?;
         let mut requeued = 0;
-        for call in parked.into_iter().filter(|c| c.from != failed) {
-            kernel.shard_scope(shard, || {
-                ch.call_deferred(kernel, call.from, &call.proc, &call.args, &call.scalars)
-            })?;
+        let mut cancelled = Vec::new();
+        for call in parked {
+            if call.from == failed {
+                // Died with its domain: the call never applies, its
+                // token resolves as cancelled.
+                cancelled.extend(call.token);
+                continue;
+            }
+            kernel.shard_scope(shard, || ch.requeue_deferred(kernel, call))?;
             requeued += 1;
         }
+        ch.cancel_tokens(&cancelled);
         Ok(requeued)
     }
 }
@@ -439,11 +489,16 @@ mod tests {
         XdrSpec::parse("struct st { int id; int value; };").unwrap()
     }
 
-    fn sharded(n: usize, policy: ShardPolicy) -> Rc<ShardedChannel> {
+    /// Coalescing window used by the deadline-sensitive tests below,
+    /// configured explicitly instead of reaching into transport
+    /// defaults.
+    const WINDOW: u64 = 80_000;
+
+    fn sharded_with(n: usize, policy: ShardPolicy, config: ChannelConfig) -> Rc<ShardedChannel> {
         let sc = ShardedChannel::new(
             spec(),
             MaskSet::full(),
-            ChannelConfig::kernel_user_batched(),
+            config,
             Domain::Nucleus,
             Domain::Decaf,
             n,
@@ -468,6 +523,17 @@ mod tests {
         )
         .unwrap();
         sc
+    }
+
+    fn sharded(n: usize, policy: ShardPolicy) -> Rc<ShardedChannel> {
+        sharded_with(
+            n,
+            policy,
+            ChannelConfig {
+                batch_deadline_ns: WINDOW,
+                ..ChannelConfig::kernel_user_batched()
+            },
+        )
     }
 
     #[test]
@@ -586,7 +652,6 @@ mod tests {
 
     #[test]
     fn flush_if_due_polls_every_shard() {
-        use crate::transport::DEFAULT_BATCH_DEADLINE_NS as WINDOW;
         let sc = sharded(3, ShardPolicy::FlowHash);
         let k = Kernel::new();
         let a = sc.alloc_shared_at(1, Domain::Nucleus, "st").unwrap();
@@ -603,7 +668,6 @@ mod tests {
 
     #[test]
     fn broken_shard_does_not_starve_sibling_flushes() {
-        use crate::transport::DEFAULT_BATCH_DEADLINE_NS as WINDOW;
         let sc = sharded(2, ShardPolicy::FlowHash);
         let k = Kernel::new();
         // Shard 0 hosts a diverging handler: every flush round re-defers
@@ -679,6 +743,58 @@ mod tests {
         assert_eq!(requeued, parked_on_1);
         sc.flush_all(&k).unwrap();
         assert_eq!(hits.get(), 4, "every deferred call applied exactly once");
+        assert_eq!(sc.stats().faults, 0);
+    }
+
+    #[test]
+    fn recover_shard_conserves_tokens_on_async_transport() {
+        let sc = sharded_with(2, ShardPolicy::FlowHash, ChannelConfig::kernel_user_async());
+        let k = Kernel::new();
+        let hits = Rc::new(Cell::new(0u32));
+        let h = Rc::clone(&hits);
+        sc.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "count".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |_, _, _, _| {
+                    h.set(h.get() + 1);
+                    XdrValue::Void
+                }),
+            },
+        )
+        .unwrap();
+        // A decaf-originated downcall registered at the nucleus end, so
+        // fault recovery has something to cancel.
+        sc.register_proc(
+            Domain::Nucleus,
+            ProcDef {
+                name: "writel".into(),
+                arg_types: vec![],
+                handler: Rc::new(|_, _, _, _| XdrValue::Void),
+            },
+        )
+        .unwrap();
+        for flow in 0..4u64 {
+            sc.call_deferred_flow(&k, Domain::Nucleus, flow, "count", &[])
+                .unwrap();
+        }
+        sc.shard(1)
+            .call_async(&k, Domain::Decaf, "writel", &[], &[])
+            .unwrap();
+        let parked_on_1 = sc.shard(1).pending_deferred();
+        assert!(parked_on_1 > 0, "burst reached shard 1");
+        // Shard 1's decaf end dies: its own call cancels, nucleus calls
+        // requeue with their original tokens.
+        let requeued = sc.recover_shard(&k, 1, Domain::Decaf).unwrap();
+        assert!(requeued < parked_on_1, "the decaf call was not requeued");
+        sc.flush_all(&k).unwrap();
+        assert_eq!(sc.harvest_all(&k), 4, "all four surviving tokens resolve");
+        assert_eq!(hits.get(), 4, "every surviving call applied exactly once");
+        let s = sc.stats();
+        assert_eq!(s.tokens_issued, s.tokens_harvested + s.tokens_cancelled);
+        assert_eq!(s.tokens_cancelled, 1);
+        assert_eq!(sc.tokens_outstanding(), 0);
         assert_eq!(sc.stats().faults, 0);
     }
 }

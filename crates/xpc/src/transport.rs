@@ -3,7 +3,7 @@
 //! The paper's XPC hard-wires one policy: reuse the calling thread for
 //! co-located domains (§2.3), schedule a dedicated thread otherwise. This
 //! module turns that choice into a [`Transport`] trait the channel's stub
-//! layer consults for every crossing, with three implementations:
+//! layer consults for every crossing, with four implementations:
 //!
 //! * [`InProc`] — thread reuse, the paper's optimization;
 //! * [`Threaded`] — dedicated-thread handoff, the unoptimized baseline;
@@ -12,15 +12,21 @@
 //!   through the boundary in a single crossing (the doorbell pattern —
 //!   the same lever "The Case for Writing Network Drivers in High-Level
 //!   Programming Languages" identifies as what lets high-level drivers
-//!   match C throughput).
+//!   match C throughput);
+//! * [`Async`] — completion-based batching: every deferred call is
+//!   issued a [`CompletionToken`], the queue launches through the
+//!   boundary when its doorbell fires (watermark or virtual-time
+//!   deadline, [`DoorbellPolicy`] semantics), and the stub layer
+//!   harvests completions later — charging only the portion of each
+//!   crossing that no computation covered.
 //!
-//! The trait is the seam later scaling work builds on: an async transport
-//! or a sharded multi-channel transport plugs in here without touching
-//! the stub layer.
+//! The trait is the seam later scaling work builds on: the stub layer
+//! never knows which policy is behind it.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 
+use decaf_shmring::DoorbellPolicy;
 use decaf_simkernel::{costs, CpuClass, Kernel};
 use decaf_xdr::graph::CAddr;
 use decaf_xdr::XdrValue;
@@ -38,6 +44,10 @@ pub enum TransportKind {
     /// Thread reuse plus deferred-call batching with delta-friendly
     /// flushes.
     Batched,
+    /// Completion-based batching: deferred calls return
+    /// [`CompletionToken`]s, flushes *launch* the crossing instead of
+    /// blocking on it, and the stub layer harvests completions later.
+    Async,
 }
 
 /// Deferred calls queued beyond this point force a flush.
@@ -49,8 +59,15 @@ pub const DEFAULT_BATCH_CAPACITY: usize = 16;
 /// window — both are the same "amortize or bound the latency" decision.
 pub const DEFAULT_BATCH_DEADLINE_NS: u64 = costs::DOORBELL_COALESCE_NS;
 
-/// A call parked in a batched transport's queue: executed at the next
-/// flush, result discarded (only result-free calls should be deferred).
+/// Names one in-flight asynchronous call on a completion-based
+/// transport. Issued at `offer` time, resolved exactly once — harvested
+/// after its launch crossing completes, or cancelled when fault
+/// recovery drops the call before it ever launched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CompletionToken(pub u64);
+
+/// A call parked in a queueing transport: executed at the next flush,
+/// result discarded (only result-free calls should be deferred).
 #[derive(Debug, Clone)]
 pub struct DeferredCall {
     /// Calling domain.
@@ -61,10 +78,20 @@ pub struct DeferredCall {
     pub args: Vec<Option<CAddr>>,
     /// By-value scalar arguments.
     pub scalars: Vec<XdrValue>,
+    /// Completion token, on a completion-based transport. Travels with
+    /// the call through fault-recovery requeues so a recovered call is
+    /// never double-issued.
+    pub token: Option<CompletionToken>,
 }
 
 /// A control-transfer mechanism. The stub layer asks it to price each
 /// one-way crossing and offers it calls for deferral.
+///
+/// `pending`, `flush_due` and `retain` are deliberately *required*:
+/// an earlier version gave them silent no-op defaults, which let a
+/// queueing transport compile while reporting an always-empty queue —
+/// flushes then never fired and `drain` quietly returned calls the
+/// channel believed did not exist.
 pub trait Transport {
     /// Which selector built this transport.
     fn kind(&self) -> TransportKind;
@@ -72,47 +99,55 @@ pub trait Transport {
     /// Human-readable name for stats and docs.
     fn name(&self) -> &'static str;
 
+    /// The virtual-time latency of one one-way control transfer — the
+    /// portion a completion-based transport may *launch* (and later
+    /// charge net of overlap) instead of blocking on.
+    fn crossing_cost_ns(&self, domain_crossing: bool) -> u64;
+
     /// Charges the virtual-time cost of one one-way control transfer
     /// initiated by `class`.
-    fn charge_crossing(&self, kernel: &Kernel, class: CpuClass, domain_crossing: bool);
+    fn charge_crossing(&self, kernel: &Kernel, class: CpuClass, domain_crossing: bool) {
+        kernel.charge(class, self.crossing_cost_ns(domain_crossing));
+    }
 
     /// Offers a call for deferral. A transport that does not batch hands
     /// the call back (`Err`) and the channel executes it synchronously.
+    /// A completion-based transport returns the call's token (minting
+    /// one if the call does not already carry it); a plain batching
+    /// transport queues the call and returns `Ok(None)`.
     fn offer(
         &self,
         kernel: &Kernel,
         class: CpuClass,
         call: DeferredCall,
-    ) -> Result<(), DeferredCall>;
+    ) -> Result<Option<CompletionToken>, DeferredCall>;
 
     /// Drains every queued call, oldest first.
     fn drain(&self) -> Vec<DeferredCall>;
 
     /// Number of calls currently queued.
-    fn pending(&self) -> usize {
-        0
-    }
+    fn pending(&self) -> usize;
 
     /// Whether the queue must flush now: it reached capacity, or its
     /// oldest deferred call has waited past the transport's virtual-time
     /// deadline (adaptive batching).
-    fn flush_due(&self, kernel: &Kernel) -> bool {
-        let _ = kernel;
-        false
-    }
+    fn flush_due(&self, kernel: &Kernel) -> bool;
 
-    /// Drops queued calls not matching `keep` (fault-recovery hygiene).
-    fn retain(&self, keep: &dyn Fn(&DeferredCall) -> bool) {
-        let _ = keep;
-    }
+    /// Drops queued calls not matching `keep` (fault-recovery hygiene),
+    /// returning the completion tokens of the dropped calls so the stub
+    /// layer can account them as cancelled.
+    fn retain(&self, keep: &dyn Fn(&DeferredCall) -> bool) -> Vec<CompletionToken>;
 }
 
-/// Builds the transport object for a selector.
-pub fn build(kind: TransportKind) -> Box<dyn Transport> {
+/// Builds the transport object for a selector. `capacity` and
+/// `deadline_ns` configure the queueing transports' flush watermark and
+/// adaptive-batching deadline; the non-queueing transports ignore them.
+pub fn build(kind: TransportKind, capacity: usize, deadline_ns: u64) -> Box<dyn Transport> {
     match kind {
         TransportKind::InProc => Box::new(InProc),
         TransportKind::Threaded => Box::new(Threaded),
-        TransportKind::Batched => Box::new(Batched::new(DEFAULT_BATCH_CAPACITY)),
+        TransportKind::Batched => Box::new(Batched::with_deadline(capacity, deadline_ns)),
+        TransportKind::Async => Box::new(Async::new(capacity, deadline_ns)),
     }
 }
 
@@ -128,9 +163,11 @@ impl Transport for InProc {
     fn name(&self) -> &'static str {
         "inproc"
     }
-    fn charge_crossing(&self, kernel: &Kernel, class: CpuClass, domain_crossing: bool) {
+    fn crossing_cost_ns(&self, domain_crossing: bool) -> u64 {
         if domain_crossing {
-            kernel.charge(class, costs::DOMAIN_CROSSING_NS);
+            costs::DOMAIN_CROSSING_NS
+        } else {
+            0
         }
     }
     fn offer(
@@ -138,10 +175,19 @@ impl Transport for InProc {
         _kernel: &Kernel,
         _class: CpuClass,
         call: DeferredCall,
-    ) -> Result<(), DeferredCall> {
+    ) -> Result<Option<CompletionToken>, DeferredCall> {
         Err(call)
     }
     fn drain(&self) -> Vec<DeferredCall> {
+        Vec::new()
+    }
+    fn pending(&self) -> usize {
+        0
+    }
+    fn flush_due(&self, _kernel: &Kernel) -> bool {
+        false
+    }
+    fn retain(&self, _keep: &dyn Fn(&DeferredCall) -> bool) -> Vec<CompletionToken> {
         Vec::new()
     }
 }
@@ -158,21 +204,32 @@ impl Transport for Threaded {
     fn name(&self) -> &'static str {
         "threaded"
     }
-    fn charge_crossing(&self, kernel: &Kernel, class: CpuClass, domain_crossing: bool) {
-        if domain_crossing {
-            kernel.charge(class, costs::DOMAIN_CROSSING_NS);
-        }
-        kernel.charge(class, costs::THREAD_HANDOFF_NS);
+    fn crossing_cost_ns(&self, domain_crossing: bool) -> u64 {
+        let base = if domain_crossing {
+            costs::DOMAIN_CROSSING_NS
+        } else {
+            0
+        };
+        base + costs::THREAD_HANDOFF_NS
     }
     fn offer(
         &self,
         _kernel: &Kernel,
         _class: CpuClass,
         call: DeferredCall,
-    ) -> Result<(), DeferredCall> {
+    ) -> Result<Option<CompletionToken>, DeferredCall> {
         Err(call)
     }
     fn drain(&self) -> Vec<DeferredCall> {
+        Vec::new()
+    }
+    fn pending(&self) -> usize {
+        0
+    }
+    fn flush_due(&self, _kernel: &Kernel) -> bool {
+        false
+    }
+    fn retain(&self, _keep: &dyn Fn(&DeferredCall) -> bool) -> Vec<CompletionToken> {
         Vec::new()
     }
 }
@@ -183,9 +240,8 @@ impl Transport for Threaded {
 /// Flushes are due at *capacity* (the batch is worth a crossing) or at a
 /// virtual-time *deadline* measured from the oldest queued call (a
 /// low-rate path must not hold a posted write indefinitely) — the same
-/// watermark/deadline decision a shmring
-/// [`decaf_shmring::DoorbellPolicy`] makes for parked descriptors, with
-/// the queue capacity as the watermark.
+/// watermark/deadline decision a shmring [`DoorbellPolicy`] makes for
+/// parked descriptors, with the queue capacity as the watermark.
 ///
 /// The deadline is anchored *per call*: each deferred call carries its
 /// own defer timestamp and `flush_due` measures from the oldest call
@@ -228,21 +284,23 @@ impl Transport for Batched {
     fn name(&self) -> &'static str {
         "batched"
     }
-    fn charge_crossing(&self, kernel: &Kernel, class: CpuClass, domain_crossing: bool) {
-        if domain_crossing {
-            kernel.charge(class, costs::DOMAIN_CROSSING_NS);
-        }
-        kernel.charge(class, costs::BATCH_DOORBELL_NS);
+    fn crossing_cost_ns(&self, domain_crossing: bool) -> u64 {
+        let base = if domain_crossing {
+            costs::DOMAIN_CROSSING_NS
+        } else {
+            0
+        };
+        base + costs::BATCH_DOORBELL_NS
     }
     fn offer(
         &self,
         kernel: &Kernel,
         class: CpuClass,
         call: DeferredCall,
-    ) -> Result<(), DeferredCall> {
+    ) -> Result<Option<CompletionToken>, DeferredCall> {
         kernel.charge(class, costs::BATCH_ENQUEUE_NS);
         self.queue.borrow_mut().push_back((kernel.now_ns(), call));
-        Ok(())
+        Ok(None)
     }
     fn drain(&self) -> Vec<DeferredCall> {
         self.queue.borrow_mut().drain(..).map(|(_, c)| c).collect()
@@ -260,8 +318,112 @@ impl Transport for Batched {
             }
         }
     }
-    fn retain(&self, keep: &dyn Fn(&DeferredCall) -> bool) {
-        self.queue.borrow_mut().retain(|(_, c)| keep(c));
+    fn retain(&self, keep: &dyn Fn(&DeferredCall) -> bool) -> Vec<CompletionToken> {
+        let mut dropped = Vec::new();
+        self.queue.borrow_mut().retain(|(_, c)| {
+            let keep_it = keep(c);
+            if !keep_it {
+                dropped.extend(c.token);
+            }
+            keep_it
+        });
+        dropped
+    }
+}
+
+/// Completion-based batching transport: [`Batched`]'s queue with tokens.
+///
+/// Every offered call is issued a [`CompletionToken`] (or keeps the one
+/// it already carries, on a fault-recovery requeue). The flush decision
+/// reuses [`DoorbellPolicy`] semantics directly — arm on the first
+/// post, fire at the watermark occupancy (`capacity`) or once the
+/// armed-at timestamp has waited out the deadline — and `retain`
+/// re-anchors the policy to the oldest *surviving* call, preserving the
+/// per-call-anchoring guarantee the [`Batched`] regression tests pin.
+///
+/// What makes it asynchronous is not the queue but what the stub layer
+/// does at flush time: on this transport a flush *launches* the
+/// boundary crossing — handlers run, data lands, but the crossing's
+/// latency is banked against the batch's tokens and charged at harvest
+/// time net of whatever computation overlapped it.
+#[derive(Debug)]
+pub struct Async {
+    /// `(deferred_at_ns, call)` in arrival order.
+    queue: RefCell<VecDeque<(u64, DeferredCall)>>,
+    policy: DoorbellPolicy,
+    next_token: Cell<u64>,
+}
+
+impl Async {
+    /// A completion-based transport launching after `capacity` queued
+    /// calls or `deadline_ns` of virtual time, whichever first.
+    pub fn new(capacity: usize, deadline_ns: u64) -> Self {
+        Async {
+            queue: RefCell::new(VecDeque::new()),
+            policy: DoorbellPolicy::new(capacity, deadline_ns),
+            next_token: Cell::new(1),
+        }
+    }
+}
+
+impl Transport for Async {
+    fn kind(&self) -> TransportKind {
+        TransportKind::Async
+    }
+    fn name(&self) -> &'static str {
+        "async"
+    }
+    fn crossing_cost_ns(&self, domain_crossing: bool) -> u64 {
+        // A synchronous crossing on this transport prices like Batched:
+        // the asymmetry is *when* the cost lands, not how big it is.
+        let base = if domain_crossing {
+            costs::DOMAIN_CROSSING_NS
+        } else {
+            0
+        };
+        base + costs::BATCH_DOORBELL_NS
+    }
+    fn offer(
+        &self,
+        kernel: &Kernel,
+        class: CpuClass,
+        mut call: DeferredCall,
+    ) -> Result<Option<CompletionToken>, DeferredCall> {
+        kernel.charge(class, costs::BATCH_ENQUEUE_NS);
+        let token = *call.token.get_or_insert_with(|| {
+            let t = CompletionToken(self.next_token.get());
+            self.next_token.set(t.0 + 1);
+            t
+        });
+        self.policy.note_post(kernel.now_ns());
+        self.queue.borrow_mut().push_back((kernel.now_ns(), call));
+        Ok(Some(token))
+    }
+    fn drain(&self) -> Vec<DeferredCall> {
+        self.policy.rang();
+        self.queue.borrow_mut().drain(..).map(|(_, c)| c).collect()
+    }
+    fn pending(&self) -> usize {
+        self.queue.borrow().len()
+    }
+    fn flush_due(&self, kernel: &Kernel) -> bool {
+        self.policy.due(kernel.now_ns(), self.queue.borrow().len())
+    }
+    fn retain(&self, keep: &dyn Fn(&DeferredCall) -> bool) -> Vec<CompletionToken> {
+        let mut dropped = Vec::new();
+        let mut queue = self.queue.borrow_mut();
+        queue.retain(|(_, c)| {
+            let keep_it = keep(c);
+            if !keep_it {
+                dropped.extend(c.token);
+            }
+            keep_it
+        });
+        // Re-anchor the doorbell to the oldest surviving call so a
+        // dropped older call cannot fire (or hold) the window for the
+        // survivors — the same anchoring `Batched` gets per call.
+        self.policy.rearm(queue.front().map(|(at, _)| *at));
+        dropped
     }
 }
 
@@ -275,6 +437,7 @@ mod tests {
             proc: proc.into(),
             args: vec![],
             scalars: vec![],
+            token: None,
         }
     }
 
@@ -393,8 +556,65 @@ mod tests {
     }
 
     #[test]
+    fn async_issues_distinct_tokens_and_keeps_requeued_ones() {
+        let k = Kernel::new();
+        let t = Async::new(8, 1_000);
+        let a = t.offer(&k, CpuClass::User, call("a")).unwrap().unwrap();
+        let b = t.offer(&k, CpuClass::User, call("b")).unwrap().unwrap();
+        assert_ne!(a, b, "each fresh offer mints a new token");
+        assert_eq!(t.pending(), 2);
+        let drained = t.drain();
+        assert_eq!(drained[0].token, Some(a));
+        assert_eq!(drained[1].token, Some(b));
+        // A requeued call keeps its token: no double-issue on recovery.
+        let again = t
+            .offer(&k, CpuClass::User, drained[0].clone())
+            .unwrap()
+            .unwrap();
+        assert_eq!(again, a);
+    }
+
+    #[test]
+    fn async_flush_due_follows_doorbell_policy() {
+        let k = Kernel::new();
+        let t = Async::new(3, 1_000);
+        assert!(!t.flush_due(&k), "empty queue never due");
+        t.offer(&k, CpuClass::User, call("a")).unwrap();
+        assert!(!t.flush_due(&k));
+        k.run_for(1_000);
+        assert!(t.flush_due(&k), "deadline fires for a partial batch");
+        t.drain();
+        for _ in 0..3 {
+            assert!(!t.flush_due(&k));
+            t.offer(&k, CpuClass::User, call("b")).unwrap();
+        }
+        assert!(t.flush_due(&k), "watermark fires immediately");
+    }
+
+    #[test]
+    fn async_retain_returns_cancelled_tokens_and_reanchors() {
+        let k = Kernel::new();
+        let t = Async::new(16, 1_000);
+        let victim = t
+            .offer(&k, CpuClass::User, call("victim"))
+            .unwrap()
+            .unwrap();
+        k.run_for(900);
+        t.offer(&k, CpuClass::User, call("survivor")).unwrap();
+        let cancelled = t.retain(&|c| c.proc != "victim");
+        assert_eq!(cancelled, vec![victim]);
+        k.run_for(150); // t=1050: past the victim's window, within the survivor's
+        assert!(
+            !t.flush_due(&k),
+            "deadline must re-anchor to the surviving call"
+        );
+        k.run_for(850); // t=1900 = 900 + 1000
+        assert!(t.flush_due(&k));
+    }
+
+    #[test]
     fn crossing_costs_ordered() {
-        // threaded > batched > inproc for the same crossing.
+        // threaded > batched == async > inproc for the same crossing.
         let cost = |t: &dyn Transport| {
             let k = Kernel::new();
             let before = k.snapshot().user_busy_ns;
@@ -404,6 +624,11 @@ mod tests {
         let inproc = cost(&InProc);
         let batched = cost(&Batched::new(4));
         let threaded = cost(&Threaded);
+        let asynchronous = cost(&Async::new(4, 1_000));
         assert!(inproc < batched && batched < threaded);
+        assert_eq!(
+            asynchronous, batched,
+            "a synchronous crossing prices identically on async"
+        );
     }
 }

@@ -32,11 +32,10 @@ fn incremental_conversion_library_then_decaf() {
             // conversion cost; Decaf: full configuration.
             if target == Domain::Library {
                 ChannelConfig {
-                    domain_crossing: true,
                     cross_language: false,
                     transport: decaf_core::xpc::TransportKind::InProc,
                     delta: false,
-                    shmring: false,
+                    ..ChannelConfig::kernel_user()
                 }
             } else {
                 ChannelConfig::kernel_user()
