@@ -1,7 +1,13 @@
 //! Regenerates every table of the paper's evaluation (run via
 //! `cargo bench -p decaf-bench --bench tables`).
+//!
+//! Every table renders through [`Table`] — decaf-trace's one report
+//! path — instead of a hand-rolled `format!` string per table, and the
+//! ablation tables print the p50/p99/p999 request-latency percentiles
+//! their rows now carry.
 
-use decaf_core::experiments;
+use decaf_core::experiments::{self, LatencyPercentiles};
+use decaf_core::simkernel::decaf_trace::Table;
 
 fn main() {
     table1();
@@ -17,62 +23,88 @@ fn main() {
     table4();
 }
 
-fn table1() {
+/// Renders nanoseconds as one-decimal microseconds.
+fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
+
+/// Headers for the request-latency percentile triple every ablation
+/// table appends.
+const LAT_HEADERS: [&str; 3] = ["p50 µs", "p99 µs", "p999 µs"];
+
+/// Cells for the percentile triple, rendered by the one shared path.
+/// Three decimals: submit-side latencies sit well under a microsecond.
+fn lat_cells(lat: &LatencyPercentiles) -> [String; 3] {
+    let f = |ns: u64| format!("{:.3}", ns as f64 / 1e3);
+    [f(lat.p50_ns), f(lat.p99_ns), f(lat.p999_ns)]
+}
+
+/// Headers for the async completion-token ledger pair (shared by the
+/// shard ablation and the async sweep — previously two copies of the
+/// same column code).
+const TOKEN_HEADERS: [&str; 2] = ["Tokens", "Overlap µs"];
+
+/// Cells for the completion-token ledger pair.
+fn token_cells(tokens: u64, overlap_ns: u64) -> [String; 2] {
+    [tokens.to_string(), us(overlap_ns)]
+}
+
+fn banner(title: &str) {
     println!("\n==================================================================");
-    println!("Table 1: Lines of code supporting Decaf Drivers");
+    println!("{title}");
     println!("==================================================================");
-    println!("{:<58} {:>8} {:>8}", "Component", "paper", "ours");
+}
+
+fn table1() {
+    banner("Table 1: Lines of code supporting Decaf Drivers");
+    let mut t = Table::new("");
+    t.columns(&["Component", "paper", "ours"]);
     let rows = experiments::table1();
     let mut group = "";
     let mut total = 0;
     for row in &rows {
         if row.group != group {
             group = row.group;
-            println!("{group}");
+            t.row(vec![group.to_string()]);
         }
-        println!(
-            "  {:<56} {:>8} {:>8}",
-            row.component, row.paper_loc, row.measured_loc
-        );
+        t.row(vec![
+            format!("  {}", row.component),
+            row.paper_loc.to_string(),
+            row.measured_loc.to_string(),
+        ]);
         total += row.measured_loc;
     }
-    println!("  {:<56} {:>8} {:>8}", "Total", 23_423, total);
+    t.row(vec![
+        "  Total".to_string(),
+        23_423.to_string(),
+        total.to_string(),
+    ]);
+    print!("{}", t.render());
 }
 
 fn table2() {
-    println!("\n==================================================================");
-    println!("Table 2: The drivers converted to the Decaf architecture");
-    println!("==================================================================");
-    println!(
-        "{:<10} {:<8} {:>5} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>6}",
-        "Driver",
-        "Type",
-        "LoC",
-        "Annot",
-        "N.fn",
-        "N.loc",
-        "L.fn",
-        "L.loc",
-        "D.fn",
-        "D.loc",
-        "user%"
-    );
+    banner("Table 2: The drivers converted to the Decaf architecture");
+    let mut t = Table::new("");
+    t.columns(&[
+        "Driver", "Type", "LoC", "Annot", "N.fn", "N.loc", "L.fn", "L.loc", "D.fn", "D.loc",
+        "user%",
+    ]);
     for row in experiments::table2() {
-        println!(
-            "{:<10} {:<8} {:>5} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>5.0}%",
-            row.name,
-            row.device_type,
-            row.loc,
-            row.annotations,
-            row.nucleus_funcs,
-            row.nucleus_loc,
-            row.library_funcs,
-            row.library_loc,
-            row.decaf_funcs,
-            row.decaf_loc,
-            row.user_fraction() * 100.0
-        );
+        t.row(vec![
+            row.name.to_string(),
+            row.device_type.to_string(),
+            row.loc.to_string(),
+            row.annotations.to_string(),
+            row.nucleus_funcs.to_string(),
+            row.nucleus_loc.to_string(),
+            row.library_funcs.to_string(),
+            row.library_loc.to_string(),
+            row.decaf_funcs.to_string(),
+            row.decaf_loc.to_string(),
+            format!("{:.0}%", row.user_fraction() * 100.0),
+        ]);
     }
+    print!("{}", t.render());
     println!(
         "(paper: >75% of functions moved to user level in 4 of 5 drivers;\n\
          uhci-hcd converted only 4% to Java — same shape expected above)"
@@ -80,11 +112,9 @@ fn table2() {
 }
 
 fn table3() {
-    println!("\n==================================================================");
-    println!("Table 3: Performance of Decaf Drivers on common workloads");
-    println!("==================================================================");
-    println!(
-        "{:<10} {:<17} {:>8} | {:>7} {:>7} | {:>9} {:>9} | {:>9} {:>8} {:>7} | {:>6} | {:>5} {:>5} {:>4}",
+    banner("Table 3: Performance of Decaf Drivers on common workloads");
+    let mut t = Table::new("");
+    t.columns(&[
         "Driver",
         "Workload",
         "RelPerf",
@@ -98,27 +128,27 @@ fn table3() {
         "Invoc",
         "DBell",
         "D/DB",
-        "HWM"
-    );
+        "HWM",
+    ]);
     for row in experiments::table3() {
-        println!(
-            "{:<10} {:<17} {:>8.3} | {:>6.1}% {:>6.1}% | {:>7.3}ms {:>7.3}ms | {:>9} {:>8} {:>7} | {:>6} | {:>5} {:>5.1} {:>4}",
-            row.driver,
-            row.workload,
-            row.relative_perf,
-            row.cpu_native * 100.0,
-            row.cpu_decaf * 100.0,
-            row.init_native_s * 1e3,
-            row.init_decaf_s * 1e3,
-            row.init_crossings,
-            row.init_bytes_in,
-            row.init_batched_calls,
-            row.workload_invocations,
-            row.doorbells,
-            row.descs_per_doorbell,
-            row.ring_occupancy_hwm,
-        );
+        t.row(vec![
+            row.driver.to_string(),
+            row.workload.to_string(),
+            format!("{:.3}", row.relative_perf),
+            format!("{:.1}%", row.cpu_native * 100.0),
+            format!("{:.1}%", row.cpu_decaf * 100.0),
+            format!("{:.3}ms", row.init_native_s * 1e3),
+            format!("{:.3}ms", row.init_decaf_s * 1e3),
+            row.init_crossings.to_string(),
+            row.init_bytes_in.to_string(),
+            row.init_batched_calls.to_string(),
+            row.workload_invocations.to_string(),
+            row.doorbells.to_string(),
+            format!("{:.1}", row.descs_per_doorbell),
+            row.ring_occupancy_hwm.to_string(),
+        ]);
     }
+    print!("{}", t.render());
     println!(
         "(paper: relative performance 0.99-1.03, CPU within a point or two,\n\
          decaf init several times slower, crossings 24-237 per driver;\n\
@@ -132,11 +162,9 @@ fn table3() {
 }
 
 fn datapath_ablation() {
-    println!("\n==================================================================");
-    println!("Data-path ablation: hosting the packet path at user level");
-    println!("==================================================================");
-    println!(
-        "{:<24} {:>5} {:>9} {:>10} | {:>5} {:>5} {:>5} {:>4} | {:>9} {:>10} {:>9}",
+    banner("Data-path ablation: hosting the packet path at user level");
+    let mut t = Table::new("");
+    let mut headers = vec![
         "Configuration",
         "Pkts",
         "Payload",
@@ -147,39 +175,42 @@ fn datapath_ablation() {
         "HWM",
         "Copied",
         "Virt. µs",
-        "Virt.Mb/s"
-    );
+        "Virt.Mb/s",
+    ];
+    headers.extend(LAT_HEADERS);
+    t.columns(&headers);
     for row in experiments::datapath_ablation() {
-        println!(
-            "{:<24} {:>5} {:>9} {:>10} | {:>5} {:>5} {:>5.1} {:>4} | {:>9} {:>10.1} {:>9.1}",
-            row.label,
-            row.packets,
-            row.payload_bytes,
-            row.marshaled_bytes,
-            row.round_trips,
-            row.doorbells,
-            row.descs_per_doorbell,
-            row.ring_occupancy_hwm,
-            row.bytes_copied,
-            row.virtual_ns as f64 / 1e3,
-            row.virtual_mbps(),
-        );
+        let mut cells = vec![
+            row.label.to_string(),
+            row.packets.to_string(),
+            row.payload_bytes.to_string(),
+            row.marshaled_bytes.to_string(),
+            row.round_trips.to_string(),
+            row.doorbells.to_string(),
+            format!("{:.1}", row.descs_per_doorbell),
+            row.ring_occupancy_hwm.to_string(),
+            row.bytes_copied.to_string(),
+            us(row.virtual_ns),
+            format!("{:.1}", row.virtual_mbps()),
+        ];
+        cells.extend(lat_cells(&row.lat));
+        t.row(cells);
     }
+    print!("{}", t.render());
     println!(
         "(every configuration copies identical payload bytes — the ablation\n\
          isolates marshaling and crossing costs. Batched-copy removes the\n\
          per-packet round trips; shmring removes the bytes: descriptors +\n\
          coalesced doorbells make the user-level hot path cheaper than the\n\
-         by-value paths on both bytes moved and virtual time)"
+         by-value paths on both bytes moved and virtual time. p50/p99/p999\n\
+         are per-packet request latencies from the metrics registry)"
     );
 }
 
 fn storage_ablation() {
-    println!("\n==================================================================");
-    println!("Storage ablation: hosting the uhci URB path at user level");
-    println!("==================================================================");
-    println!(
-        "{:<24} {:>5} {:>9} {:>10} | {:>5} {:>5} {:>5} | {:>9} {:>10} {:>9}",
+    banner("Storage ablation: hosting the uhci URB path at user level");
+    let mut t = Table::new("");
+    let mut headers = vec![
         "Configuration",
         "URBs",
         "Payload",
@@ -189,23 +220,27 @@ fn storage_ablation() {
         "D/DB",
         "Copied",
         "Virt. µs",
-        "Virt.Mb/s"
-    );
+        "Virt.Mb/s",
+    ];
+    headers.extend(LAT_HEADERS);
+    t.columns(&headers);
     for row in experiments::storage_ablation() {
-        println!(
-            "{:<24} {:>5} {:>9} {:>10} | {:>5} {:>5} {:>5.1} | {:>9} {:>10.1} {:>9.1}",
-            row.label,
-            row.urbs,
-            row.payload_bytes,
-            row.marshaled_bytes,
-            row.round_trips,
-            row.doorbells,
-            row.descs_per_doorbell,
-            row.bytes_copied,
-            row.virtual_ns as f64 / 1e3,
-            row.virtual_mbps(),
-        );
+        let mut cells = vec![
+            row.label.to_string(),
+            row.urbs.to_string(),
+            row.payload_bytes.to_string(),
+            row.marshaled_bytes.to_string(),
+            row.round_trips.to_string(),
+            row.doorbells.to_string(),
+            format!("{:.1}", row.descs_per_doorbell),
+            row.bytes_copied.to_string(),
+            us(row.virtual_ns),
+            format!("{:.1}", row.virtual_mbps()),
+        ];
+        cells.extend(lat_cells(&row.lat));
+        t.row(cells);
     }
+    print!("{}", t.render());
     println!(
         "(the same tar write + streaming-read pair under three hostings of\n\
          the URB path. Batched-copy amortizes crossings but still marshals\n\
@@ -213,16 +248,15 @@ fn storage_ablation() {
          pinned rings, adopts page-granular sector payloads into the shared\n\
          pool, and hands IN data back by ownership — Copied drops to ZERO,\n\
          descriptor traffic only, asserted in decaf-core's\n\
-         storage_ablation_shmring_drops_copies_to_descriptor_traffic test)"
+         storage_ablation_shmring_drops_copies_to_descriptor_traffic test.\n\
+         p50/p99/p999 are per-URB submit→completion latencies)"
     );
 }
 
 fn shard_ablation() {
-    println!("\n==================================================================");
-    println!("Shard ablation: multi-channel XPC + per-shard shmrings (netperf)");
-    println!("==================================================================");
-    println!(
-        "{:>6} {:>6} {:>9} | {:>10} {:>10} {:>10} | {:>5} {:>5} | {:>6} {:>10} | {:>9} {:>9}",
+    banner("Shard ablation: multi-channel XPC + per-shard shmrings (netperf)");
+    let mut t = Table::new("");
+    let mut headers = vec![
         "Shards",
         "Pkts",
         "Payload",
@@ -231,29 +265,30 @@ fn shard_ablation() {
         "Eff. µs",
         "DBell",
         "D/DB",
-        "Tokens",
-        "Overlap µs",
-        "Copied",
-        "Virt.Mb/s"
-    );
+    ];
+    headers.extend(TOKEN_HEADERS);
+    headers.extend(["Copied", "Virt.Mb/s"]);
+    headers.extend(LAT_HEADERS);
+    t.columns(&headers);
     let rows = experiments::shard_ablation();
     for row in &rows {
-        println!(
-            "{:>6} {:>6} {:>9} | {:>10.1} {:>10.1} {:>10.1} | {:>5} {:>5.1} | {:>6} {:>10.1} | {:>9} {:>9.1}",
-            row.shards,
-            row.packets,
-            row.payload_bytes,
-            (row.effective_ns - row.shard_max_ns) as f64 / 1e3,
-            row.shard_max_ns as f64 / 1e3,
-            row.effective_ns as f64 / 1e3,
-            row.doorbells,
-            row.descs_per_doorbell,
-            row.tokens,
-            row.overlap_ns as f64 / 1e3,
-            row.bytes_copied,
-            row.virtual_mbps(),
-        );
+        let mut cells = vec![
+            row.shards.to_string(),
+            row.packets.to_string(),
+            row.payload_bytes.to_string(),
+            us(row.effective_ns - row.shard_max_ns),
+            us(row.shard_max_ns),
+            us(row.effective_ns),
+            row.doorbells.to_string(),
+            format!("{:.1}", row.descs_per_doorbell),
+        ];
+        cells.extend(token_cells(row.tokens, row.overlap_ns));
+        cells.push(row.bytes_copied.to_string());
+        cells.push(format!("{:.1}", row.virtual_mbps()));
+        cells.extend(lat_cells(&row.lat));
+        t.row(cells);
     }
+    print!("{}", t.render());
     println!(
         "(identical netperf stream at every shard count; Eff = serial work\n\
          + the critical-path shard, the parallel wall-clock model of\n\
@@ -268,11 +303,9 @@ fn shard_ablation() {
 }
 
 fn storage_shard_ablation() {
-    println!("\n==================================================================");
-    println!("Sharded storage ablation: multi-LUN tar over per-shard URB queues");
-    println!("==================================================================");
-    println!(
-        "{:>6} {:>6} {:>6} {:>9} | {:>10} {:>10} {:>10} | {:>5} {:>5} | {:>9} {:>9}",
+    banner("Sharded storage ablation: multi-LUN tar over per-shard URB queues");
+    let mut t = Table::new("");
+    let mut headers = vec![
         "Shards",
         "Used",
         "URBs",
@@ -283,24 +316,28 @@ fn storage_shard_ablation() {
         "DBell",
         "D/DB",
         "Copied",
-        "Virt.Mb/s"
-    );
+        "Virt.Mb/s",
+    ];
+    headers.extend(LAT_HEADERS);
+    t.columns(&headers);
     for row in experiments::storage_shard_ablation() {
-        println!(
-            "{:>6} {:>6} {:>6} {:>9} | {:>10.1} {:>10.1} {:>10.1} | {:>5} {:>5.1} | {:>9} {:>9.1}",
-            row.shards,
-            row.shards_used,
-            row.urbs,
-            row.payload_bytes,
-            (row.effective_ns - row.shard_max_ns) as f64 / 1e3,
-            row.shard_max_ns as f64 / 1e3,
-            row.effective_ns as f64 / 1e3,
-            row.doorbells,
-            row.descs_per_doorbell,
-            row.bytes_copied,
-            row.virtual_mbps(),
-        );
+        let mut cells = vec![
+            row.shards.to_string(),
+            row.shards_used.to_string(),
+            row.urbs.to_string(),
+            row.payload_bytes.to_string(),
+            us(row.effective_ns - row.shard_max_ns),
+            us(row.shard_max_ns),
+            us(row.effective_ns),
+            row.doorbells.to_string(),
+            format!("{:.1}", row.descs_per_doorbell),
+            row.bytes_copied.to_string(),
+            format!("{:.1}", row.virtual_mbps()),
+        ];
+        cells.extend(lat_cells(&row.lat));
+        t.row(cells);
     }
+    print!("{}", t.render());
     println!(
         "(identical 4-LUN tar write + streaming-read pair at every shard\n\
          count; each LUN's URBs stay FIFO on one queue while LUNs spread.\n\
@@ -313,83 +350,99 @@ fn storage_shard_ablation() {
 }
 
 fn transport_ablation() {
-    println!("\n==================================================================");
-    println!("Transport ablation: the same repeated-configuration sequence");
-    println!("==================================================================");
-    println!(
-        "{:<24} {:>6} {:>6} {:>8} {:>8} | {:>7} {:>7} {:>7} | {:>10}",
-        "Configuration", "RT", "1-way", "B.in", "B.out", "Flush", "Batch", "Elided", "Virt. µs"
-    );
+    banner("Transport ablation: the same repeated-configuration sequence");
+    let mut t = Table::new("");
+    let mut headers = vec![
+        "Configuration",
+        "RT",
+        "1-way",
+        "B.in",
+        "B.out",
+        "Flush",
+        "Batch",
+        "Elided",
+        "Virt. µs",
+    ];
+    headers.extend(LAT_HEADERS);
+    t.columns(&headers);
     for row in experiments::transport_ablation() {
-        println!(
-            "{:<24} {:>6} {:>6} {:>8} {:>8} | {:>7} {:>7} {:>7} | {:>10.1}",
-            row.label,
-            row.round_trips,
-            row.one_way_crossings,
-            row.bytes_in,
-            row.bytes_out,
-            row.flushes,
-            row.batched_calls,
-            row.delta_fields_elided,
-            row.virtual_ns as f64 / 1e3,
-        );
+        let mut cells = vec![
+            row.label.to_string(),
+            row.round_trips.to_string(),
+            row.one_way_crossings.to_string(),
+            row.bytes_in.to_string(),
+            row.bytes_out.to_string(),
+            row.flushes.to_string(),
+            row.batched_calls.to_string(),
+            row.delta_fields_elided.to_string(),
+            us(row.virtual_ns),
+        ];
+        cells.extend(lat_cells(&row.lat));
+        t.row(cells);
     }
+    print!("{}", t.render());
     println!(
         "(each layer stacks on field-selective masks: delta cuts bytes,\n\
-         batching cuts crossings — see DESIGN.md's ablation matrix)"
+         batching cuts crossings — see DESIGN.md's ablation matrix.\n\
+         p50/p99/p999 are per-configuration-cycle latencies)"
     );
 }
 
 fn async_sweep() {
-    println!("\n==================================================================");
-    println!("Async transport sweep: batched vs completion-token launches");
-    println!("==================================================================");
-    println!(
-        "{:>8} {:>12} {:>12} {:>11} {:>7} {:>8}",
-        "Calls/s", "Batched µs", "Async µs", "Overlap µs", "Tokens", "Saved"
-    );
+    banner("Async transport sweep: batched vs completion-token launches");
+    let mut t = Table::new("");
+    let mut headers = vec!["Calls/s", "Batched µs", "Async µs"];
+    headers.extend(TOKEN_HEADERS);
+    headers.push("Saved");
+    headers.extend(LAT_HEADERS);
+    t.columns(&headers);
     for row in experiments::async_transport_sweep() {
-        println!(
-            "{:>8} {:>12.1} {:>12.1} {:>11.1} {:>7} {:>7.1}%",
-            row.offered_cps,
-            row.batched_ns as f64 / 1e3,
-            row.async_ns as f64 / 1e3,
-            row.overlap_ns as f64 / 1e3,
-            row.tokens,
-            row.saving() * 100.0,
-        );
+        let mut cells = vec![
+            row.offered_cps.to_string(),
+            us(row.batched_ns),
+            us(row.async_ns),
+        ];
+        cells.extend(token_cells(row.tokens, row.overlap_ns));
+        cells.push(format!("{:.1}%", row.saving() * 100.0));
+        cells.extend(lat_cells(&row.lat));
+        t.row(cells);
     }
+    print!("{}", t.render());
     println!(
         "(identical paced deferred-call stream on both transports. The\n\
          async transport launches the batch when the doorbell fires and\n\
          harvests the completion later, charging only the uncovered slice\n\
          of each crossing — computation during an in-flight crossing is\n\
          overlap, not wait. Async ≤ batched at EVERY rate is the tentpole\n\
-         acceptance claim, asserted per row inside async_transport_sweep)"
+         acceptance claim, asserted per row inside async_transport_sweep.\n\
+         p50/p99/p999 are per-call submit latencies on the async run)"
     );
 }
 
 fn rx_mode_sweep() {
-    println!("\n==================================================================");
-    println!("RX-mode sweep: interrupt-driven vs poll-mode receive");
-    println!("==================================================================");
-    println!(
-        "{:>8} {:>6} | {:>11} {:>11} | {:>6} {:>6} | {:>9}",
-        "Pkts/s", "Pkts", "Intr µs", "Poll µs", "I.DBl", "P.DBl", "Winner"
-    );
+    banner("RX-mode sweep: interrupt-driven vs poll-mode receive");
+    let mut t = Table::new("");
+    t.columns(&[
+        "Pkts/s", "Pkts", "Intr µs", "Poll µs", "I.DBl", "P.DBl", "Winner", "I.p50", "I.p99",
+        "P.p50", "P.p99",
+    ]);
     let rows = experiments::rx_mode_sweep();
     for row in &rows {
-        println!(
-            "{:>8} {:>6} | {:>11.1} {:>11.1} | {:>6} {:>6} | {:>9}",
-            row.offered_pps,
-            row.packets,
-            row.interrupt_ns as f64 / 1e3,
-            row.poll_ns as f64 / 1e3,
-            row.interrupt_doorbells,
-            row.poll_doorbells,
-            row.winner(),
-        );
+        t.row(vec![
+            row.offered_pps.to_string(),
+            row.packets.to_string(),
+            us(row.interrupt_ns),
+            us(row.poll_ns),
+            row.interrupt_doorbells.to_string(),
+            row.poll_doorbells.to_string(),
+            row.winner().to_string(),
+            us(row.interrupt_lat.p50_ns),
+            us(row.interrupt_lat.p99_ns),
+            us(row.poll_lat.p50_ns),
+            us(row.poll_lat.p99_ns),
+        ]);
     }
+    print!("{}", t.render());
     match experiments::rx_crossover_pps(&rows) {
         Some(pps) => println!("crossover: poll-mode receive first wins at {pps} pkts/s offered"),
         None => println!("crossover: not reached in this sweep"),
@@ -400,28 +453,35 @@ fn rx_mode_sweep() {
          watermark doorbell crossing; poll mode pays a softirq tick plus\n\
          budgeted ring probes and rings NO doorbells. The fixed poll tax\n\
          loses at low rates and wins at high rates; the single flip is\n\
-         asserted inside rx_mode_sweep, with zero payload bytes copied)"
+         asserted inside rx_mode_sweep, with zero payload bytes copied.\n\
+         I./P. p50/p99 are per-packet post→reclaim latencies in µs:\n\
+         interrupt mode services each frame as it lands, poll mode holds\n\
+         frames until the next grid tick — the latency cost of the CPU\n\
+         the poll grid saves at high rates)"
     );
 }
 
 fn table4() {
-    println!("\n==================================================================");
-    println!("Table 4: E1000 evolution, 2.6.18.1 -> 2.6.27 (320 patches)");
-    println!("==================================================================");
+    banner("Table 4: E1000 evolution, 2.6.18.1 -> 2.6.27 (320 patches)");
     let study = experiments::table4();
-    println!("{:<28} {:>8} {:>8}", "Category", "paper", "ours");
-    println!(
-        "{:<28} {:>8} {:>8}",
-        "Driver nucleus lines", 381, study.total.nucleus_lines
-    );
-    println!(
-        "{:<28} {:>8} {:>8}",
-        "Decaf driver lines", 4690, study.total.decaf_lines
-    );
-    println!(
-        "{:<28} {:>8} {:>8}",
-        "User/kernel interface", 23, study.total.interface_changes
-    );
+    let mut t = Table::new("");
+    t.columns(&["Category", "paper", "ours"]);
+    t.row(vec![
+        "Driver nucleus lines".to_string(),
+        381.to_string(),
+        study.total.nucleus_lines.to_string(),
+    ]);
+    t.row(vec![
+        "Decaf driver lines".to_string(),
+        4690.to_string(),
+        study.total.decaf_lines.to_string(),
+    ]);
+    t.row(vec![
+        "User/kernel interface".to_string(),
+        23.to_string(),
+        study.total.interface_changes.to_string(),
+    ]);
+    print!("{}", t.render());
     println!(
         "(batch 1: {} lines decaf / {} nucleus; batch 2: {} / {})",
         study.batch1.decaf_lines,

@@ -36,6 +36,48 @@ mod rand_like {
     }
 }
 
+// ------------------------------------------------ Latency percentiles
+
+use decaf_simkernel::decaf_trace::Tracer;
+
+/// Installs a metrics-only tracer on `kernel` and returns it — the
+/// per-run observability hook every ablation runner uses to harvest
+/// request-latency percentiles. Metrics-only tracers keep histograms
+/// and attribution but drop the event buffer, and tracing never charges
+/// virtual time, so instrumented runs stay bit-identical to bare ones.
+fn install_metrics(kernel: &Kernel) -> std::rc::Rc<Tracer> {
+    let t = Tracer::metrics_only();
+    kernel.set_tracer(Some(std::rc::Rc::clone(&t)));
+    t
+}
+
+/// Request-latency percentiles (ns) for one run, read back from the
+/// run's tracer registry. All zeros when the run recorded no request
+/// spans under the given key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyPercentiles {
+    /// Median request latency (ns).
+    pub p50_ns: u64,
+    /// 99th-percentile request latency (ns).
+    pub p99_ns: u64,
+    /// 99.9th-percentile request latency (ns).
+    pub p999_ns: u64,
+}
+
+impl LatencyPercentiles {
+    /// Reads the percentiles of histogram `key` out of `tracer`.
+    pub fn from_tracer(tracer: &Tracer, key: &str) -> Self {
+        match tracer.registry().histogram(key) {
+            Some(h) => LatencyPercentiles {
+                p50_ns: h.p50(),
+                p99_ns: h.p99(),
+                p999_ns: h.p999(),
+            },
+            None => LatencyPercentiles::default(),
+        }
+    }
+}
+
 // ---------------------------------------------------------------- Table 1
 
 /// One row of Table 1: a runtime component and its line count.
@@ -634,6 +676,8 @@ pub struct DataPathAblationRow {
     pub bytes_copied: u64,
     /// Total virtual CPU time consumed (kernel + user, ns).
     pub virtual_ns: u64,
+    /// Per-packet request-latency percentiles (ns).
+    pub lat: LatencyPercentiles,
 }
 
 impl DataPathAblationRow {
@@ -664,6 +708,7 @@ pub fn datapath_run(kind: DataPathKind, packets: u32) -> DataPathAblationRow {
     use std::rc::Rc;
 
     let kernel = Kernel::new();
+    let tracer = install_metrics(&kernel);
     let spec = decaf_xdr::XdrSpec::parse(&format!(
         "struct pkt {{ int len; opaque payload[{DATAPATH_PKT_LEN}]; }};"
     ))
@@ -722,7 +767,9 @@ pub fn datapath_run(kind: DataPathKind, packets: u32) -> DataPathAblationRow {
         .expect("register xmit_drain");
         let frame = vec![0x5au8; DATAPATH_PKT_LEN];
         for i in 0..packets {
+            kernel.trace_req_begin("op_ns", i as u64);
             dp.send(&kernel, &frame, i as u64).expect("send");
+            kernel.trace_req_end("op_ns", i as u64);
         }
         dp.ring_doorbell(&kernel).expect("final doorbell");
         dp.reclaim_completions(&kernel);
@@ -774,6 +821,7 @@ pub fn datapath_run(kind: DataPathKind, packets: u32) -> DataPathAblationRow {
                 )
                 .expect("set payload");
             }
+            kernel.trace_req_begin("op_ns", i as u64);
             match kind {
                 DataPathKind::Copy => {
                     ch.call(&kernel, Domain::Nucleus, "xmit_pkt", &[Some(obj)], &[])
@@ -784,6 +832,7 @@ pub fn datapath_run(kind: DataPathKind, packets: u32) -> DataPathAblationRow {
                         .expect("defer xmit_pkt");
                 }
             }
+            kernel.trace_req_end("op_ns", i as u64);
         }
         ch.flush(&kernel).expect("final flush");
     }
@@ -801,6 +850,7 @@ pub fn datapath_run(kind: DataPathKind, packets: u32) -> DataPathAblationRow {
         ring_occupancy_hwm: s.ring_occupancy_hwm,
         bytes_copied: kernel.stats().bytes_copied,
         virtual_ns: snap.kernel_busy_ns + snap.user_busy_ns,
+        lat: LatencyPercentiles::from_tracer(&tracer, "op_ns"),
     }
 }
 
@@ -853,6 +903,8 @@ pub struct StorageAblationRow {
     pub bytes_copied: u64,
     /// Total virtual CPU time consumed (kernel + user, ns).
     pub virtual_ns: u64,
+    /// Per-URB submit→completion latency percentiles (ns).
+    pub lat: LatencyPercentiles,
 }
 
 impl StorageAblationRow {
@@ -872,6 +924,7 @@ pub fn storage_run(kind: DataPathKind) -> StorageAblationRow {
     use std::rc::Rc;
 
     let k = Kernel::new();
+    let tracer = install_metrics(&k);
     let (label, channel, urb_path) = match kind {
         DataPathKind::Copy => {
             let d = decaf_drivers::uhci::install_value(&k, "uhci0", false)
@@ -949,6 +1002,7 @@ pub fn storage_run(kind: DataPathKind) -> StorageAblationRow {
         },
         bytes_copied: k.stats().bytes_copied - copied_before,
         virtual_ns: snap.kernel_busy_ns + snap.user_busy_ns - busy_before,
+        lat: LatencyPercentiles::from_tracer(&tracer, "tar.urb_ns"),
     }
 }
 
@@ -1006,6 +1060,8 @@ pub struct ShardAblationRow {
     /// Crossing cost covered by computation that ran while the crossing
     /// was in flight (the async transport's overlap credit, ns).
     pub overlap_ns: u64,
+    /// Per-packet request-latency percentiles (ns).
+    pub lat: LatencyPercentiles,
 }
 
 impl ShardAblationRow {
@@ -1025,6 +1081,7 @@ pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// `shards` channels and reports the per-shard cost breakdown.
 pub fn shard_run(shards: usize, seconds: u32, pps: u32) -> ShardAblationRow {
     let k = Kernel::new();
+    let tracer = install_metrics(&k);
     let drv = decaf_drivers::e1000::decaf::install_sharded(&k, "eth0", shards)
         .expect("sharded e1000 installs");
     k.netdev_open("eth0").expect("open");
@@ -1120,6 +1177,7 @@ pub fn shard_run(shards: usize, seconds: u32, pps: u32) -> ShardAblationRow {
         bytes_copied: k.stats().bytes_copied - copied_before,
         tokens: s.tokens_issued,
         overlap_ns: s.overlap_ns,
+        lat: LatencyPercentiles::from_tracer(&tracer, "net.pkt_ns"),
     }
 }
 
@@ -1173,6 +1231,8 @@ pub struct StorageShardAblationRow {
     /// zero at every shard width**. Sharding changes steering; payloads
     /// stay adopted, never copied.
     pub bytes_copied: u64,
+    /// Per-URB submit→completion latency percentiles (ns).
+    pub lat: LatencyPercentiles,
 }
 
 impl StorageShardAblationRow {
@@ -1199,6 +1259,7 @@ pub fn storage_shard_run(
     sectors_per_file: u32,
 ) -> StorageShardAblationRow {
     let k = Kernel::new();
+    let tracer = install_metrics(&k);
     let drv =
         decaf_drivers::uhci::install_sharded(&k, "uhci0", shards).expect("sharded uhci installs");
     let busy_before = {
@@ -1282,6 +1343,7 @@ pub fn storage_shard_run(
         },
         shards_used,
         bytes_copied: k.stats().bytes_copied - copied_before,
+        lat: LatencyPercentiles::from_tracer(&tracer, "tar.urb_ns"),
     }
 }
 
@@ -1323,6 +1385,8 @@ pub struct TransportAblationRow {
     pub delta_fields_elided: u64,
     /// Total virtual CPU time consumed (kernel + user, ns).
     pub virtual_ns: u64,
+    /// Per-configuration-cycle request-latency percentiles (ns).
+    pub lat: LatencyPercentiles,
 }
 
 /// The three stacked configurations the ablation compares: the seed
@@ -1356,6 +1420,7 @@ pub fn repeated_config_run(config: decaf_xpc::ChannelConfig, iters: u32) -> Tran
     use std::rc::Rc;
 
     let kernel = Kernel::new();
+    let tracer = install_metrics(&kernel);
     let spec = decaf_xdr::XdrSpec::parse(
         "struct cfg_ring { int size; int head; };\n\
          struct cfg { int itr; int speed; int flags; opaque tuning[64]; struct cfg_ring *ring; };",
@@ -1428,6 +1493,7 @@ pub fn repeated_config_run(config: decaf_xpc::ChannelConfig, iters: u32) -> Tran
                 .set_scalar(cfg_obj, "itr", XdrValue::Int(8000 + i as i32))
                 .expect("tweak itr");
         }
+        kernel.trace_req_begin("op_ns", i as u64);
         ch.call(
             &kernel,
             Domain::Nucleus,
@@ -1436,6 +1502,7 @@ pub fn repeated_config_run(config: decaf_xpc::ChannelConfig, iters: u32) -> Tran
             &[],
         )
         .expect("apply_config upcall");
+        kernel.trace_req_end("op_ns", i as u64);
     }
     ch.flush(&kernel).expect("final flush");
 
@@ -1452,6 +1519,7 @@ pub fn repeated_config_run(config: decaf_xpc::ChannelConfig, iters: u32) -> Tran
         delta_objects: s.delta_objects,
         delta_fields_elided: s.delta_fields_elided,
         virtual_ns: snap.kernel_busy_ns + snap.user_busy_ns,
+        lat: LatencyPercentiles::from_tracer(&tracer, "op_ns"),
     }
 }
 
@@ -1488,6 +1556,9 @@ pub struct AsyncSweepRow {
     pub overlap_ns: u64,
     /// Completion tokens issued by the async run.
     pub tokens: u64,
+    /// Per-call submit (marshal + enqueue) latency percentiles for the
+    /// async run (ns).
+    pub lat: LatencyPercentiles,
 }
 
 impl AsyncSweepRow {
@@ -1515,12 +1586,13 @@ const ASYNC_SWEEP_CALLS: u32 = 60;
 fn paced_deferred_run(
     config: decaf_xpc::ChannelConfig,
     gap_ns: u64,
-) -> (u64, decaf_xpc::ChannelStats) {
+) -> (u64, decaf_xpc::ChannelStats, LatencyPercentiles) {
     use decaf_xdr::XdrValue;
     use decaf_xpc::{Domain, ProcDef, XpcChannel};
     use std::rc::Rc;
 
     let kernel = Kernel::new();
+    let tracer = install_metrics(&kernel);
     let spec = decaf_xdr::XdrSpec::parse("struct nil { int pad; };").expect("sweep spec parses");
     let ch = XpcChannel::new(
         spec,
@@ -1540,6 +1612,7 @@ fn paced_deferred_run(
     .expect("register writel");
 
     for i in 0..ASYNC_SWEEP_CALLS {
+        kernel.trace_req_begin("op_ns", i as u64);
         ch.call_deferred(
             &kernel,
             Domain::Nucleus,
@@ -1548,6 +1621,7 @@ fn paced_deferred_run(
             &[XdrValue::UInt(0xc8), XdrValue::UInt(i)],
         )
         .expect("defer writel");
+        kernel.trace_req_end("op_ns", i as u64);
         // The pacing gap: the nucleus goes on with unrelated work while
         // the transport decides when to launch. On the async transport
         // this is exactly the window an in-flight crossing hides under.
@@ -1558,7 +1632,11 @@ fn paced_deferred_run(
     ch.harvest(&kernel);
 
     let snap = kernel.snapshot();
-    (snap.kernel_busy_ns + snap.user_busy_ns, ch.stats())
+    (
+        snap.kernel_busy_ns + snap.user_busy_ns,
+        ch.stats(),
+        LatencyPercentiles::from_tracer(&tracer, "op_ns"),
+    )
 }
 
 /// Regenerates the async-transport sweep: batched vs async on the
@@ -1574,8 +1652,9 @@ pub fn async_transport_sweep() -> Vec<AsyncSweepRow> {
         .into_iter()
         .map(|cps| {
             let gap_ns = 1_000_000_000 / cps as u64;
-            let (batched_ns, _) = paced_deferred_run(ChannelConfig::kernel_user_batched(), gap_ns);
-            let (async_ns, s) = paced_deferred_run(ChannelConfig::kernel_user_async(), gap_ns);
+            let (batched_ns, _, _) =
+                paced_deferred_run(ChannelConfig::kernel_user_batched(), gap_ns);
+            let (async_ns, s, lat) = paced_deferred_run(ChannelConfig::kernel_user_async(), gap_ns);
             assert!(
                 async_ns <= batched_ns,
                 "async busy ({async_ns}) exceeds batched ({batched_ns}) at {cps} calls/s"
@@ -1592,6 +1671,7 @@ pub fn async_transport_sweep() -> Vec<AsyncSweepRow> {
                 async_ns,
                 overlap_ns: s.overlap_ns,
                 tokens: s.tokens_issued,
+                lat,
             }
         })
         .collect()
@@ -1617,6 +1697,10 @@ pub struct RxModeSweepRow {
     /// Data-path doorbells rung by the poll-mode run (zero: polling
     /// replaces the doorbell crossing entirely).
     pub poll_doorbells: u64,
+    /// Per-packet post→reclaim latency percentiles, interrupt run (ns).
+    pub interrupt_lat: LatencyPercentiles,
+    /// Per-packet post→reclaim latency percentiles, poll run (ns).
+    pub poll_lat: LatencyPercentiles,
 }
 
 impl RxModeSweepRow {
@@ -1637,14 +1721,18 @@ pub const RX_SWEEP_RATES: [u32; 6] = [500, 1_000, 2_000, 4_000, 8_000, 16_000];
 
 /// Runs one virtual second of paced descriptor arrivals through a
 /// pool-less shmring data path serviced in `mode`, returning
-/// `(busy_ns, delivered, doorbells)`.
+/// `(busy_ns, delivered, doorbells, lat)` where `lat` holds per-packet
+/// post→reclaim latency percentiles keyed by descriptor cookie.
 ///
 /// Interrupt mode charges interrupt entry per arrival and rings the
 /// watermark doorbell; poll mode charges a softirq dispatch per
 /// [`decaf_drivers::support::RX_POLL_TICK_NS`] grid tick plus a poll
 /// probe per ring check, and never rings a doorbell. Neither mode
 /// copies payload bytes — the buffers stay where DMA wrote them.
-pub fn rx_mode_run(mode: decaf_drivers::support::RxMode, pps: u32) -> (u64, u64, u64) {
+pub fn rx_mode_run(
+    mode: decaf_drivers::support::RxMode,
+    pps: u32,
+) -> (u64, u64, u64, LatencyPercentiles) {
     use decaf_drivers::support::{RxMode, RX_POLL_BUDGET, RX_POLL_TICK_NS};
     use decaf_shmring::{BufHandle, Descriptor, DoorbellPolicy, ShmRing};
     use decaf_xdr::XdrValue;
@@ -1652,6 +1740,7 @@ pub fn rx_mode_run(mode: decaf_drivers::support::RxMode, pps: u32) -> (u64, u64,
     use std::rc::Rc;
 
     let kernel = Kernel::new();
+    let tracer = install_metrics(&kernel);
     let spec = decaf_xdr::XdrSpec::parse("struct nil { int pad; };").expect("sweep spec parses");
     let ch = Rc::new(XpcChannel::new(
         spec,
@@ -1702,6 +1791,7 @@ pub fn rx_mode_run(mode: decaf_drivers::support::RxMode, pps: u32) -> (u64, u64,
                 // descriptor post; the watermark decides when the
                 // doorbell crossing launches the drain.
                 kernel.charge(decaf_simkernel::CpuClass::Kernel, costs::IRQ_ENTRY_NS);
+                kernel.trace_req_begin("rx.pkt_ns", slot as u64);
                 dp.post(
                     &kernel,
                     Descriptor {
@@ -1712,10 +1802,16 @@ pub fn rx_mode_run(mode: decaf_drivers::support::RxMode, pps: u32) -> (u64, u64,
                 )
                 .expect("post");
                 dp.maybe_ring(&kernel).expect("watermark doorbell");
-                delivered += dp.reclaim_completions(&kernel).len() as u64;
+                for d in dp.reclaim_completions(&kernel) {
+                    kernel.trace_req_end("rx.pkt_ns", d.cookie);
+                    delivered += 1;
+                }
             }
             dp.ring_doorbell(&kernel).expect("final doorbell");
-            delivered += dp.reclaim_completions(&kernel).len() as u64;
+            for d in dp.reclaim_completions(&kernel) {
+                kernel.trace_req_end("rx.pkt_ns", d.cookie);
+                delivered += 1;
+            }
         }
         RxMode::Poll => {
             // NAPI shape: interrupts stay masked; a softirq-grid tick
@@ -1734,6 +1830,7 @@ pub fn rx_mode_run(mode: decaf_drivers::support::RxMode, pps: u32) -> (u64, u64,
                 );
                 let due = (tick_ns / gap_ns).min(pps as u64);
                 while arrived < due && (arrived - delivered) < RX_POLL_BUDGET as u64 {
+                    kernel.trace_req_begin("rx.pkt_ns", arrived);
                     dp.post(
                         &kernel,
                         Descriptor {
@@ -1749,7 +1846,10 @@ pub fn rx_mode_run(mode: decaf_drivers::support::RxMode, pps: u32) -> (u64, u64,
                     kernel.charge(decaf_simkernel::CpuClass::User, costs::DMA_DESC_NS);
                     end.complete(&kernel, d).expect("complete");
                 }
-                delivered += dp.reclaim_completions(&kernel).len() as u64;
+                for d in dp.reclaim_completions(&kernel) {
+                    kernel.trace_req_end("rx.pkt_ns", d.cookie);
+                    delivered += 1;
+                }
             }
             assert_eq!(arrived, pps as u64, "poll grid missed arrivals");
         }
@@ -1765,6 +1865,7 @@ pub fn rx_mode_run(mode: decaf_drivers::support::RxMode, pps: u32) -> (u64, u64,
         snap.kernel_busy_ns + snap.user_busy_ns,
         delivered,
         ch.stats().doorbells,
+        LatencyPercentiles::from_tracer(&tracer, "rx.pkt_ns"),
     )
 }
 
@@ -1778,9 +1879,10 @@ pub fn rx_mode_sweep() -> Vec<RxModeSweepRow> {
     let rows: Vec<RxModeSweepRow> = RX_SWEEP_RATES
         .into_iter()
         .map(|pps| {
-            let (interrupt_ns, int_delivered, interrupt_doorbells) =
+            let (interrupt_ns, int_delivered, interrupt_doorbells, interrupt_lat) =
                 rx_mode_run(RxMode::Interrupt, pps);
-            let (poll_ns, poll_delivered, poll_doorbells) = rx_mode_run(RxMode::Poll, pps);
+            let (poll_ns, poll_delivered, poll_doorbells, poll_lat) =
+                rx_mode_run(RxMode::Poll, pps);
             assert_eq!(int_delivered, pps as u64, "interrupt mode dropped frames");
             assert_eq!(poll_delivered, pps as u64, "poll mode dropped frames");
             assert_eq!(poll_doorbells, 0, "poll mode rang a doorbell");
@@ -1790,6 +1892,8 @@ pub fn rx_mode_sweep() -> Vec<RxModeSweepRow> {
                 packets: pps as u64,
                 interrupt_ns,
                 poll_ns,
+                interrupt_lat,
+                poll_lat,
                 interrupt_doorbells,
                 poll_doorbells,
             }

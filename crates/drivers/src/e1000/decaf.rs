@@ -384,6 +384,7 @@ fn build_datapath(
                 // hardware ring for the next poll tick.
                 hw.bar.write32(k, hwreg::IMC, hwreg::ICR_RXT0);
             } else if icr & hwreg::ICR_RXT0 != 0 {
+                let _span = k.trace_span("rx", "irq");
                 for (slot, len) in hw.rx_harvest(k) {
                     let _ = rx_dp.post(
                         k,
@@ -399,6 +400,7 @@ fn build_datapath(
                     let hw = Rc::clone(&hw);
                     let name = name.clone();
                     k.schedule_work("e1000_rx_drain_task", move |k| {
+                        let _span = k.trace_span("rx", "drain");
                         let _ = rx_dp.ring_doorbell(k);
                         let mut last = None;
                         for d in rx_dp.reclaim_completions(k) {
@@ -444,6 +446,7 @@ fn build_datapath(
                 let hw = Rc::clone(&hw_poll);
                 let name = name.clone();
                 k.schedule_work("e1000_rx_poll_task", move |k| {
+                    let _span = k.trace_span("rx", "poll");
                     for (slot, len) in hw.rx_harvest(k) {
                         let _ = rx_dp.post(
                             k,

@@ -777,6 +777,7 @@ fn build_datapath(
                 // ring for the next poll tick.
                 hw.bar.write32(k, hwreg::IMR, hwreg::INT_TOK);
             } else if isr & hwreg::INT_ROK != 0 {
+                let _span = k.trace_span("rx", "irq");
                 // Harvest only what the shm ring can hold: the read
                 // pointer stays on the first unharvested frame, so a
                 // burst larger than the ring waits in the hardware ring
@@ -797,6 +798,7 @@ fn build_datapath(
                     let hw = Rc::clone(&hw);
                     let name = name.clone();
                     k.schedule_work("rtl8139_rx_drain_task", move |k| {
+                        let _span = k.trace_span("rx", "drain");
                         loop {
                             let _ = rx_dp.ring_doorbell(k);
                             for d in rx_dp.reclaim_completions(k) {
@@ -851,6 +853,7 @@ fn build_datapath(
                 let hw = Rc::clone(&hw_poll);
                 let name = name.clone();
                 k.schedule_work("rtl8139_rx_poll_task", move |k| {
+                    let _span = k.trace_span("rx", "poll");
                     let avail = rx_dp.ring().capacity() - rx_dp.pending();
                     for (off, len) in hw.rx_harvest_limited(k, avail) {
                         let _ = rx_dp.post(

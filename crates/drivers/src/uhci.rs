@@ -709,6 +709,7 @@ pub fn install_shmring(kernel: &Kernel, hcd: &str) -> KResult<ShmringUhci> {
                     name: "uhci_urb_drain".into(),
                     arg_types: vec![],
                     handler: Rc::new(move |k, _, _, _| {
+                        let _span = k.trace_span("urb", "drain");
                         let mut n = 0;
                         for d in end.consume(k) {
                             let off = end.pool().offset_of(d.buf).expect("live sector run");
@@ -1121,6 +1122,7 @@ pub fn install_sharded(kernel: &Kernel, hcd: &str, shards: usize) -> KResult<Sha
                     arg_types: vec![],
                     handler: Rc::new(move |k, _, _, _| {
                         k.shard_scope(i, || {
+                            let _span = k.trace_span("urb", "drain");
                             let mut n = 0;
                             for d in end.consume(k) {
                                 let off = end.pool().offset_of(d.buf).expect("live sector run");

@@ -75,8 +75,10 @@ pub fn netperf_send(
     let interval_ns = 1_000_000_000u64 / pps.max(1) as u64;
     let mut sent = 0u64;
     for i in 0..total {
+        kernel.trace_req_begin("net.pkt_ns", i);
         kernel.net_xmit(ifname, SkBuff::synthetic(pkt_len, (i & 0xff) as u8, 0x0800))?;
         kernel.schedule_point();
+        kernel.trace_req_end("net.pkt_ns", i);
         sent += 1;
         // Pace to the offered rate.
         let target = start + (i + 1) * interval_ns;
@@ -111,8 +113,10 @@ pub fn netperf_recv(
     let interval_ns = 1_000_000_000u64 / pps.max(1) as u64;
     let frame = vec![0x5au8; pkt_len];
     for i in 0..total {
+        kernel.trace_req_begin("net.rx_ns", i);
         inject(kernel, &frame);
         kernel.schedule_point();
+        kernel.trace_req_end("net.rx_ns", i);
         let target = start + (i + 1) * interval_ns;
         let now = kernel.now_ns();
         if now < target {
@@ -192,6 +196,10 @@ pub fn tar_to_flash_luns(
                 let mut data = vec![FLASH_CMD_WRITE];
                 data.extend_from_slice(&sector.to_le_bytes());
                 data.extend_from_slice(&vec![(f & 0xff) as u8 ^ lun as u8; SECTOR_SIZE]);
+                // Request span: submit → completion callback, so the
+                // histogram sees coalescing delay, not just CPU cost.
+                let id = sector as u64 * luns as u64 + lun as u64;
+                kernel.trace_req_begin("tar.urb_ns", id);
                 kernel.usb_submit_urb(
                     hcd,
                     Urb {
@@ -199,7 +207,7 @@ pub fn tar_to_flash_luns(
                         dir: UrbDir::Out,
                         data,
                     },
-                    Rc::new(|_, _| {}),
+                    Rc::new(move |k, _| k.trace_req_end("tar.urb_ns", id)),
                 )?;
                 kernel.schedule_point();
                 ops += 1;
@@ -284,6 +292,8 @@ pub fn tar_from_flash_luns(
                     )?;
                     let b = Rc::clone(&bytes);
                     let d = Rc::clone(&done);
+                    let id = sector as u64 * luns as u64 + lun as u64;
+                    kernel.trace_req_begin("tar.urb_ns", id);
                     kernel.usb_submit_urb(
                         hcd,
                         Urb {
@@ -291,7 +301,8 @@ pub fn tar_from_flash_luns(
                             dir: UrbDir::In,
                             data: Vec::new(),
                         },
-                        Rc::new(move |_, r| {
+                        Rc::new(move |k, r| {
+                            k.trace_req_end("tar.urb_ns", id);
                             if let Ok(data) = r {
                                 b.set(b.get() + data.len() as u64);
                                 d.set(d.get() + 1);

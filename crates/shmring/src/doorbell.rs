@@ -66,6 +66,13 @@ impl DoorbellPolicy {
         }
     }
 
+    /// How long the oldest unflushed post has been waiting at virtual
+    /// time `now_ns`, or `None` when the deadline is disarmed. Observers
+    /// (trace coalesce events) read this; it never changes policy state.
+    pub fn armed_age_ns(&self, now_ns: u64) -> Option<u64> {
+        self.armed_at.get().map(|t| now_ns.saturating_sub(t))
+    }
+
     /// Records that the doorbell rang (disarms the deadline).
     pub fn rang(&self) {
         self.armed_at.set(None);

@@ -178,6 +178,14 @@ impl RingSet {
         match self.rings[shard].push(kernel, class, desc) {
             Ok(()) => {
                 self.note_post(shard, desc.cookie);
+                kernel.trace_instant(
+                    "ring",
+                    "post",
+                    &[
+                        ("shard", shard as u64),
+                        ("occupancy", self.rings[shard].len() as u64),
+                    ],
+                );
                 Ok(())
             }
             Err(RingError::Full) => Err(RingSetError::RingFull(shard)),
@@ -203,6 +211,7 @@ impl RingSet {
             Ok(()) => {
                 self.origin.borrow_mut().remove(&desc.cookie);
                 self.bump(|s| s.completed += 1);
+                kernel.trace_instant("ring", "complete", &[("shard", shard as u64)]);
                 Ok(shard)
             }
             Err(RingError::Full) => Err(RingSetError::CompletionFull(shard)),
@@ -212,7 +221,15 @@ impl RingSet {
     /// Drains `shard`'s completion ring (the producer reclaiming its
     /// handed-back descriptors).
     pub fn reclaim(&self, kernel: &Kernel, class: CpuClass, shard: usize) -> Vec<Descriptor> {
-        self.completions[shard].drain(kernel, class)
+        let done = self.completions[shard].drain(kernel, class);
+        if !done.is_empty() {
+            kernel.trace_instant(
+                "ring",
+                "reclaim",
+                &[("shard", shard as u64), ("completions", done.len() as u64)],
+            );
+        }
+        done
     }
 
     /// Descriptors posted but not yet completed.

@@ -206,6 +206,7 @@ impl UrbRingSet {
                 self.origin.borrow_mut().remove(&desc.cookie);
                 self.in_flight.borrow_mut()[shard] -= 1;
                 self.shard_stats.borrow_mut()[shard].completed += 1;
+                kernel.trace_instant("ring", "complete", &[("shard", shard as u64)]);
                 Ok(shard)
             }
             Err(_) => Err(RingSetError::CompletionFull(shard)),
@@ -215,7 +216,15 @@ impl UrbRingSet {
     /// Drains `shard`'s giveback ring (the submitter reclaiming its
     /// completed descriptors, oldest first).
     pub fn reclaim(&self, kernel: &Kernel, class: CpuClass, shard: usize) -> Vec<UrbDescriptor> {
-        self.givebacks[shard].drain(kernel, class)
+        let done = self.givebacks[shard].drain(kernel, class);
+        if !done.is_empty() {
+            kernel.trace_instant(
+                "ring",
+                "reclaim",
+                &[("shard", shard as u64), ("completions", done.len() as u64)],
+            );
+        }
+        done
     }
 
     /// URBs submitted and not yet completed, across all shards.

@@ -82,6 +82,20 @@ impl ClockSnapshot {
         later.now_ns.saturating_sub(self.now_ns)
     }
 
+    /// Busy nanoseconds charged to `class` at the snapshot.
+    pub fn busy_ns(&self, class: CpuClass) -> u64 {
+        match class {
+            CpuClass::Kernel => self.kernel_busy_ns,
+            CpuClass::User => self.user_busy_ns,
+        }
+    }
+
+    /// Per-class busy nanoseconds charged between `self` and a later
+    /// snapshot — what trace-span self-time reconciles against.
+    pub fn busy_since(&self, later: &ClockSnapshot, class: CpuClass) -> u64 {
+        later.busy_ns(class).saturating_sub(self.busy_ns(class))
+    }
+
     /// CPU utilization (0.0–1.0) between `self` and a later snapshot.
     pub fn utilization(&self, later: &ClockSnapshot) -> f64 {
         let elapsed = self.elapsed_ns(later);

@@ -130,6 +130,7 @@ pub(crate) struct Inner {
     violations: RefCell<Vec<Violation>>,
     stats: Cell<KernelStats>,
     dispatching: Cell<bool>,
+    tracer: RefCell<Option<Rc<decaf_trace::Tracer>>>,
     pub(crate) net: RefCell<NetState>,
     pub(crate) sound: RefCell<SoundState>,
     pub(crate) usb: RefCell<UsbState>,
@@ -189,6 +190,7 @@ impl Kernel {
                 violations: RefCell::new(Vec::new()),
                 stats: Cell::new(KernelStats::default()),
                 dispatching: Cell::new(false),
+                tracer: RefCell::new(None),
                 net: RefCell::new(NetState::default()),
                 sound: RefCell::new(SoundState::default()),
                 usb: RefCell::new(UsbState::default()),
@@ -230,6 +232,7 @@ impl Kernel {
             }
             busy[shard] += ns;
         }
+        self.trace_attribute(class, ns);
     }
 
     // ---------------------------------------------- shard accounting
@@ -579,6 +582,7 @@ impl Kernel {
         };
         match found {
             Some((_line, _name, handler)) => {
+                let _span = self.trace_span("kernel", "irq");
                 self.charge_kernel(costs::IRQ_ENTRY_NS);
                 self.bump_stats(|s| s.irqs_delivered += 1);
                 self.with_context(ExecContext::HardIrq, || handler(self));
@@ -610,6 +614,7 @@ impl Kernel {
         };
         match due {
             Some((_name, cb)) => {
+                let _span = self.trace_span("kernel", "timer");
                 self.charge_kernel(costs::SOFTIRQ_DISPATCH_NS);
                 self.bump_stats(|s| s.timers_fired += 1);
                 self.with_context(ExecContext::SoftIrq, || cb(self));
@@ -623,6 +628,7 @@ impl Kernel {
         let item = self.inner.work.borrow_mut().queue.pop_front();
         match item {
             Some((_name, f)) => {
+                let _span = self.trace_span("kernel", "work");
                 self.charge_kernel(costs::SOFTIRQ_DISPATCH_NS);
                 self.bump_stats(|s| s.work_executed += 1);
                 self.inner.work.borrow_mut().executed += 1;
@@ -716,6 +722,10 @@ impl Kernel {
 
     pub(crate) fn inner(&self) -> &Inner {
         &self.inner
+    }
+
+    pub(crate) fn tracer_slot(&self) -> &RefCell<Option<Rc<decaf_trace::Tracer>>> {
+        &self.inner.tracer
     }
 }
 

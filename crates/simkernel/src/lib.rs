@@ -42,10 +42,18 @@ pub mod net;
 pub mod pci;
 pub mod sound;
 pub mod sync;
+pub mod trace;
 pub mod usb;
+
+/// The tracing/metrics crate, re-exported so downstream crates (xpc,
+/// shmring, drivers, core) reach `Tracer`, `Histogram` and the Chrome
+/// exporter through the kernel they already depend on, without their
+/// own `decaf-trace` dependency edge.
+pub use decaf_trace;
 
 pub use clock::CpuClass;
 pub use error::{KError, KResult};
 pub use kernel::{ExecContext, Kernel, TimerId, Violation, ViolationKind};
 pub use mmio::{DmaMemory, MmioDevice, MmioHandle, MmioRegion};
 pub use net::SkBuff;
+pub use trace::TraceSpan;

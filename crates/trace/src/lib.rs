@@ -1,0 +1,36 @@
+//! `decaf-trace`: virtual-time tracing and latency-percentile metrics
+//! for the Decaf reproduction.
+//!
+//! The paper's argument is an accounting argument — each kernel/user
+//! crossing, doorbell and copy has a cost, and the ablations compare
+//! those costs. This crate makes the accounting visible: spans and
+//! events stamped with the simulated kernel's virtual `now_ns`, a
+//! charge-attribution hook that assigns every charged nanosecond to the
+//! innermost open span, request-scoped latency histograms with
+//! p50/p99/p999, Chrome `trace_event` JSON export, and a text flame
+//! summary.
+//!
+//! Design rules:
+//!
+//! * **No clocks, no charges.** Every API takes the timestamp as an
+//!   argument; the tracer never reads wall time and never charges
+//!   virtual time, so tracing has zero observer effect by construction.
+//! * **No dependencies.** Only `decaf-simkernel` links this crate; all
+//!   other crates emit through `Kernel` wrapper methods, and when no
+//!   tracer is installed those wrappers cost one `Option` check.
+//! * **Deterministic.** Registries iterate in name order, the JSON
+//!   serializer uses fixed formatting, and timestamps are virtual — two
+//!   same-seed runs produce byte-identical trace files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod hist;
+pub mod registry;
+pub mod tracer;
+
+pub use chrome::{chrome_trace_json, validate_chrome_json, TRACE_PID};
+pub use hist::{bucket_of, bucket_upper_bound, Histogram, BUCKETS};
+pub use registry::{fmt_us, MetricsRegistry, Table};
+pub use tracer::{validate_nesting, CostClass, Coverage, Phase, TraceEvent, Tracer, MAX_ARGS};

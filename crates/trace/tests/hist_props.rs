@@ -1,0 +1,105 @@
+//! Property tests for the log-bucketed histogram: bucket monotonicity,
+//! merge commutativity/associativity, and percentile bounds under
+//! arbitrary value streams.
+
+use decaf_trace::{bucket_of, bucket_upper_bound, Histogram, BUCKETS};
+use proptest::prelude::*;
+
+fn from_values(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Bucketing is monotone: a larger value never lands in an earlier
+    /// bucket, and every value fits under its bucket's upper bound.
+    #[test]
+    fn bucketing_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_of(lo) <= bucket_of(hi));
+        prop_assert!(bucket_of(a) < BUCKETS);
+        prop_assert!(a <= bucket_upper_bound(bucket_of(a)));
+    }
+
+    /// Merge is commutative and associative: any grouping and order of
+    /// partial histograms produces the identical aggregate.
+    #[test]
+    fn merge_is_commutative_and_associative(
+        xs in proptest::collection::vec(any::<u64>(), 0..60),
+        ys in proptest::collection::vec(any::<u64>(), 0..60),
+        zs in proptest::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let (hx, hy, hz) = (from_values(&xs), from_values(&ys), from_values(&zs));
+
+        let mut xy = hx;
+        xy.merge(&hy);
+        let mut yx = hy;
+        yx.merge(&hx);
+        prop_assert_eq!(xy, yx, "h1 ∪ h2 == h2 ∪ h1");
+
+        let mut left = xy; // (x ∪ y) ∪ z
+        left.merge(&hz);
+        let mut yz = hy;
+        yz.merge(&hz);
+        let mut right = hx; // x ∪ (y ∪ z)
+        right.merge(&yz);
+        prop_assert_eq!(left, right, "merge is associative");
+
+        // Merging equals recording the concatenated stream.
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(left, from_values(&all));
+    }
+
+    /// Percentiles are ordered and bracketed by the recorded extremes:
+    /// min ≤ p50 ≤ p99 ≤ p999 ≤ max, and quantiles are monotone in q.
+    #[test]
+    fn percentiles_are_bounded_and_ordered(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let h = from_values(&values);
+        let (min, max) = (
+            *values.iter().min().unwrap(),
+            *values.iter().max().unwrap(),
+        );
+        prop_assert_eq!(h.min(), min);
+        prop_assert_eq!(h.max(), max);
+        prop_assert!(h.min() <= h.p50());
+        prop_assert!(h.p50() <= h.p99());
+        prop_assert!(h.p99() <= h.p999());
+        prop_assert!(h.p999() <= h.max());
+        // Monotone in q across a sweep.
+        let mut prev = 0u64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile({q}) went backwards");
+            prop_assert!(v >= min && v <= max);
+            prev = v;
+        }
+        // The count in buckets equals the number of samples.
+        let bucket_total: u64 = h.bucket_counts().iter().sum();
+        prop_assert_eq!(bucket_total, values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// The log-bucket error is one-sided and bounded: the reported
+    /// quantile is at least the true rank value and less than twice it
+    /// (the width of one power-of-two bucket).
+    #[test]
+    fn percentile_error_is_bounded_by_one_bucket(
+        values in proptest::collection::vec(1u64..1_000_000_000, 1..100),
+    ) {
+        let h = from_values(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let est = h.quantile(q);
+            prop_assert!(est >= truth, "quantile({q}) = {est} under-reports {truth}");
+            prop_assert!(est <= truth.saturating_mul(2), "quantile({q}) = {est} > 2x {truth}");
+        }
+    }
+}

@@ -189,6 +189,14 @@ impl DataPathChannel {
             }
         }
         self.policy.note_post(kernel.now_ns());
+        kernel.trace_instant(
+            "ring",
+            "post",
+            &[
+                ("occupancy", self.ring.len() as u64),
+                ("bytes", desc.len as u64),
+            ],
+        );
         let hwm = self.ring.stats().occupancy_hwm;
         self.channel.bump(|s| {
             s.ring_posts += 1;
@@ -203,6 +211,21 @@ impl DataPathChannel {
         if self.policy.due(kernel.now_ns(), self.ring.len()) {
             self.ring_doorbell(kernel)?;
             return Ok(true);
+        }
+        if !self.ring.is_empty() {
+            // The policy held the doorbell back: a coalesce, with the
+            // age of the oldest parked descriptor as evidence.
+            kernel.trace_instant(
+                "ring",
+                "coalesce",
+                &[
+                    ("parked", self.ring.len() as u64),
+                    (
+                        "age_ns",
+                        self.policy.armed_age_ns(kernel.now_ns()).unwrap_or(0),
+                    ),
+                ],
+            );
         }
         Ok(false)
     }
@@ -221,6 +244,8 @@ impl DataPathChannel {
             return Ok(());
         }
         let count = self.ring.len() as u32;
+        let _span = kernel.trace_span("ring", "doorbell");
+        kernel.trace_instant("ring", "ring", &[("descriptors", count as u64)]);
         if self.channel.transport_kind() == TransportKind::Async {
             self.channel.call_async(
                 kernel,
@@ -263,6 +288,9 @@ impl DataPathChannel {
         // producing since the launch covers them as overlap.
         let _ = self.channel.harvest(kernel);
         let done = self.completions.drain(kernel, self.producer.cpu_class());
+        if !done.is_empty() {
+            kernel.trace_instant("ring", "reclaim", &[("completions", done.len() as u64)]);
+        }
         if let Some(pool) = &self.pool {
             for d in &done {
                 // A handle the pool rejects belongs to the driver (raw
@@ -333,13 +361,20 @@ impl DataPathEnd {
     /// probes rarely miss (the interrupt-vs-poll crossover).
     pub fn poll_and_reclaim(&self, kernel: &Kernel, budget: usize) -> Vec<Descriptor> {
         let mut got = Vec::new();
+        let mut probes = 0u64;
         for _ in 0..budget {
             kernel.charge(self.domain.cpu_class(), costs::POLL_SPIN_NS);
+            probes += 1;
             match self.ring.pop(kernel, self.domain.cpu_class()) {
                 Some(d) => got.push(d),
                 None => break,
             }
         }
+        kernel.trace_instant(
+            "rx",
+            "poll_probe",
+            &[("probes", probes), ("hits", got.len() as u64)],
+        );
         got
     }
 }

@@ -724,6 +724,7 @@ impl XpcChannel {
             !self.launching.get(),
             "synchronous call entered while a launch was pricing its crossings"
         );
+        let _span = kernel.trace_span("xpc", "call");
         let caller = self.end(from)?;
         let target = self.peer(from)?;
         self.record_atomic_violation(kernel, target, proc);
@@ -968,6 +969,12 @@ impl XpcChannel {
     /// is charged as wait. Returns the resolved tokens.
     pub fn harvest(&self, kernel: &Kernel) -> Vec<CompletionToken> {
         let mut resolved = Vec::new();
+        if self.launched.borrow().is_empty() {
+            // Poll paths harvest on every probe; emit no trace events
+            // (and open no span) when there is nothing to settle.
+            return resolved;
+        }
+        let _span = kernel.trace_span("xpc", "harvest");
         loop {
             let Some(batch) = self.launched.borrow_mut().pop_front() else {
                 break;
@@ -978,6 +985,15 @@ impl XpcChannel {
             if uncovered > 0 {
                 kernel.charge(batch.class, uncovered);
             }
+            kernel.trace_instant(
+                "xpc.batch",
+                "harvest",
+                &[
+                    ("tokens", batch.tokens.len() as u64),
+                    ("overlap_ns", covered),
+                    ("uncovered_ns", uncovered),
+                ],
+            );
             self.bump(|s| s.overlap_ns += covered);
             self.resolve_tokens(&batch.tokens);
             resolved.extend(batch.tokens);
@@ -1095,6 +1111,7 @@ impl XpcChannel {
     /// batch's tokens and settled at harvest, while the data effects
     /// (unmarshal, dispatch, out-parameter return) land right here.
     fn flush_group(&self, kernel: &Kernel, group: &[DeferredCall]) -> XpcResult<()> {
+        let _span = kernel.trace_span("xpc", "flush");
         let launch = self.transport.kind() == TransportKind::Async;
         let from = group[0].from;
         let caller = self.end(from)?;
@@ -1168,8 +1185,18 @@ impl XpcChannel {
             // Bank the batch's crossing latency for harvest to settle:
             // elapsed virtual time from here on covers it as overlap.
             let cost_ns = self.launch_cost.take();
+            let tokens: Vec<CompletionToken> = group.iter().filter_map(|c| c.token).collect();
+            kernel.trace_instant(
+                "xpc.batch",
+                "launch",
+                &[
+                    ("tokens", tokens.len() as u64),
+                    ("first_token", tokens.first().map_or(0, |t| t.0)),
+                    ("cost_ns", cost_ns),
+                ],
+            );
             self.launched.borrow_mut().push_back(LaunchedBatch {
-                tokens: group.iter().filter_map(|c| c.token).collect(),
+                tokens,
                 class: from.cpu_class(),
                 launched_at: kernel.now_ns(),
                 cost_ns,

@@ -219,7 +219,15 @@ impl ShardedChannel {
 
     /// Steers one call: object arguments pin it to their (single) home
     /// shard; scalar-only calls follow `flow` or the facade policy.
-    fn steer(&self, proc: &str, args: &[Option<CAddr>], flow: Option<u64>) -> XpcResult<usize> {
+    /// Every successful steering decision emits a `shard.steer` trace
+    /// instant recording the chosen shard (by-home or by-flow).
+    fn steer(
+        &self,
+        kernel: &Kernel,
+        proc: &str,
+        args: &[Option<CAddr>],
+        flow: Option<u64>,
+    ) -> XpcResult<usize> {
         let homes = self.homes.borrow();
         let mut object_home = None;
         for addr in args.iter().flatten() {
@@ -241,21 +249,30 @@ impl ShardedChannel {
                 }
             }
         }
-        Ok(match object_home {
-            Some(home) => home,
-            None => match flow {
-                Some(key) => (flow_hash(key) % self.shards.len() as u64) as usize,
-                None => match self.policy {
-                    ShardPolicy::HomePin => 0,
-                    ShardPolicy::FlowHash => {
-                        let key = proc.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-                        });
-                        (flow_hash(key) % self.shards.len() as u64) as usize
-                    }
-                },
-            },
-        })
+        let (shard, by_home) = match object_home {
+            Some(home) => (home, 1),
+            None => {
+                let shard = match flow {
+                    Some(key) => (flow_hash(key) % self.shards.len() as u64) as usize,
+                    None => match self.policy {
+                        ShardPolicy::HomePin => 0,
+                        ShardPolicy::FlowHash => {
+                            let key = proc.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                                (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+                            });
+                            (flow_hash(key) % self.shards.len() as u64) as usize
+                        }
+                    },
+                };
+                (shard, 0)
+            }
+        };
+        kernel.trace_instant(
+            "shard",
+            "steer",
+            &[("shard", shard as u64), ("by_home", by_home)],
+        );
+        Ok(shard)
     }
 
     /// A synchronous call through the facade; steered to the argument's
@@ -270,7 +287,7 @@ impl ShardedChannel {
         args: &[Option<CAddr>],
         scalars: &[XdrValue],
     ) -> XpcResult<XdrValue> {
-        let shard = self.steer(proc, args, None)?;
+        let shard = self.steer(kernel, proc, args, None)?;
         kernel.shard_scope(shard, || {
             self.shards[shard].call(kernel, from, proc, args, scalars)
         })
@@ -285,7 +302,7 @@ impl ShardedChannel {
         proc: &str,
         scalars: &[XdrValue],
     ) -> XpcResult<XdrValue> {
-        let shard = self.steer(proc, &[], Some(flow))?;
+        let shard = self.steer(kernel, proc, &[], Some(flow))?;
         kernel.shard_scope(shard, || {
             self.shards[shard].call(kernel, from, proc, &[], scalars)
         })
@@ -300,7 +317,7 @@ impl ShardedChannel {
         args: &[Option<CAddr>],
         scalars: &[XdrValue],
     ) -> XpcResult<()> {
-        let shard = self.steer(proc, args, None)?;
+        let shard = self.steer(kernel, proc, args, None)?;
         kernel.shard_scope(shard, || {
             self.shards[shard].call_deferred(kernel, from, proc, args, scalars)
         })
@@ -318,7 +335,7 @@ impl ShardedChannel {
         args: &[Option<CAddr>],
         scalars: &[XdrValue],
     ) -> XpcResult<crate::transport::CompletionToken> {
-        let shard = self.steer(proc, args, None)?;
+        let shard = self.steer(kernel, proc, args, None)?;
         kernel.shard_scope(shard, || {
             self.shards[shard].call_async(kernel, from, proc, args, scalars)
         })
@@ -349,7 +366,7 @@ impl ShardedChannel {
         proc: &str,
         scalars: &[XdrValue],
     ) -> XpcResult<()> {
-        let shard = self.steer(proc, &[], Some(flow))?;
+        let shard = self.steer(kernel, proc, &[], Some(flow))?;
         kernel.shard_scope(shard, || {
             self.shards[shard].call_deferred(kernel, from, proc, &[], scalars)
         })
@@ -447,6 +464,7 @@ impl ShardedChannel {
     /// before the fault are not requeued, and the taken queue is the
     /// not-yet-applied remainder. Returns the number of requeued calls.
     pub fn recover_shard(&self, kernel: &Kernel, shard: usize, failed: Domain) -> XpcResult<usize> {
+        let _span = kernel.trace_span("shard", "recover");
         let ch = &self.shards[shard];
         kernel.shard_scope(shard, || {
             let _ = ch.harvest(kernel);
@@ -464,6 +482,13 @@ impl ShardedChannel {
             }
             kernel.shard_scope(shard, || ch.requeue_deferred(kernel, call))?;
             requeued += 1;
+        }
+        if !cancelled.is_empty() {
+            kernel.trace_instant(
+                "xpc.batch",
+                "cancel",
+                &[("shard", shard as u64), ("tokens", cancelled.len() as u64)],
+            );
         }
         ch.cancel_tokens(&cancelled);
         Ok(requeued)

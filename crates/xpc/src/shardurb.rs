@@ -139,6 +139,7 @@ impl ShardedUrbPath {
     ) -> XpcResult<usize> {
         let shard = self.steer(lun);
         kernel.shard_scope(shard, || {
+            kernel.trace_instant("shard", "steer", &[("shard", shard as u64), ("lun", lun)]);
             // Note first: a watermark doorbell inside submit_out runs
             // the completer synchronously, and it must already be able
             // to steer this URB's giveback home.
@@ -167,6 +168,7 @@ impl ShardedUrbPath {
     ) -> XpcResult<usize> {
         let shard = self.steer(lun);
         kernel.shard_scope(shard, || {
+            kernel.trace_instant("shard", "steer", &[("shard", shard as u64), ("lun", lun)]);
             self.set.note_submit(shard, cookie);
             match self.paths[shard].submit_in(kernel, endpoint, expected_len, cookie) {
                 Ok(()) => Ok(shard),

@@ -106,8 +106,18 @@ pub trait Transport {
 
     /// Charges the virtual-time cost of one one-way control transfer
     /// initiated by `class`.
+    ///
+    /// This default is the one instrumentation point covering all four
+    /// transport kinds: every synchronous crossing emits a per-transport
+    /// `xpc.crossing` trace instant named after [`Transport::name`].
     fn charge_crossing(&self, kernel: &Kernel, class: CpuClass, domain_crossing: bool) {
-        kernel.charge(class, self.crossing_cost_ns(domain_crossing));
+        let cost = self.crossing_cost_ns(domain_crossing);
+        kernel.charge(class, cost);
+        kernel.trace_instant(
+            "xpc.crossing",
+            self.name(),
+            &[("cost_ns", cost), ("domain", domain_crossing as u64)],
+        );
     }
 
     /// Offers a call for deferral. A transport that does not batch hands

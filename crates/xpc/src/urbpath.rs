@@ -229,7 +229,17 @@ impl UrbDataPath {
 
     fn alloc_run(&self, kernel: &Kernel, len: usize) -> XpcResult<decaf_shmring::SectorHandle> {
         match self.pool.alloc(len) {
-            Ok(run) => Ok(run),
+            Ok(run) => {
+                kernel.trace_instant(
+                    "pool",
+                    "alloc",
+                    &[
+                        ("bytes", len as u64),
+                        ("in_use", self.pool.in_use_sectors() as u64),
+                    ],
+                );
+                Ok(run)
+            }
             Err(PoolError::Exhausted) => {
                 // Force the completer to drain; the freed runs come back
                 // through the giveback ring, which only the caller may
@@ -245,6 +255,7 @@ impl UrbDataPath {
 
     fn post(&self, kernel: &Kernel, desc: UrbDescriptor) -> XpcResult<()> {
         let run = desc.buf;
+        let bytes = desc.len as u64;
         match self.submit.push(kernel, self.producer.cpu_class(), desc) {
             Ok(()) => {}
             Err(RingError::Full) => {
@@ -260,6 +271,11 @@ impl UrbDataPath {
             }
         }
         self.policy.note_post(kernel.now_ns());
+        kernel.trace_instant(
+            "ring",
+            "post",
+            &[("occupancy", self.submit.len() as u64), ("bytes", bytes)],
+        );
         let in_flight = self.in_flight.get() + 1;
         self.in_flight.set(in_flight);
         let hwm = self.submit.stats().occupancy_hwm;
@@ -285,6 +301,19 @@ impl UrbDataPath {
             self.ring_doorbell(kernel)?;
             return Ok(true);
         }
+        if !self.submit.is_empty() {
+            kernel.trace_instant(
+                "ring",
+                "coalesce",
+                &[
+                    ("parked", self.submit.len() as u64),
+                    (
+                        "age_ns",
+                        self.policy.armed_age_ns(kernel.now_ns()).unwrap_or(0),
+                    ),
+                ],
+            );
+        }
         Ok(false)
     }
 
@@ -296,6 +325,8 @@ impl UrbDataPath {
             return Ok(());
         }
         let count = self.submit.len() as u32;
+        let _span = kernel.trace_span("ring", "doorbell");
+        kernel.trace_instant("ring", "ring", &[("descriptors", count as u64)]);
         self.channel.call(
             kernel,
             self.producer,
@@ -322,6 +353,18 @@ impl UrbDataPath {
     /// callback dispatch. Givebacks may arrive in any order.
     pub fn reclaim(&self, kernel: &Kernel) -> Vec<UrbReclaim> {
         let done = self.giveback.drain(kernel, self.producer.cpu_class());
+        if !done.is_empty() {
+            // Every giveback frees its sector run below, so one instant
+            // carries both the reclaim count and the pool releases.
+            kernel.trace_instant(
+                "ring",
+                "reclaim",
+                &[
+                    ("completions", done.len() as u64),
+                    ("freed_runs", done.len() as u64),
+                ],
+            );
+        }
         let mut out = Vec::with_capacity(done.len());
         for d in done {
             // An inconsistent giveback (actual exceeding the run, a

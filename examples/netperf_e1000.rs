@@ -2,11 +2,28 @@
 //! one driver, end to end.
 //!
 //! Run with: `cargo run --release --example netperf_e1000`
+//!
+//! `--trace <path>` writes a Chrome `trace_event` JSON capture of the
+//! decaf run (open it at `chrome://tracing` or in Perfetto). Timestamps
+//! are virtual, so same-seed captures are byte-identical.
 
 use decaf_core::drivers::workloads;
+use decaf_core::simkernel::decaf_trace::{chrome_trace_json, Tracer};
 use decaf_core::simkernel::Kernel;
 
+/// Parses an optional `--trace <path>` argument pair.
+fn trace_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return Some(args.next().expect("--trace requires a path"));
+        }
+    }
+    None
+}
+
 fn main() {
+    let trace_path = trace_arg();
     let seconds = 3;
     let pps = 4_000;
     let pkt = 1_500;
@@ -18,13 +35,28 @@ fn main() {
     kn.schedule_point();
     let n = workloads::netperf_send(&kn, "eth0", seconds, pps, pkt).expect("netperf");
 
-    // Decaf build.
+    // Decaf build, traced when asked. The tracer stamps every span with
+    // the kernel's virtual clock and never charges time itself, so the
+    // traced run's numbers match the untraced ones exactly.
     let kd = Kernel::new();
+    let tracer = trace_path.as_ref().map(|_| {
+        let t = Tracer::new();
+        kd.set_tracer(Some(std::rc::Rc::clone(&t)));
+        t
+    });
     let decaf = decaf_core::drivers::e1000::decaf::install(&kd, "eth0").expect("decaf");
     kd.netdev_open("eth0").expect("open");
     kd.schedule_point();
     let init_crossings = decaf.crossings();
     let d = workloads::netperf_send(&kd, "eth0", seconds, pps, pkt).expect("netperf");
+
+    if let (Some(path), Some(t)) = (&trace_path, &tracer) {
+        std::fs::write(path, chrome_trace_json(&t.events())).expect("write trace");
+        println!(
+            "wrote {} trace events to {path} (load in chrome://tracing)",
+            t.event_count()
+        );
+    }
 
     println!("E1000 netperf-send ({seconds} virtual s, {pps} pps, {pkt} B)");
     println!("                      native      decaf");

@@ -27,8 +27,8 @@ fn main() {
     println!("poll ablation: 1 virtual second at {low} and {high} pkts/s");
 
     for pps in [low, high] {
-        let (interrupt_ns, _, interrupt_doorbells) = rx_mode_run(RxMode::Interrupt, pps);
-        let (poll_ns, _, poll_doorbells) = rx_mode_run(RxMode::Poll, pps);
+        let (interrupt_ns, _, interrupt_doorbells, _) = rx_mode_run(RxMode::Interrupt, pps);
+        let (poll_ns, _, poll_doorbells, _) = rx_mode_run(RxMode::Poll, pps);
         println!(
             "  {pps:>6} pkts/s: interrupt {:.1} µs ({interrupt_doorbells} doorbells), \
              poll {:.1} µs ({poll_doorbells} doorbells)",

@@ -17,10 +17,35 @@
 //! parallel wall model.
 //!
 //! Run with: `cargo run --release --example storage_smoke [shards]`
+//!
+//! `--trace <path>` additionally drives one traced shmring tar run and
+//! writes a Chrome `trace_event` JSON capture to `path` (open it at
+//! `chrome://tracing` or in Perfetto). Timestamps are virtual, so
+//! same-seed captures are byte-identical.
 
 use decaf_core::experiments::{
     storage_ablation, storage_shard_run, STORAGE_FILES, STORAGE_LUNS, STORAGE_SECTORS_PER_FILE,
 };
+use decaf_core::simkernel::decaf_trace::{chrome_trace_json, Tracer};
+use decaf_core::simkernel::Kernel;
+
+/// Drives the shmring tar write + streaming-read pair once with a full
+/// event tracer installed and writes the Chrome JSON capture.
+fn traced_smoke(path: &str) {
+    use decaf_core::drivers::workloads;
+    let k = Kernel::new();
+    let t = Tracer::new();
+    k.set_tracer(Some(std::rc::Rc::clone(&t)));
+    let _drv = decaf_core::drivers::uhci::install_shmring(&k, "uhci0").expect("uhci shmring");
+    workloads::tar_to_flash(&k, "uhci0", STORAGE_FILES, STORAGE_SECTORS_PER_FILE).expect("tar out");
+    workloads::tar_from_flash(&k, "uhci0", STORAGE_FILES, STORAGE_SECTORS_PER_FILE)
+        .expect("tar in");
+    std::fs::write(path, chrome_trace_json(&t.events())).expect("write trace");
+    println!(
+        "wrote {} trace events to {path} (load in chrome://tracing)",
+        t.event_count()
+    );
+}
 
 fn sharded_smoke(shards: usize) {
     println!(
@@ -61,7 +86,16 @@ fn sharded_smoke(shards: usize) {
 }
 
 fn main() {
-    if let Some(shards) = std::env::args().nth(1) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let path = args
+            .get(i + 1)
+            .cloned()
+            .expect("--trace requires a path argument");
+        args.drain(i..=i + 1);
+        traced_smoke(&path);
+    }
+    if let Some(shards) = args.first() {
         let shards: usize = shards.parse().expect("shard count argument");
         sharded_smoke(shards.max(2));
         return;

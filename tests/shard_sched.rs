@@ -331,3 +331,57 @@ fn enumerated_interleavings_preserve_shard_invariants() {
     }
     assert!(total >= 100, "only {total} interleavings enumerated");
 }
+
+/// Runs a traced shards=4 netperf stream on the sharded e1000 build
+/// and returns the tracer plus the serialized Chrome JSON.
+fn traced_sharded_netperf() -> (Rc<decaf_core::simkernel::decaf_trace::Tracer>, String, u64) {
+    use decaf_core::simkernel::decaf_trace::{chrome_trace_json, Tracer};
+    let kernel = Kernel::new();
+    let tracer = Tracer::new();
+    kernel.set_tracer(Some(Rc::clone(&tracer)));
+    let drv = decaf_core::drivers::e1000::decaf::install_sharded(&kernel, "eth0", 4)
+        .expect("sharded e1000 installs");
+    kernel.netdev_open("eth0").expect("open");
+    kernel.schedule_point();
+    decaf_core::drivers::workloads::netperf_send(&kernel, "eth0", 1, 2_000, 1500).expect("netperf");
+    drv.channels.flush_all(&kernel).expect("final flush");
+    drv.channels.harvest_all(&kernel);
+    let json = chrome_trace_json(&tracer.events());
+    (tracer, json, kernel.now_ns())
+}
+
+/// Same seed, same schedule — the trace buffers must be byte-identical
+/// (the CI diffability claim), and each buffer must satisfy span
+/// discipline: every span closed, brackets nested per track, no span on
+/// one shard's timeline partially overlapping another.
+#[test]
+fn same_seed_traces_are_byte_identical_and_well_nested() {
+    use decaf_core::simkernel::decaf_trace::{validate_chrome_json, validate_nesting};
+    let (t1, json1, now1) = traced_sharded_netperf();
+    let (t2, json2, now2) = traced_sharded_netperf();
+
+    assert!(t1.event_count() > 0, "traced run recorded no events");
+    assert_eq!(now1, now2, "virtual clocks diverged between same-seed runs");
+    assert_eq!(
+        t1.event_count(),
+        t2.event_count(),
+        "event counts diverged between same-seed runs"
+    );
+    assert_eq!(json1, json2, "same-seed trace buffers differ");
+
+    // Span discipline: every guard dropped, every request completed,
+    // and the event stream brackets cleanly on every shard track.
+    assert_eq!(t1.open_span_count(), 0, "sync spans left open");
+    assert_eq!(t1.open_request_count(), 0, "request spans left open");
+    validate_nesting(&t1.events()).expect("span nesting violated");
+    let n = validate_chrome_json(&json1).expect("chrome JSON invalid");
+    assert_eq!(n, t1.event_count(), "serialized event count mismatch");
+
+    // The sharded run actually used the shard tracks: events must land
+    // on more than just track 0.
+    let tracks: HashSet<u32> = t1.events().iter().map(|e| e.track).collect();
+    assert!(
+        tracks.len() > 1,
+        "sharded run emitted on a single track: {tracks:?}"
+    );
+}
