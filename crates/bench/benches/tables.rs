@@ -20,6 +20,7 @@ fn main() {
     rx_mode_sweep();
     shard_ablation();
     storage_shard_ablation();
+    overload_knee();
     table4();
 }
 
@@ -458,6 +459,61 @@ fn rx_mode_sweep() {
          interrupt mode services each frame as it lands, poll mode holds\n\
          frames until the next grid tick — the latency cost of the CPU\n\
          the poll grid saves at high rates)"
+    );
+}
+
+fn overload_knee() {
+    banner("Overload knee: open-loop offered rate vs goodput and tail latency");
+    let sat = experiments::overload_saturation_rate();
+    let mut t = Table::new("");
+    let mut cols = vec![
+        "Policy",
+        "Rate%",
+        "Offered",
+        "Admit",
+        "Rej",
+        "Shed",
+        "Goodput/s",
+    ];
+    cols.extend(LAT_HEADERS);
+    t.columns(&cols);
+    let rows = experiments::overload_sweep();
+    for row in &rows {
+        let mut cells = vec![
+            row.policy.name().to_string(),
+            row.multiplier_pct.to_string(),
+            row.offered.to_string(),
+            row.admitted.to_string(),
+            row.rejected.to_string(),
+            row.shed.to_string(),
+            row.goodput_per_s.to_string(),
+        ];
+        cells.extend(lat_cells(&row.lat));
+        t.row(cells);
+    }
+    print!("{}", t.render());
+    let v = experiments::knee_verdict(&rows);
+    println!(
+        "calibrated saturation: {sat} req/s. Unbounded p99 blows up {:.1}×\n\
+         past saturation; {} holds p99 within {:.1}× pre-knee at {:.0}% of\n\
+         peak goodput (acceptance: ≥10× / ≤3× / ≥80% — {}).",
+        v.unbounded_blowup,
+        v.bounded_policy.name(),
+        v.bounded_ratio,
+        v.goodput_fraction * 100.0,
+        if v.holds { "holds" } else { "FAILS" }
+    );
+    println!(
+        "(seeded open-loop arrivals — Poisson netperf packets plus bursty\n\
+         tar URBs — dispatched by an absolute-deadline kernel timer into\n\
+         real shmring data paths. Latency is completion minus *scheduled*\n\
+         arrival: when the single CPU falls behind, the wait shows up in\n\
+         the tail. Queue-unbounded admits everything and pays in p99;\n\
+         reject-at-admission turns arrivals away at the door with per-class\n\
+         token buckets; shed-oldest drops the stalest queued request. Every\n\
+         cell asserts zero payload bytes copied, URB descriptor/sector\n\
+         conservation, a closed admission ledger, and every async doorbell\n\
+         token settled)"
     );
 }
 

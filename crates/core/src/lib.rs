@@ -34,6 +34,7 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod loadgen;
 pub mod sched;
 
 /// Re-export of the simulated kernel substrate.

@@ -261,6 +261,145 @@ pub fn decaf_writel(kernel: &Kernel, ch: &XpcChannel, off: u64, val: u32) {
     );
 }
 
+/// The pieces of one open-loop network sink: per-shard pool-less RX
+/// descriptor paths over one sharded async-shmring control facade.
+///
+/// Unlike the driver builds, there is no device model underneath — the
+/// open-loop engine plays the role of the wire, posting descriptors at
+/// scheduled virtual times regardless of how the decaf side is doing.
+/// Payload bytes never exist (descriptors reference slots owned by the
+/// synthetic "hardware"), so `bytes_copied` stays zero by construction.
+pub struct OpenLoopNet {
+    /// The sharded control facade the doorbells ride (async transport:
+    /// each doorbell launches and settles at harvest).
+    pub channels: Rc<decaf_xpc::ShardedChannel>,
+    /// One pool-less descriptor path per shard.
+    pub paths: Vec<Rc<DataPathChannel>>,
+}
+
+impl OpenLoopNet {
+    /// Static cookie→shard steering. Open-loop arrivals have no flow
+    /// identity to hash; a round-robin modulo keeps the shards evenly
+    /// loaded and the mapping replayable from the cookie alone.
+    pub fn steer(&self, cookie: u64) -> usize {
+        (cookie as usize) % self.paths.len()
+    }
+}
+
+/// Builds an [`OpenLoopNet`]: `shards` RX descriptor rings of `depth`
+/// slots over one async-shmring [`decaf_xpc::ShardedChannel`], each
+/// with a watermark/deadline doorbell and a decaf-side `rx_drain` that
+/// consumes descriptors and hands their slots straight back.
+pub fn install_open_loop_net(
+    shards: usize,
+    depth: usize,
+    watermark: usize,
+) -> XpcResult<OpenLoopNet> {
+    use decaf_shmring::{DoorbellPolicy, ShmRing};
+    use decaf_xpc::{ShardPolicy, ShardedChannel};
+
+    let sc = ShardedChannel::new(
+        decaf_xdr::XdrSpec::parse("struct unused { int x; };").expect("static spec"),
+        decaf_xdr::mask::MaskSet::full(),
+        ChannelConfig::kernel_user_async_shmring(),
+        Domain::Nucleus,
+        Domain::Decaf,
+        shards,
+        ShardPolicy::FlowHash,
+    );
+    let mut paths = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let ring = Rc::new(ShmRing::new(format!("olnet-rx{i}"), depth));
+        let done = Rc::new(ShmRing::new(format!("olnet-rx{i}-done"), 2 * depth));
+        let dp = DataPathChannel::new(
+            Rc::clone(sc.shard(i)),
+            Domain::Nucleus,
+            "rx_drain",
+            ring,
+            done,
+            None,
+            DoorbellPolicy::with_watermark(watermark),
+        )?;
+        let end = dp.end(Domain::Decaf);
+        sc.shard(i).register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "rx_drain".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |k, _, _, _| {
+                    let mut n = 0;
+                    for d in end.consume(k) {
+                        let _ = end.complete(k, d);
+                        n += 1;
+                    }
+                    XdrValue::Int(n)
+                }),
+            },
+        )?;
+        paths.push(dp);
+    }
+    Ok(OpenLoopNet {
+        channels: sc,
+        paths,
+    })
+}
+
+/// Builds the storage side of the open-loop engine: a
+/// [`decaf_xpc::ShardedUrbPath`] over `shards` URB rings of `depth`
+/// entries and a `sectors`-sector payload pool, with a decaf-side
+/// `urb_drain` per shard that echoes OUT lengths and gives the payload
+/// run's ownership back through the set so completions steer home.
+pub fn install_open_loop_storage(
+    shards: usize,
+    sectors: usize,
+    depth: usize,
+    watermark: usize,
+) -> XpcResult<(Rc<decaf_xpc::ShardedChannel>, Rc<decaf_xpc::ShardedUrbPath>)> {
+    use decaf_shmring::{SectorPool, UrbRingSet, XferDir};
+    use decaf_simkernel::CpuClass;
+    use decaf_xpc::{ShardPolicy, ShardedChannel, ShardedUrbPath};
+
+    let sc = ShardedChannel::new(
+        decaf_xdr::XdrSpec::parse("struct unused { int x; };").expect("static spec"),
+        decaf_xdr::mask::MaskSet::full(),
+        ChannelConfig::kernel_user_shmring(),
+        Domain::Nucleus,
+        Domain::Decaf,
+        shards,
+        ShardPolicy::FlowHash,
+    );
+    let set = UrbRingSet::new(
+        "olurb",
+        shards,
+        depth,
+        2 * depth,
+        Rc::new(SectorPool::with_capacity(512, sectors)),
+    );
+    let path = ShardedUrbPath::new(Rc::clone(&sc), Domain::Nucleus, "urb_drain", set, watermark)?;
+    for i in 0..shards {
+        let end = path.path(i).end(Domain::Decaf);
+        let set = Rc::clone(path.set());
+        sc.shard(i).register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "urb_drain".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |k, _, _, _| {
+                    for d in end.consume(k) {
+                        let actual = match d.dir {
+                            XferDir::Out => d.len,
+                            XferDir::In => 512,
+                        };
+                        let _ = set.complete(k, CpuClass::User, d.completed(0, actual));
+                    }
+                    XdrValue::Void
+                }),
+            },
+        )?;
+    }
+    Ok((sc, path))
+}
+
 /// Maps a `KResult` to the errno-style integer the XPC layer carries.
 pub fn errno_value(result: Result<(), KError>) -> XdrValue {
     match result {

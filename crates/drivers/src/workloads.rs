@@ -362,6 +362,75 @@ pub fn move_and_click(
     ))
 }
 
+// ---------------------------------------------------------------------
+// Open-loop entry points. The closed-loop generators above decide the
+// next request by waiting for the last one; the open-loop engine in
+// `decaf-core` instead walks a pre-computed arrival schedule and calls
+// these per arrival. They are deliberately thin — one request in, the
+// shard it landed on out — so latency accounting (completion time minus
+// *scheduled* arrival time) stays entirely with the engine.
+
+/// Posts one open-loop packet descriptor: steer by cookie, post into
+/// that shard's ring under its cost scope, let the watermark/deadline
+/// policy decide the doorbell. On a full ring the doorbell is rung once
+/// (draining the ring) and the post retried — the same staged
+/// backpressure contract the submit paths use.
+pub fn open_loop_packet(
+    kernel: &Kernel,
+    net: &crate::support::OpenLoopNet,
+    len: u32,
+    cookie: u64,
+) -> decaf_xpc::XpcResult<usize> {
+    use decaf_shmring::{BufHandle, Descriptor};
+    let shard = net.steer(cookie);
+    let dp = &net.paths[shard];
+    kernel.shard_scope(shard, || {
+        let desc = Descriptor {
+            buf: BufHandle(cookie as u32),
+            len,
+            cookie,
+        };
+        if dp.post(kernel, desc).is_err() {
+            dp.ring_doorbell(kernel)?;
+            dp.post(kernel, desc)?;
+        }
+        dp.maybe_ring(kernel)?;
+        Ok(shard)
+    })
+}
+
+/// Reclaims completed open-loop packets across all shards, returning
+/// their cookies (the engine maps cookies back to scheduled arrivals).
+pub fn open_loop_packet_reclaim(kernel: &Kernel, net: &crate::support::OpenLoopNet) -> Vec<u64> {
+    let mut done = Vec::new();
+    for (i, dp) in net.paths.iter().enumerate() {
+        kernel.shard_scope(i, || {
+            done.extend(dp.reclaim_completions(kernel).into_iter().map(|d| d.cookie));
+        });
+    }
+    done
+}
+
+/// Submits one open-loop storage URB (a 512-byte sector write steered
+/// by LUN) and returns the shard it landed on. Backpressure propagates
+/// to the caller: `ShardedUrbPath::submit_out` already stages its own
+/// reclaim-and-retry, so a residual error means the shard is genuinely
+/// saturated and the engine should treat the request as waiting.
+pub fn open_loop_urb(
+    kernel: &Kernel,
+    path: &decaf_xpc::ShardedUrbPath,
+    lun_count: u64,
+    payload: &[u8],
+    cookie: u64,
+) -> decaf_xpc::XpcResult<usize> {
+    path.submit_out(kernel, cookie % lun_count.max(1), 2, payload, cookie)
+}
+
+/// Reclaims completed open-loop URBs, returning their cookies.
+pub fn open_loop_urb_reclaim(kernel: &Kernel, path: &decaf_xpc::ShardedUrbPath) -> Vec<u64> {
+    path.reclaim(kernel).into_iter().map(|r| r.cookie).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -78,6 +78,20 @@ impl DoorbellPolicy {
         self.armed_at.set(None);
     }
 
+    /// Records that the doorbell rang but the drain left `survivors`
+    /// posts parked (a budgeted consumer, a device that NAKed, a
+    /// recovery re-ring). Disarming unconditionally here is the
+    /// disarm-with-occupancy hazard: with `armed_at` back to `None` and
+    /// occupancy below the watermark, [`DoorbellPolicy::due`] can never
+    /// deadline-fire again and the survivors wait forever. Rings drain
+    /// FIFO, so the survivors are the *newest* posts; without per-post
+    /// timestamps `now_ns` is the tightest anchor the policy can know,
+    /// and it bounds the survivors' extra wait to one deadline window.
+    pub fn rang_with_survivors(&self, now_ns: u64, survivors: usize) {
+        self.armed_at
+            .set(if survivors > 0 { Some(now_ns) } else { None });
+    }
+
     /// Re-anchors (or disarms, with `None`) the deadline explicitly —
     /// used when the oldest parked item is dropped rather than flushed,
     /// so the window is measured from the oldest *surviving* post.
@@ -115,5 +129,22 @@ mod tests {
         p.note_post(0);
         p.note_post(900); // later posts do not push the deadline out
         assert!(p.due(1_000, 2));
+    }
+
+    #[test]
+    fn partial_drain_rearms_for_the_survivors() {
+        // Regression: a doorbell whose drain left occupancy behind used
+        // to disarm unconditionally, after which `due` could never
+        // deadline-fire (`armed_at == None`) and a below-watermark
+        // survivor waited for the watermark forever.
+        let p = DoorbellPolicy::new(8, 1_000);
+        p.note_post(100);
+        p.rang_with_survivors(500, 2);
+        assert!(!p.due(1_200, 2), "window restarts from the ring");
+        assert!(p.due(1_500, 2), "survivors deadline-fire within one window");
+        // A clean drain still disarms completely.
+        p.rang_with_survivors(1_500, 0);
+        assert_eq!(p.armed_age_ns(9_999), None);
+        assert!(!p.due(99_999, 0));
     }
 }

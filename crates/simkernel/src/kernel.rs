@@ -486,6 +486,23 @@ impl Kernel {
         }
     }
 
+    /// Arms `timer` to fire once at absolute virtual time `deadline_ns`
+    /// (like `mod_timer` with an absolute `expires`). A deadline already
+    /// in the past fires at the next dispatch point — exactly how a late
+    /// `mod_timer` behaves. Schedule-driven dispatchers (the open-loop
+    /// load engine walking a precomputed arrival list) want this form:
+    /// re-arming to `schedule[i]` directly cannot accumulate the off-by-
+    /// one-dispatch drift that repeated `now + delta` arithmetic can.
+    pub fn timer_arm_at(&self, timer: TimerId, deadline_ns: u64) {
+        let now = self.now_ns();
+        if let Some(t) = self.inner.timers.borrow_mut().get_mut(timer.0) {
+            if t.live {
+                t.deadline_ns = Some(deadline_ns.max(now));
+                t.period_ns = None;
+            }
+        }
+    }
+
     /// Arms `timer` to fire every `period_ns` (must be positive).
     pub fn timer_arm_periodic(&self, timer: TimerId, period_ns: u64) {
         assert!(period_ns > 0, "periodic timers require a positive period");
@@ -875,6 +892,52 @@ mod tests {
         k.timer_arm(t, 100);
         k.run_for(200);
         assert_eq!(ran_in.get(), Some(true));
+    }
+
+    #[test]
+    fn timer_arm_at_fires_at_absolute_deadlines() {
+        // The schedule-driven dispatch shape: one timer walked down a
+        // precomputed arrival list by re-arming to each absolute time
+        // from inside the callback. Late deadlines fire immediately
+        // instead of underflowing.
+        let k = Kernel::new();
+        let fired = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let schedule = [10_000u64, 20_000, 20_000, 50_000];
+        let idx = Rc::new(StdCell::new(0usize));
+        let f = Rc::clone(&fired);
+        let i = Rc::clone(&idx);
+        let t_cell = Rc::new(StdCell::new(None::<TimerId>));
+        let t_cb = Rc::clone(&t_cell);
+        let t = k.timer_create(
+            "arrivals",
+            Rc::new(move |k| {
+                f.borrow_mut().push(k.now_ns());
+                let next = i.get() + 1;
+                i.set(next);
+                if next < schedule.len() {
+                    k.timer_arm_at(t_cb.get().unwrap(), schedule[next]);
+                }
+            }),
+        );
+        t_cell.set(Some(t));
+        k.timer_arm_at(t, schedule[0]);
+        k.run_for(60_000);
+        // Each fire observes its deadline plus the softirq dispatch
+        // charge (busy time advances the clock on this one-CPU model).
+        // The duplicate 20_000 deadline is already in the past when the
+        // callback re-arms it, so it fires at the next dispatch point
+        // rather than being lost — the lateness IS the queueing delay
+        // an open-loop dispatcher wants to observe.
+        assert_eq!(
+            *fired.borrow(),
+            vec![
+                10_000 + costs::SOFTIRQ_DISPATCH_NS,
+                20_000 + costs::SOFTIRQ_DISPATCH_NS,
+                20_000 + 2 * costs::SOFTIRQ_DISPATCH_NS,
+                50_000 + costs::SOFTIRQ_DISPATCH_NS,
+            ]
+        );
+        assert!(!k.timer_pending(t));
     }
 
     #[test]

@@ -267,7 +267,11 @@ impl DataPathChannel {
             )?;
         }
         self.channel.bump(|s| s.doorbells += 1);
-        self.policy.rang();
+        // A budgeted or declining consumer may have left descriptors
+        // parked; re-arm the deadline for the survivors instead of
+        // disarming into the never-fires state.
+        self.policy
+            .rang_with_survivors(kernel.now_ns(), self.ring.len());
         Ok(())
     }
 
@@ -594,6 +598,72 @@ mod tests {
         let s = ch.stats();
         assert_eq!(s.tokens_harvested, 2, "reclaim harvested both launches");
         assert!(s.overlap_ns > 0, "idle time covered the crossings");
+    }
+
+    #[test]
+    fn partial_drain_survivor_still_deadline_fires() {
+        // Regression for the disarm-with-occupancy hazard: a consumer
+        // that drains one descriptor per doorbell (a drain budget) used
+        // to leave the survivor parked with `armed_at == None`, so the
+        // deadline could never fire and — below the watermark — the
+        // survivor waited forever.
+        let k = Kernel::new();
+        let ch = channel();
+        let dp = DataPathChannel::new(
+            Rc::clone(&ch),
+            Domain::Nucleus,
+            "drain",
+            Rc::new(ShmRing::new("rx", 8)),
+            Rc::new(ShmRing::new("rx-done", 8)),
+            None,
+            DoorbellPolicy::with_watermark(2),
+        )
+        .unwrap();
+        let end = dp.end(Domain::Decaf);
+        let drained = Rc::new(RefCell::new(Vec::new()));
+        {
+            let drained = Rc::clone(&drained);
+            ch.register_proc(
+                Domain::Decaf,
+                ProcDef {
+                    name: "drain".into(),
+                    arg_types: vec![],
+                    handler: Rc::new(move |k, _, _, _| {
+                        // Budget of one: take a single descriptor, leave
+                        // the rest parked in the ring.
+                        if let Some(d) = end.consume_one(k) {
+                            drained.borrow_mut().push(d.cookie);
+                            end.complete(k, d).unwrap();
+                        }
+                        XdrValue::Void
+                    }),
+                },
+            )
+            .unwrap();
+        }
+        use decaf_shmring::BufHandle;
+        for slot in 0..2u64 {
+            dp.post(
+                &k,
+                Descriptor {
+                    buf: BufHandle(slot as u32),
+                    len: 1500,
+                    cookie: slot,
+                },
+            )
+            .unwrap();
+        }
+        assert!(dp.maybe_ring(&k).unwrap(), "watermark doorbell rings");
+        assert_eq!(drained.borrow().as_slice(), &[0], "budget drained one");
+        assert_eq!(dp.pending(), 1, "survivor parked below the watermark");
+        assert!(!dp.poll(&k).unwrap(), "survivor window not expired yet");
+        k.run_for(costs::DOORBELL_COALESCE_NS + 1);
+        assert!(
+            dp.poll(&k).unwrap(),
+            "survivor must deadline-fire within one window"
+        );
+        assert_eq!(drained.borrow().as_slice(), &[0, 1]);
+        assert_eq!(dp.pending(), 0);
     }
 
     #[test]

@@ -50,7 +50,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
-use decaf_simkernel::{costs, CpuClass, Kernel, ViolationKind};
+use decaf_simkernel::{costs, CpuClass, Kernel, TimerId, ViolationKind};
 use decaf_xdr::graph::{self, CAddr, DeltaHook, NoDelta, ObjHeap};
 use decaf_xdr::mask::{Direction, MaskSet};
 use decaf_xdr::{XdrSpec, XdrValue};
@@ -327,6 +327,14 @@ struct LaunchedBatch {
     cost_ns: u64,
 }
 
+/// Deadline-wakeup state: a kernel timer that fires the adaptive-batching
+/// flush *at* the deadline, plus the shard to attribute the flush to.
+#[derive(Debug, Clone, Copy)]
+struct DeadlineWakeup {
+    timer: TimerId,
+    shard: Option<usize>,
+}
+
 /// A two-ended XPC channel: stub layer plus a pluggable transport.
 pub struct XpcChannel {
     spec: XdrSpec,
@@ -349,6 +357,10 @@ pub struct XpcChannel {
     /// mode on a non-async transport, or per-call fallback): a disjoint
     /// high range so they can never collide with transport-minted ones.
     next_sync_token: Cell<u64>,
+    /// Deadline-wakeup timer, once [`XpcChannel::arm_deadline_wakeups`]
+    /// opted this channel in. `None` means the classic behavior: the
+    /// deadline is only evaluated when the next call or poll arrives.
+    wakeup: Cell<Option<DeadlineWakeup>>,
 }
 
 impl XpcChannel {
@@ -389,6 +401,7 @@ impl XpcChannel {
             launched: RefCell::new(VecDeque::new()),
             outstanding: RefCell::new(HashSet::new()),
             next_sync_token: Cell::new(1 << 63),
+            wakeup: Cell::new(None),
         }
     }
 
@@ -824,6 +837,7 @@ impl XpcChannel {
                 if self.transport.flush_due(kernel) {
                     self.flush(kernel)?;
                 }
+                self.schedule_deadline_wakeup(kernel);
                 Ok(())
             }
             Err(call) => self
@@ -865,6 +879,7 @@ impl XpcChannel {
                 if self.transport.flush_due(kernel) {
                     self.flush(kernel)?;
                 }
+                self.schedule_deadline_wakeup(kernel);
                 Ok(token)
             }
             Ok(None) => {
@@ -879,6 +894,7 @@ impl XpcChannel {
                 if self.transport.flush_due(kernel) {
                     self.flush(kernel)?;
                 }
+                self.schedule_deadline_wakeup(kernel);
                 Ok(self.mint_sync_token())
             }
             Err(call) => {
@@ -912,6 +928,7 @@ impl XpcChannel {
         match self.transport.offer(kernel, call.from.cpu_class(), call) {
             Ok(_) => {
                 self.bump(|s| s.deferred_calls += 1);
+                self.schedule_deadline_wakeup(kernel);
                 Ok(())
             }
             Err(call) => {
@@ -1038,6 +1055,89 @@ impl XpcChannel {
             return Ok(true);
         }
         Ok(false)
+    }
+
+    /// Opts this channel into timer-driven deadline flushes: whenever a
+    /// queueing transport arms its adaptive-batching deadline, a kernel
+    /// timer is scheduled so the flush fires *at* the deadline even if
+    /// no further call or poll ever arrives.
+    ///
+    /// Without this, `flush_due` is only evaluated by the next event on
+    /// the channel — under open-loop idle gaps a parked batched/async
+    /// call could sit past its deadline indefinitely. Opt-in so
+    /// manually paced closed-loop runs keep their exact flush points.
+    pub fn arm_deadline_wakeups(self: &Rc<Self>, kernel: &Kernel) {
+        self.arm_deadline_wakeups_on(kernel, None);
+    }
+
+    /// [`XpcChannel::arm_deadline_wakeups`] with the flush attributed to
+    /// `shard` — what a sharded facade passes so timer-driven flushes
+    /// charge the same per-shard ledger as event-driven ones.
+    pub fn arm_deadline_wakeups_on(self: &Rc<Self>, kernel: &Kernel, shard: Option<usize>) {
+        if self.wakeup.get().is_some() {
+            return;
+        }
+        let cb = Rc::downgrade(self);
+        let timer = kernel.timer_create(
+            "xpc.deadline",
+            Rc::new(move |k: &Kernel| {
+                let Some(ch) = cb.upgrade() else { return };
+                if ch.transport.pending() == 0 {
+                    // The queue flushed through another path before the
+                    // timer fired; nothing to do, nothing to re-arm.
+                    return;
+                }
+                // Timer callbacks run in softirq context, where an
+                // upcall to user level is illegal — defer the flush to
+                // a work item (process context), the same pattern the
+                // drivers' poll timers use.
+                let work = cb.clone();
+                k.schedule_work("xpc.deadline_flush", move |k| {
+                    if let Some(ch) = work.upgrade() {
+                        ch.deadline_flush(k);
+                    }
+                });
+            }),
+        );
+        self.wakeup.set(Some(DeadlineWakeup { timer, shard }));
+        // Calls may already be parked (armed late): cover them too.
+        self.schedule_deadline_wakeup(kernel);
+    }
+
+    /// The work-item half of the deadline wakeup: flush if due, then
+    /// re-arm from whatever is still parked. An early fire (the armed
+    /// deadline went stale when an older call flushed) declines here
+    /// and re-arms at the true remaining window.
+    fn deadline_flush(&self, kernel: &Kernel) {
+        let shard = self.wakeup.get().and_then(|w| w.shard);
+        let run = || {
+            // Deferred calls have no waiting caller: a flush error here
+            // is contained exactly like a doorbell fault (already
+            // counted in the channel's fault stats).
+            let _ = self.flush_if_due(kernel);
+            self.schedule_deadline_wakeup(kernel);
+        };
+        match shard {
+            Some(s) => kernel.shard_scope(s, run),
+            None => run(),
+        }
+    }
+
+    /// Arms the wakeup timer for the oldest parked call's deadline, if
+    /// wakeups are enabled, something is parked, and the timer is not
+    /// already pending. A pending timer is never re-armed — it may be
+    /// early (stale anchor), and an early fire is harmless: the work
+    /// item declines and re-arms exactly.
+    fn schedule_deadline_wakeup(&self, kernel: &Kernel) {
+        let Some(w) = self.wakeup.get() else { return };
+        if kernel.timer_pending(w.timer) {
+            return;
+        }
+        let Some(oldest) = self.transport.oldest_deferred_at() else {
+            return;
+        };
+        let deadline = oldest + self.config.batch_deadline_ns;
+        kernel.timer_arm(w.timer, deadline.saturating_sub(kernel.now_ns()));
     }
 
     /// Flushes every deferred call through the boundary. Consecutive
@@ -2181,5 +2281,107 @@ mod tests {
         );
         assert!(s.overlap_ns > 0, "paced workload hides crossing latency");
         assert_eq!(s.tokens_issued, s.tokens_harvested + s.tokens_cancelled);
+    }
+
+    #[test]
+    fn deadline_wakeup_flushes_idle_batched_channel() {
+        // Regression: a deadline without an event. A lone deferred call
+        // parks in the batch; if no further call or poll ever arrives,
+        // nothing evaluates `flush_if_due` and the call waits forever.
+        // With wakeups armed, a kernel timer fires *at* the deadline and
+        // flushes from a work item — no manual polling below.
+        const WINDOW: u64 = 50_000;
+        let k = Kernel::new();
+        let ch = Rc::new(XpcChannel::new(
+            spec(),
+            MaskSet::full(),
+            ChannelConfig {
+                batch_deadline_ns: WINDOW,
+                ..ChannelConfig::kernel_user_batched()
+            },
+            Domain::Nucleus,
+            Domain::Decaf,
+        ));
+        let ran = Rc::new(Cell::new(0u32));
+        let r = Rc::clone(&ran);
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "count".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |_, _, _, _| {
+                    r.set(r.get() + 1);
+                    XdrValue::Void
+                }),
+            },
+        )
+        .unwrap();
+        ch.arm_deadline_wakeups(&k);
+        ch.call_deferred(&k, Domain::Nucleus, "count", &[], &[])
+            .unwrap();
+        assert_eq!(ch.pending_deferred(), 1, "the call parks in the batch");
+        assert_eq!(ran.get(), 0);
+        // Idle gap only: no call, no flush_if_due. The armed timer must
+        // carry the flush on its own.
+        k.run_for(WINDOW * 2);
+        assert_eq!(ran.get(), 1, "deadline flush fired from the timer");
+        assert_eq!(ch.pending_deferred(), 0);
+        assert_eq!(ch.stats().flushes, 1);
+        assert!(k.violations().is_empty(), "flush ran in process context");
+    }
+
+    #[test]
+    fn deadline_wakeup_flushes_idle_async_channel() {
+        // Same latent bug on the completion transport: a parked
+        // `call_async` whose caller went to do other work. The timer
+        // launches the batch at the deadline; the token resolves after a
+        // harvest without the caller ever re-entering the channel.
+        const WINDOW: u64 = 50_000;
+        let k = Kernel::new();
+        let ch = Rc::new(XpcChannel::new(
+            spec(),
+            MaskSet::full(),
+            ChannelConfig {
+                batch_deadline_ns: WINDOW,
+                ..ChannelConfig::kernel_user_async()
+            },
+            Domain::Nucleus,
+            Domain::Decaf,
+        ));
+        let ran = Rc::new(Cell::new(0u32));
+        let r = Rc::clone(&ran);
+        ch.register_proc(
+            Domain::Decaf,
+            ProcDef {
+                name: "count".into(),
+                arg_types: vec![],
+                handler: Rc::new(move |_, _, _, _| {
+                    r.set(r.get() + 1);
+                    XdrValue::Void
+                }),
+            },
+        )
+        .unwrap();
+        ch.arm_deadline_wakeups(&k);
+        let token = ch
+            .call_async(&k, Domain::Nucleus, "count", &[], &[])
+            .unwrap();
+        assert_eq!(ch.pending_deferred(), 1);
+        k.run_for(WINDOW * 2);
+        assert_eq!(ch.pending_deferred(), 0, "timer launched the batch");
+        assert_eq!(ran.get(), 1, "handler ran from the deadline flush");
+        assert!(ch.stats().flushes >= 1);
+        ch.harvest(&k);
+        assert!(ch.wait_token(&k, token).is_ok());
+        assert_eq!(ch.tokens_outstanding(), 0);
+        // The wakeup is one-shot per parked batch: nothing queued now, so
+        // letting more virtual time pass must not re-fire or flush again.
+        let flushes = ch.stats().flushes;
+        k.run_for(WINDOW * 4);
+        assert_eq!(
+            ch.stats().flushes,
+            flushes,
+            "no spurious re-fires when idle"
+        );
     }
 }

@@ -33,6 +33,10 @@ pub enum XpcError {
     /// arguments are homed on different shards, or an argument has no
     /// recorded home (home-channel pinning violated).
     ShardConflict(String),
+    /// An admission controller refused the request at the door — unlike
+    /// [`XpcError::Backpressure`] no capacity was consumed; the request
+    /// was never queued and there is nothing to reclaim before retrying.
+    AdmissionReject(String),
 }
 
 impl fmt::Display for XpcError {
@@ -55,6 +59,9 @@ impl fmt::Display for XpcError {
             }
             XpcError::ShardConflict(what) => {
                 write!(f, "shard steering conflict: {what}")
+            }
+            XpcError::AdmissionReject(what) => {
+                write!(f, "admission refused: {what}")
             }
         }
     }

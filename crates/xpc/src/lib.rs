@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod combolock;
 pub mod datapath;
 pub mod domain;
@@ -68,6 +69,10 @@ pub mod tracker;
 pub mod transport;
 pub mod urbpath;
 
+pub use admission::{
+    AdmissionController, AdmissionPolicy, AdmissionStats, AdmissionVerdict, TokenBucket,
+    TrafficClass,
+};
 pub use combolock::{ComboStats, Combolock};
 pub use datapath::{DataPathChannel, DataPathEnd};
 pub use domain::Domain;

@@ -412,6 +412,18 @@ impl ShardedChannel {
         }
     }
 
+    /// Opts every shard into timer-driven deadline flushes (see
+    /// [`XpcChannel::arm_deadline_wakeups`]): each shard gets its own
+    /// kernel timer, and its timer-driven flushes charge that shard's
+    /// ledger via the shard-scoped variant. Open-loop load wants this —
+    /// between arrival events nobody polls `flush_if_due`, so a parked
+    /// call's deadline needs a timer to fire on time.
+    pub fn arm_deadline_wakeups(&self, kernel: &Kernel) {
+        for (i, ch) in self.shards.iter().enumerate() {
+            ch.arm_deadline_wakeups_on(kernel, Some(i));
+        }
+    }
+
     /// Deferred calls parked across all shards.
     pub fn pending_deferred(&self) -> usize {
         self.shards.iter().map(|ch| ch.pending_deferred()).sum()

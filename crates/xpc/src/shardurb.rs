@@ -30,11 +30,13 @@
 //! surviving deferred control calls, and re-rings the shard's doorbell
 //! so parked submits drain on the fresh channel.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use decaf_shmring::{DoorbellPolicy, UrbRingSet};
 use decaf_simkernel::Kernel;
 
+use crate::admission::{AdmissionController, AdmissionVerdict, TrafficClass};
 use crate::domain::Domain;
 use crate::error::{XpcError, XpcResult};
 use crate::shard::ShardedChannel;
@@ -46,6 +48,7 @@ pub struct ShardedUrbPath {
     set: Rc<UrbRingSet>,
     paths: Vec<Rc<UrbDataPath>>,
     producer: Domain,
+    admission: RefCell<Option<Rc<AdmissionController>>>,
 }
 
 impl ShardedUrbPath {
@@ -89,7 +92,42 @@ impl ShardedUrbPath {
             set,
             paths,
             producer,
+            admission: RefCell::new(None),
         }))
+    }
+
+    /// Installs (or removes, with `None`) an admission controller that
+    /// rules on every submit before any ring capacity is consumed.
+    ///
+    /// A [`AdmissionVerdict::Reject`] verdict surfaces as
+    /// [`XpcError::AdmissionReject`] — unlike staged backpressure the
+    /// URB was never queued, so the caller retries later without
+    /// reclaiming anything first. Descriptor rings are SPSC FIFO and
+    /// cannot drop parked entries, so at this layer a
+    /// [`AdmissionVerdict::Shed`] verdict degrades to admit; shedding
+    /// belongs to software queues above the rings (the open-loop
+    /// engine's dispatch queue executes it there).
+    pub fn set_admission(&self, ctrl: Option<Rc<AdmissionController>>) {
+        *self.admission.borrow_mut() = ctrl;
+    }
+
+    /// The installed admission controller, if any.
+    pub fn admission(&self) -> Option<Rc<AdmissionController>> {
+        self.admission.borrow().clone()
+    }
+
+    fn admit(&self, kernel: &Kernel, cookie: u64) -> XpcResult<()> {
+        let guard = self.admission.borrow();
+        let Some(ctrl) = guard.as_ref() else {
+            return Ok(());
+        };
+        match ctrl.offer(kernel.now_ns(), TrafficClass::Storage, self.pending()) {
+            AdmissionVerdict::Admit | AdmissionVerdict::Shed(_) => Ok(()),
+            AdmissionVerdict::Reject => Err(XpcError::AdmissionReject(format!(
+                "storage urb {cookie} refused at {} pending",
+                self.pending()
+            ))),
+        }
     }
 
     /// Number of shards.
@@ -137,6 +175,7 @@ impl ShardedUrbPath {
         payload: &[u8],
         cookie: u64,
     ) -> XpcResult<usize> {
+        self.admit(kernel, cookie)?;
         let shard = self.steer(lun);
         kernel.shard_scope(shard, || {
             kernel.trace_instant("shard", "steer", &[("shard", shard as u64), ("lun", lun)]);
@@ -166,6 +205,7 @@ impl ShardedUrbPath {
         expected_len: usize,
         cookie: u64,
     ) -> XpcResult<usize> {
+        self.admit(kernel, cookie)?;
         let shard = self.steer(lun);
         kernel.shard_scope(shard, || {
             kernel.trace_instant("shard", "steer", &[("shard", shard as u64), ("lun", lun)]);
@@ -497,5 +537,45 @@ mod tests {
         // Recovering the submitter side is refused, not silently wrong.
         let err = path.recover_shard(&k, shard, Domain::Nucleus).unwrap_err();
         assert!(matches!(err, XpcError::ShardConflict(_)));
+    }
+
+    #[test]
+    fn admission_hook_refuses_before_any_capacity_is_spent() {
+        use crate::admission::{AdmissionPolicy, TokenBucket};
+
+        let (k, _sc, path) = sharded(2, 64, 16, 4);
+        let ctrl = Rc::new(
+            AdmissionController::new(AdmissionPolicy::RejectAtAdmission, 8).with_bucket(
+                crate::admission::TrafficClass::Storage,
+                TokenBucket::new(1_000, 2),
+            ),
+        );
+        path.set_admission(Some(Rc::clone(&ctrl)));
+        // The burst admits two URBs; the third is refused at the door —
+        // no origin record, no ring slot, no pool sector was touched.
+        path.submit_out(&k, 0, 2, &[1; 64], 0).unwrap();
+        path.submit_out(&k, 1, 2, &[1; 64], 1).unwrap();
+        let before = path.set().stats().submitted;
+        let err = path.submit_out(&k, 0, 2, &[1; 64], 2).unwrap_err();
+        assert!(matches!(err, XpcError::AdmissionReject(_)), "{err}");
+        assert_eq!(path.set().stats().submitted, before, "nothing was queued");
+        // Virtual time refills the bucket and the retry goes through.
+        k.run_for(1_000_001);
+        path.submit_out(&k, 0, 2, &[1; 64], 2).unwrap();
+        k.run_for(2 * decaf_simkernel::costs::DOORBELL_COALESCE_NS);
+        path.poll(&k).unwrap();
+        assert_eq!(path.reclaim(&k).len(), 3);
+        let s = ctrl.stats(crate::admission::TrafficClass::Storage);
+        assert_eq!((s.offered, s.admitted, s.rejected), (4, 3, 1));
+        assert!(ctrl.balanced());
+        assert!(path.conserved(), "rejects never unbalance the rings");
+        // Removing the controller restores unconditional admission.
+        path.set_admission(None);
+        path.submit_out(&k, 0, 2, &[1; 64], 3).unwrap();
+        assert_eq!(
+            ctrl.total().offered,
+            4,
+            "uninstalled controller sees nothing"
+        );
     }
 }

@@ -147,6 +147,13 @@ pub trait Transport {
     /// returning the completion tokens of the dropped calls so the stub
     /// layer can account them as cancelled.
     fn retain(&self, keep: &dyn Fn(&DeferredCall) -> bool) -> Vec<CompletionToken>;
+
+    /// Virtual time at which the oldest queued call was deferred, or
+    /// `None` when nothing is queued (always `None` on a non-queueing
+    /// transport). The stub layer's deadline-wakeup timer arms from this
+    /// so a parked batch flushes *at* its deadline even if no further
+    /// call or post ever arrives to evaluate [`Transport::flush_due`].
+    fn oldest_deferred_at(&self) -> Option<u64>;
 }
 
 /// Builds the transport object for a selector. `capacity` and
@@ -200,6 +207,9 @@ impl Transport for InProc {
     fn retain(&self, _keep: &dyn Fn(&DeferredCall) -> bool) -> Vec<CompletionToken> {
         Vec::new()
     }
+    fn oldest_deferred_at(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Dedicated-thread transport: every crossing additionally pays a
@@ -241,6 +251,9 @@ impl Transport for Threaded {
     }
     fn retain(&self, _keep: &dyn Fn(&DeferredCall) -> bool) -> Vec<CompletionToken> {
         Vec::new()
+    }
+    fn oldest_deferred_at(&self) -> Option<u64> {
+        None
     }
 }
 
@@ -339,6 +352,9 @@ impl Transport for Batched {
         });
         dropped
     }
+    fn oldest_deferred_at(&self) -> Option<u64> {
+        self.queue.borrow().front().map(|(at, _)| *at)
+    }
 }
 
 /// Completion-based batching transport: [`Batched`]'s queue with tokens.
@@ -434,6 +450,9 @@ impl Transport for Async {
         // survivors — the same anchoring `Batched` gets per call.
         self.policy.rearm(queue.front().map(|(at, _)| *at));
         dropped
+    }
+    fn oldest_deferred_at(&self) -> Option<u64> {
+        self.queue.borrow().front().map(|(at, _)| *at)
     }
 }
 

@@ -335,7 +335,11 @@ impl UrbDataPath {
             &[XdrValue::UInt(count)],
         )?;
         self.channel.bump(|s| s.doorbells += 1);
-        self.policy.rang();
+        // A completer that declined or drained under a budget may have
+        // left requests parked; re-arm the deadline for the survivors
+        // instead of disarming into the never-fires state.
+        self.policy
+            .rang_with_survivors(kernel.now_ns(), self.submit.len());
         Ok(())
     }
 
@@ -551,6 +555,61 @@ mod tests {
         k.run_for(costs::DOORBELL_COALESCE_NS + 1);
         assert!(dp.poll(&k).unwrap(), "coalescing deadline expired");
         assert_eq!(dp.reclaim(&k).len(), 1);
+    }
+
+    #[test]
+    fn declined_drain_survivors_still_deadline_fire() {
+        // Regression for the disarm-with-occupancy hazard: a completer
+        // that declines a doorbell (device busy — consumes nothing) used
+        // to leave the ring occupied with `armed_at == None`, so
+        // below-watermark survivors could never deadline-fire and waited
+        // for the watermark forever.
+        let k = Kernel::new();
+        let ch = channel();
+        let dp = UrbDataPath::new(
+            Rc::clone(&ch),
+            Domain::Nucleus,
+            "urb_drain",
+            Rc::new(ShmRing::new("urb-submit", 8)),
+            Rc::new(ShmRing::new("urb-giveback", 8)),
+            Rc::new(SectorPool::with_capacity(512, 8)),
+            DoorbellPolicy::with_watermark(8),
+        )
+        .unwrap();
+        let end = dp.end(Domain::Decaf);
+        let busy = Rc::new(Cell::new(true));
+        {
+            let busy = Rc::clone(&busy);
+            ch.register_proc(
+                Domain::Decaf,
+                ProcDef {
+                    name: "urb_drain".into(),
+                    arg_types: vec![],
+                    handler: Rc::new(move |k, _, _, _| {
+                        if !busy.get() {
+                            for d in end.consume(k) {
+                                end.complete(k, d.completed(0, d.len)).unwrap();
+                            }
+                        }
+                        XdrValue::Void
+                    }),
+                },
+            )
+            .unwrap();
+        }
+        dp.submit_out(&k, 2, b"cmd", 0).unwrap();
+        dp.submit_out(&k, 2, b"data", 1).unwrap();
+        dp.ring_doorbell(&k).unwrap();
+        assert_eq!(dp.pending(), 2, "busy completer declined the drain");
+        assert!(!dp.poll(&k).unwrap(), "survivor window not expired yet");
+        busy.set(false);
+        k.run_for(costs::DOORBELL_COALESCE_NS + 1);
+        assert!(
+            dp.poll(&k).unwrap(),
+            "survivors must deadline-fire within one window"
+        );
+        assert_eq!(dp.reclaim(&k).len(), 2);
+        assert!(dp.conserved());
     }
 
     #[test]
