@@ -41,6 +41,40 @@ use crate::ringset::{flow_hash, RingSetError};
 use crate::sector::SectorPool;
 use crate::urb::UrbDescriptor;
 
+/// Oracle-sensitivity seam for the storage fault-exploration harness
+/// (`tests/storage_sched.rs`): a one-shot, thread-local switch that
+/// plants a *deliberate* completion-steering bug so the harness can
+/// prove its differential oracle rejects one. Debug-build only
+/// (`debug_assertions`) — `#[cfg(test)]` would not reach an
+/// integration-test dependency build of this crate, and the release
+/// build the ablations measure must not carry the seam.
+#[cfg(debug_assertions)]
+pub mod mutation {
+    use std::cell::Cell;
+
+    thread_local! {
+        static DOUBLE_COMPLETE: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Arms the planted bug: the next [`super::UrbRingSet::complete`]
+    /// on this thread pushes the giveback descriptor onto the home ring
+    /// *twice* — the submitter reclaims the same URB two times, which
+    /// the exactly-once-completion / pool-conservation oracle must
+    /// reject.
+    pub fn arm_double_complete() {
+        DOUBLE_COMPLETE.with(|c| c.set(true));
+    }
+
+    /// Disarms without consuming (cleanup after a caught failure).
+    pub fn disarm() {
+        DOUBLE_COMPLETE.with(|c| c.set(false));
+    }
+
+    pub(crate) fn take_double_complete() -> bool {
+        DOUBLE_COMPLETE.with(|c| c.replace(false))
+    }
+}
+
 /// Per-shard conservation counters of one [`UrbRingSet`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct UrbShardStats {
@@ -203,6 +237,12 @@ impl UrbRingSet {
         };
         match self.givebacks[shard].push(kernel, class, desc) {
             Ok(()) => {
+                #[cfg(debug_assertions)]
+                if mutation::take_double_complete() {
+                    // Planted bug (oracle-sensitivity harness): the same
+                    // giveback lands on the home ring twice.
+                    let _ = self.givebacks[shard].push(kernel, class, desc);
+                }
                 self.origin.borrow_mut().remove(&desc.cookie);
                 self.in_flight.borrow_mut()[shard] -= 1;
                 self.shard_stats.borrow_mut()[shard].completed += 1;

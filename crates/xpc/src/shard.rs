@@ -51,6 +51,43 @@ use crate::endpoint::{ChannelConfig, ChannelStats, ProcDef, XpcChannel};
 use crate::error::{XpcError, XpcResult};
 use crate::tracker::TrackerStats;
 
+/// Oracle-sensitivity seam for the fault-exploration harness
+/// (`tests/shard_sched.rs`): one-shot, thread-local switches that plant
+/// a *deliberate* recovery bug so the harness can prove its differential
+/// oracle actually rejects one. An oracle that cannot catch a planted
+/// mutation proves nothing about the real code it blesses.
+///
+/// Debug-build only (`debug_assertions`): `#[cfg(test)]` would not
+/// reach an integration-test dependency build of this crate, and the
+/// release build — the one ablations measure — must not carry the seam
+/// at all. Each switch disarms itself at its first consumption, so a
+/// single armed replay sees exactly one planted bug.
+#[cfg(debug_assertions)]
+pub mod mutation {
+    use std::cell::Cell;
+
+    thread_local! {
+        static DROP_ONE_REQUEUE: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Arms the planted bug: the next [`super::ShardedChannel::recover_shard`]
+    /// on this thread silently drops the first surviving parked call
+    /// instead of requeuing it — the call is lost and its completion
+    /// token leaks, which the exactly-once/ledger oracle must reject.
+    pub fn arm_drop_one_requeue() {
+        DROP_ONE_REQUEUE.with(|c| c.set(true));
+    }
+
+    /// Disarms without consuming (cleanup after a caught failure).
+    pub fn disarm() {
+        DROP_ONE_REQUEUE.with(|c| c.set(false));
+    }
+
+    pub(crate) fn take_drop_one_requeue() -> bool {
+        DROP_ONE_REQUEUE.with(|c| c.replace(false))
+    }
+}
+
 /// Heap-address stride between shards: each shard's heaps occupy
 /// `[domain_base + shard·STRIDE, domain_base + (shard+1)·STRIDE)`.
 /// At 0x100 bytes per object that is 4096 objects per (shard, domain)
@@ -491,6 +528,14 @@ impl ShardedChannel {
                 // token resolves as cancelled.
                 cancelled.extend(call.token);
                 continue;
+            }
+            #[cfg(debug_assertions)]
+            {
+                if mutation::take_drop_one_requeue() {
+                    // Planted bug (oracle-sensitivity harness): lose the
+                    // surviving call, leak its token.
+                    continue;
+                }
             }
             kernel.shard_scope(shard, || ch.requeue_deferred(kernel, call))?;
             requeued += 1;

@@ -2,16 +2,22 @@
 //! transport.
 //!
 //! Generates arbitrary interleavings of token launches, virtual-time
-//! advances, deadline polls, flushes, harvests and mid-stream shard
-//! recoveries (either end failing) against a sharded async channel, and
-//! asserts for every sequence:
+//! advances, deadline polls, flushes, harvests, deadline-wakeup *timer
+//! arming* and mid-stream shard recoveries (either end failing) against
+//! a sharded async channel, and asserts for every sequence:
 //!
 //! * **exactly-once harvest** — no token is ever resolved twice, and
 //!   every token the run issues ends the run either harvested or
 //!   cancelled, never both, never neither;
 //! * **conservation** — `tokens_issued == tokens_harvested +
 //!   tokens_cancelled` with zero tokens outstanding after the final
-//!   flush + harvest, including across `recover_shard`.
+//!   flush + harvest, including across `recover_shard`;
+//! * **wakeup-timer safety** — a `recover_shard` racing an
+//!   armed-but-unfired deadline-wakeup timer must never let the timer
+//!   fire destructively against the reset end: a stale fire declines
+//!   and re-arms, requeued calls keep their tokens when the timer later
+//!   flushes them, and no timer-driven flush faults or double-applies,
+//!   whatever order arm / fault / fire land in.
 //!
 //! Runs under the offline proptest shim (64 deterministic cases); the
 //! registry `proptest` crate is a drop-in replacement with shrinking.
@@ -45,6 +51,11 @@ enum Op {
     /// end (parked nucleus calls requeue, keeping their tokens); `false`
     /// fails the nucleus end (its parked calls cancel).
     Recover(usize, bool),
+    /// Arm the per-shard deadline-wakeup timers (idempotent). Once
+    /// armed, `Advance` can fire flushes from timer context — including
+    /// timers armed *before* a `Recover` that fire after it, the
+    /// stale-timer-versus-reset-end race this suite explores.
+    ArmWakeups,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -55,6 +66,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         Just(Op::FlushAll),
         Just(Op::Harvest),
         ((0usize..SHARDS), any::<bool>()).prop_map(|(s, decaf)| Op::Recover(s, decaf)),
+        Just(Op::ArmWakeups),
     ]
 }
 
@@ -131,8 +143,13 @@ fn run_ops(ops: &[Op]) {
                 sc.recover_shard(&kernel, shard, failed).unwrap();
                 cancelled_count += sc.shard_stats(shard).tokens_cancelled - before;
             }
+            Op::ArmWakeups => sc.arm_deadline_wakeups(&kernel),
         }
     }
+    // Let any still-armed wakeup timer fire before the reckoning: a
+    // stale timer that survived the last recovery must decline or flush
+    // cleanly — never fire destructively against the reset end.
+    kernel.run_for(1_000_000);
     sc.flush_all(&kernel).unwrap();
     collect(&mut resolved);
 
@@ -151,6 +168,14 @@ fn run_ops(ops: &[Op]) {
     for key in &resolved {
         prop_assert!(issued.contains(key), "phantom token {key:?} in {ops:?}");
     }
+    // Timer-driven flushes (deadline wakeups armed mid-sequence) ride
+    // the same ledger: none may fault or trip a kernel-context check.
+    prop_assert_eq!(sc.stats().faults, 0, "{ops:?}");
+    prop_assert!(
+        kernel.violations().is_empty(),
+        "violations {:?} in {ops:?}",
+        kernel.violations()
+    );
 }
 
 proptest! {

@@ -5,6 +5,9 @@
 
 use std::rc::Rc;
 
+#[path = "fault_harness/mod.rs"]
+mod fault_harness;
+
 use decaf_core::drivers::DriverKind;
 use decaf_core::simkernel::sound::SoundLockMode;
 use decaf_core::simkernel::{Kernel, ViolationKind};
@@ -12,9 +15,7 @@ use decaf_core::slicer::callgraph::CallGraph;
 use decaf_core::slicer::{parse, slice, SliceConfig};
 use decaf_core::xdr::mask::Direction;
 use decaf_core::xdr::XdrValue;
-use decaf_core::xpc::{
-    ChannelConfig, Domain, ProcDef, ShardPolicy, ShardedChannel, SharedObject, XpcChannel,
-};
+use decaf_core::xpc::{ChannelConfig, Domain, ProcDef, SharedObject, XpcChannel};
 
 /// §5.3: "when migrating code to Java, it is convenient to move one
 /// function at a time and then test the system" — the same entry point
@@ -478,186 +479,55 @@ fn adaptive_batching_flushes_lone_write_on_deadline() {
 
 /// Fault injection on the sharded facade — the `examples/fault_recovery.rs`
 /// scenario extended to multi-channel sharding: one shard's decaf end is
-/// killed mid-burst; the facade must requeue that shard's in-flight
-/// deferred calls onto the fresh channel without double-applying deltas.
-/// Every issued op lands exactly once and every object converges to the
-/// nucleus-side state (post-reset transfers are full, never deltas
-/// against vanished state).
+/// killed mid-burst and must requeue its parked calls onto the fresh
+/// channel without double-applying deltas. Once a hand-written scenario,
+/// now a *named instance* of the general fault sweep
+/// (`decaf_core::sched::fault_sweep` + `tests/fault_harness`): the same
+/// replay driver that explores every (step, shard) injection point in
+/// `tests/shard_sched.rs` runs the historical plan here — kill shard 1
+/// right after its second op — plus the double-fault variant (shard 1
+/// dies again during the same burst) the hand-written case never tried.
+/// The harness asserts exactly-once execution, the closed token ledger
+/// and post-reset full-marshal convergence at every step.
 #[test]
 fn sharded_fault_recovery_requeues_without_double_applying_deltas() {
-    use std::cell::RefCell;
-
-    const SHARDS: usize = 3;
-    let kernel = Kernel::new();
-    let spec = decaf_core::xdr::XdrSpec::parse("struct st { int id; int value; };").unwrap();
-    let sc = ShardedChannel::new(
-        spec,
-        decaf_core::xdr::mask::MaskSet::full(),
-        ChannelConfig::kernel_user_batched(),
-        Domain::Nucleus,
-        Domain::Decaf,
-        SHARDS,
-        ShardPolicy::FlowHash,
+    use decaf_core::sched::{FaultPlan, FaultPoint};
+    let schedule = [0usize, 1, 2, 0, 1, 2];
+    fault_harness::run_nic_fault_schedule(3, &schedule, &FaultPlan::single(4, 1));
+    fault_harness::run_nic_fault_schedule(
+        3,
+        &schedule,
+        &FaultPlan::double(
+            FaultPoint { step: 1, shard: 1 },
+            FaultPoint { step: 4, shard: 1 },
+        ),
     );
-    // The handler logs every op sequence number it applies.
-    let applied: Rc<RefCell<Vec<i32>>> = Rc::new(RefCell::new(Vec::new()));
-    let log = Rc::clone(&applied);
-    sc.register_proc(
-        Domain::Decaf,
-        ProcDef {
-            name: "apply".into(),
-            arg_types: vec!["st".into()],
-            handler: Rc::new(move |_, _, _, scalars| {
-                log.borrow_mut().push(scalars[0].as_int().unwrap());
-                XdrValue::Void
-            }),
-        },
-    )
-    .unwrap();
-    let objects: Vec<_> = (0..SHARDS)
-        .map(|i| {
-            let addr = sc.alloc_shared_at(i, Domain::Nucleus, "st").unwrap();
-            sc.heap(i, Domain::Nucleus)
-                .borrow_mut()
-                .set_scalar(addr, "id", XdrValue::Int(i as i32))
-                .unwrap();
-            addr
-        })
-        .collect();
-    let issue = |seq: i32| {
-        let shard = (seq as usize) % SHARDS;
-        sc.heap(shard, Domain::Nucleus)
-            .borrow_mut()
-            .set_scalar(objects[shard], "value", XdrValue::Int(seq * 10))
-            .unwrap();
-        sc.call_deferred(
-            &kernel,
-            Domain::Nucleus,
-            "apply",
-            &[Some(objects[shard])],
-            &[XdrValue::Int(seq)],
-        )
-        .unwrap();
-    };
-    // First half of the burst; shard 1 has calls parked mid-flight.
-    for seq in 0..6 {
-        issue(seq);
-    }
-    let parked = sc.shard(1).pending_deferred();
-    assert!(parked > 0, "burst must leave calls parked on shard 1");
-    // Shard 1's decaf end dies. The facade takes its parked calls,
-    // resets the end (both delta maps cleared) and requeues.
-    let requeued = sc.recover_shard(&kernel, 1, Domain::Decaf).unwrap();
-    assert_eq!(requeued, parked);
-    assert_eq!(sc.heap(1, Domain::Decaf).borrow().len(), 0, "end reset");
-    // Second half of the burst, then drain everything.
-    for seq in 6..10 {
-        issue(seq);
-    }
-    sc.flush_all(&kernel).unwrap();
-    // Exactly-once: every issued op applied, none twice.
-    let mut seen = applied.borrow().clone();
-    seen.sort_unstable();
-    assert_eq!(
-        seen,
-        (0..10).collect::<Vec<_>>(),
-        "ops lost or double-applied"
-    );
-    // No delta corruption: every object converged to the nucleus state,
-    // including shard 1's object re-marshaled in full after the reset.
-    for (i, addr) in objects.iter().enumerate() {
-        let want = sc
-            .heap(i, Domain::Nucleus)
-            .borrow()
-            .scalar(*addr, "value")
-            .unwrap()
-            .clone();
-        let heap = sc.heap(i, Domain::Decaf);
-        let h = heap.borrow();
-        let copy = h.iter().map(|(a, _)| a).next().expect("decaf copy exists");
-        assert_eq!(h.scalar(copy, "value").unwrap(), &want, "object {i}");
-        assert_eq!(
-            h.scalar(copy, "id").unwrap(),
-            &XdrValue::Int(i as i32),
-            "object {i} homed correctly"
-        );
-    }
-    assert_eq!(sc.stats().faults, 0);
-    assert_eq!(sc.pending_deferred(), 0);
 }
 
 /// Fault injection on the *storage* sharded path — the uhci mirror of
 /// the NIC case above: one shard's decaf end dies with URB requests
-/// still parked (below the doorbell watermark) in its submit ring. The
-/// rings and the sector pool live in pinned shared memory, so the fault
-/// loses nothing: recovery resets the dead end, requeues surviving
-/// deferred control calls, and re-rings the shard's doorbell — every
-/// parked URB completes exactly once on the fresh channel, the flash
-/// ends up byte-identical to a fault-free run, and per-shard
-/// conservation plus the zero-copy audit survive the crash.
+/// still parked (below the doorbell watermark) in its pinned submit
+/// ring; recovery resets the dead end, requeues surviving control calls
+/// and re-rings the doorbell, so every URB completes exactly once with
+/// flash byte-identical to a fault-free hosting. Also now a named
+/// instance of the general sweep (`tests/storage_sched.rs` explores
+/// every injection point): the historical mid-burst plan plus a
+/// double-fault variant, replayed on the driver-level harness against
+/// the native-hosting golden flash image.
 #[test]
 fn sharded_storage_fault_recovery_redrains_pinned_urbs() {
-    use decaf_core::simdev::uhci as hwreg;
-    use decaf_core::simkernel::usb::{Urb, UrbDir};
-
-    let write_urb = |lun: usize, sector: u32| {
-        let mut data = vec![hwreg::FLASH_CMD_WRITE];
-        data.extend_from_slice(&sector.to_le_bytes());
-        data.extend_from_slice(&vec![(lun as u8) << 4 | sector as u8; hwreg::SECTOR_SIZE]);
-        Urb {
-            endpoint: hwreg::ep_bulk_out(lun) as u8,
-            dir: UrbDir::Out,
-            data,
-        }
-    };
-    let run = |inject_fault: bool| {
-        let k = Kernel::new();
-        let drv = decaf_core::drivers::uhci::install_sharded(&k, "uhci0", 3).unwrap();
-        let done = Rc::new(std::cell::Cell::new(0u32));
-        for lun in 0..3usize {
-            for sector in 0..2u32 {
-                let d = Rc::clone(&done);
-                k.usb_submit_urb(
-                    "uhci0",
-                    write_urb(lun, sector),
-                    Rc::new(move |_, r| {
-                        r.unwrap();
-                        d.set(d.get() + 1);
-                    }),
-                )
-                .unwrap();
-            }
-        }
-        if inject_fault {
-            // Mid-burst: at least one shard still has sub-watermark URBs
-            // parked in its pinned submit ring when its decaf end dies.
-            let victim = (0..3)
-                .find(|&i| drv.urb_path.path(i).pending() > 0)
-                .expect("burst must leave URBs parked on some shard");
-            drv.recover_shard(victim).unwrap();
-            assert_eq!(
-                drv.channels.heap(victim, Domain::Decaf).borrow().len(),
-                0,
-                "failed end reset"
-            );
-        }
-        // The poll timer dispatches whatever the recovery doorbell (or
-        // the ordinary deadline) drained.
-        k.run_for(4 * decaf_core::simkernel::costs::DOORBELL_COALESCE_NS);
-        assert_eq!(done.get(), 6, "every URB completed exactly once");
-        assert!(drv.urb_path.conserved(), "per-shard conservation");
-        assert_eq!(drv.urb_path.set().pool().in_use_sectors(), 0);
-        assert_eq!(k.stats().bytes_copied, 0, "recovery never copies");
-        assert!(k.violations().is_empty(), "{:?}", k.violations());
-        let contents = drv.dev.borrow().flash_contents();
-        contents
-    };
-    let with_fault = run(true);
-    let without_fault = run(false);
-    assert_eq!(with_fault.len(), 6);
-    assert_eq!(
-        with_fault, without_fault,
-        "a recovered run must leave flash byte-identical to a fault-free run"
+    use decaf_core::sched::{FaultPlan, FaultPoint};
+    let golden = fault_harness::storage_golden_flash(3, 2);
+    let schedule = [0usize, 1, 2, 0, 1, 2];
+    fault_harness::run_storage_fault_schedule(3, &schedule, &FaultPlan::single(3, 1), &golden);
+    fault_harness::run_storage_fault_schedule(
+        3,
+        &schedule,
+        &FaultPlan::double(
+            FaultPoint { step: 2, shard: 2 },
+            FaultPoint { step: 4, shard: 2 },
+        ),
+        &golden,
     );
 }
 

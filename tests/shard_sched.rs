@@ -24,7 +24,12 @@
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
-use decaf_core::sched::interleavings;
+use decaf_core::sched::{
+    self, fault_sweep, interleavings, interleavings_spread, schedule_sweep, FaultPlan, SweepConfig,
+};
+
+#[path = "fault_harness/mod.rs"]
+mod fault_harness;
 use decaf_core::shmring::{BufHandle, Descriptor, RingSet};
 use decaf_core::simkernel::{CpuClass, Kernel};
 use decaf_core::xdr::mask::MaskSet;
@@ -315,21 +320,106 @@ fn interleaving_enumeration_is_exhaustive_and_deterministic() {
 }
 
 #[test]
+fn capped_selection_spreads_across_the_schedule_space() {
+    // The lexicographic prefix a plain cap keeps is shard-0-heavy: all
+    // 140 of 2520 four-shard schedules it admits start with shard 0.
+    // The spread selection the sweeps now use sees every shard lead.
+    let spread = interleavings_spread(&[2; 4], 140);
+    assert_eq!(spread.len(), 140);
+    let leaders: HashSet<usize> = spread.iter().map(|s| s[0]).collect();
+    assert_eq!(leaders, (0..4).collect(), "every shard leads some schedule");
+    assert_eq!(spread, interleavings_spread(&[2; 4], 140), "deterministic");
+}
+
+#[test]
 fn enumerated_interleavings_preserve_shard_invariants() {
-    // (shards, ops-per-shard, cap): 20 + 90 + 140 = 250 schedules, all
-    // replayed against both the facade and the ring set. The acceptance
-    // floor is 100 enumerated interleavings.
-    let mut total = 0usize;
-    for (shards, ops, cap) in [(2usize, 3usize, 1_000), (3, 2, 1_000), (4, 2, 140)] {
-        let schedules = interleavings(&vec![ops; shards], cap);
-        for schedule in &schedules {
-            run_home_pinning(shards, schedule);
-            run_ring_conservation(shards, schedule);
-            run_token_lifecycle(shards, schedule);
-        }
-        total += schedules.len();
-    }
+    // The shared sweep (20 + 90 + 140-of-2520 = 250 schedules, spread
+    // across each space) replayed against the facade, the ring set and
+    // the token lifecycle. The acceptance floor is 100 interleavings.
+    let total = schedule_sweep(&sched::default_sweep(), |shards, schedule| {
+        run_home_pinning(shards, schedule);
+        run_ring_conservation(shards, schedule);
+        run_token_lifecycle(shards, schedule);
+    });
     assert!(total >= 100, "only {total} interleavings enumerated");
+    assert_eq!(total, 250, "the documented sweep size");
+}
+
+/// One configuration's fault sweep: every schedule × every (step,
+/// shard) single-fault point × capped double-fault plans, each replayed
+/// with the per-step ledger oracle.
+fn nic_fault_sweep(cfg: SweepConfig) {
+    let stats = fault_sweep(
+        &[cfg],
+        fault_harness::DOUBLE_CAP,
+        |shards, schedule, plan| {
+            fault_harness::run_nic_fault_schedule(shards, schedule, plan);
+        },
+    );
+    println!(
+        "nic fault sweep shards={}: {} schedules, {} single fault points, \
+         {} double plans, {} replays",
+        cfg.shards, stats.schedules, stats.single_points, stats.double_plans, stats.replays
+    );
+    let steps = cfg.shards * cfg.ops;
+    assert_eq!(
+        stats.single_points,
+        stats.schedules * steps * cfg.shards,
+        "every (step, shard) injection point of every schedule"
+    );
+    assert_eq!(
+        stats.double_plans,
+        stats.schedules * fault_harness::DOUBLE_CAP
+    );
+}
+
+#[test]
+fn nic_fault_sweep_two_shards() {
+    nic_fault_sweep(SweepConfig {
+        shards: 2,
+        ops: 3,
+        cap: 1_000,
+    });
+}
+
+#[test]
+fn nic_fault_sweep_three_shards() {
+    nic_fault_sweep(SweepConfig {
+        shards: 3,
+        ops: 2,
+        cap: 1_000,
+    });
+}
+
+#[test]
+fn nic_fault_sweep_four_shards() {
+    nic_fault_sweep(SweepConfig {
+        shards: 4,
+        ops: 2,
+        cap: 140,
+    });
+}
+
+/// Oracle sensitivity: with the planted drop-one-requeue bug armed,
+/// the same replay that passes the sweep must *fail* — recovery loses
+/// a surviving call and its token leaks, which the exactly-once ledger
+/// has to reject. An oracle that blesses a planted bug proves nothing.
+#[test]
+#[cfg(debug_assertions)] // the mutation seam exists in debug builds only
+fn fault_oracle_rejects_planted_requeue_drop() {
+    use decaf_core::xpc::shard::mutation;
+    // A plan whose fault point has calls parked on the victim: two
+    // back-to-back ops on shard 0, faulted right after the second.
+    let schedule = [0usize, 0, 1, 1];
+    let plan = FaultPlan::single(1, 0);
+    fault_harness::expect_oracle_failure("drop-one-requeue", || {
+        mutation::arm_drop_one_requeue();
+        fault_harness::run_nic_fault_schedule(2, &schedule, &plan);
+    });
+    mutation::disarm();
+    // The identical replay passes clean — the failure above was the
+    // planted bug, not the harness.
+    fault_harness::run_nic_fault_schedule(2, &schedule, &plan);
 }
 
 /// Runs a traced shards=4 netperf stream on the sharded e1000 build

@@ -31,7 +31,13 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use decaf_core::drivers::uhci;
-use decaf_core::sched::{interleavings, schedule_count};
+use decaf_core::sched::{
+    self, fault_sweep, interleavings, schedule_count, schedule_count_checked, schedule_sweep,
+    FaultPlan, SweepConfig,
+};
+
+#[path = "fault_harness/mod.rs"]
+mod fault_harness;
 use decaf_core::shmring::{SectorPool, UrbDescriptor, UrbRingSet};
 use decaf_core::simdev::uhci as hwreg;
 use decaf_core::simkernel::usb::{Urb, UrbDir};
@@ -202,22 +208,105 @@ fn shared_enumerator_counts_storage_configurations() {
         140,
         "the cap truncates the 4-shard set deterministically"
     );
+    // The counting itself is overflow-checked: the boundary sits at
+    // 34! < u128::MAX < 35!.
+    assert!(schedule_count_checked(&[1; 34]).is_some());
+    assert_eq!(schedule_count_checked(&[1; 35]), None);
 }
 
 #[test]
 fn enumerated_storage_schedules_preserve_invariants() {
-    // (shards, ops-per-shard, cap): 20 + 90 + 140 = 250 schedules, each
-    // replaying the submit/giveback/reclaim protocol with interleaved
-    // completers and reclaimers. The acceptance floor is 200.
-    let mut total = 0usize;
-    for (shards, ops, cap) in [(2usize, 3usize, 1_000), (3, 2, 1_000), (4, 2, 140)] {
-        let schedules = interleavings(&vec![ops; shards], cap);
-        for schedule in &schedules {
-            run_storage_schedule(shards, schedule);
-        }
-        total += schedules.len();
-    }
+    // The shared sweep (20 + 90 + 140-of-2520 = 250 schedules, spread
+    // across each space), each replaying the submit/giveback/reclaim
+    // protocol with interleaved completers and reclaimers. The
+    // acceptance floor is 200.
+    let total = schedule_sweep(&sched::default_sweep(), |shards, schedule| {
+        run_storage_schedule(shards, schedule);
+    });
     assert!(total >= 200, "only {total} interleavings enumerated");
+    assert_eq!(total, 250, "the documented sweep size");
+}
+
+// ---------------------------------------------------- fault exploration
+
+/// One configuration's fault sweep on the *driver-level* storage path:
+/// every schedule × every (step, shard) `recover_shard` injection point
+/// × capped double-fault plans, each replayed on a fresh
+/// `install_sharded` build with conservation and the zero-copy audit
+/// checked per step and flash compared byte-for-byte against one
+/// native-hosting golden run at settle.
+fn storage_fault_sweep(cfg: SweepConfig) {
+    let golden = fault_harness::storage_golden_flash(cfg.shards, cfg.ops);
+    let stats = fault_sweep(
+        &[cfg],
+        fault_harness::DOUBLE_CAP,
+        |shards, schedule, plan| {
+            fault_harness::run_storage_fault_schedule(shards, schedule, plan, &golden);
+        },
+    );
+    println!(
+        "storage fault sweep shards={}: {} schedules, {} single fault points, \
+         {} double plans, {} replays",
+        cfg.shards, stats.schedules, stats.single_points, stats.double_plans, stats.replays
+    );
+    let steps = cfg.shards * cfg.ops;
+    assert_eq!(
+        stats.single_points,
+        stats.schedules * steps * cfg.shards,
+        "every (step, shard) injection point of every schedule"
+    );
+    assert_eq!(
+        stats.double_plans,
+        stats.schedules * fault_harness::DOUBLE_CAP
+    );
+}
+
+#[test]
+fn storage_fault_sweep_two_shards() {
+    storage_fault_sweep(SweepConfig {
+        shards: 2,
+        ops: 3,
+        cap: 1_000,
+    });
+}
+
+#[test]
+fn storage_fault_sweep_three_shards() {
+    storage_fault_sweep(SweepConfig {
+        shards: 3,
+        ops: 2,
+        cap: 1_000,
+    });
+}
+
+#[test]
+fn storage_fault_sweep_four_shards() {
+    storage_fault_sweep(SweepConfig {
+        shards: 4,
+        ops: 2,
+        cap: 140,
+    });
+}
+
+/// Oracle sensitivity: with the planted double-completion bug armed,
+/// the same replay that passes the sweep must *fail* — one giveback
+/// lands twice and the submitter reclaims the same URB twice, which
+/// the exactly-once-completion / pool oracle has to reject.
+#[test]
+#[cfg(debug_assertions)] // the mutation seam exists in debug builds only
+fn fault_oracle_rejects_planted_double_completion() {
+    use decaf_core::shmring::urbset::mutation;
+    let golden = fault_harness::storage_golden_flash(2, 2);
+    let schedule = [0usize, 1, 0, 1];
+    let plan = FaultPlan::single(1, 0);
+    fault_harness::expect_oracle_failure("double-fire-completion", || {
+        mutation::arm_double_complete();
+        fault_harness::run_storage_fault_schedule(2, &schedule, &plan, &golden);
+    });
+    mutation::disarm();
+    // The identical replay passes clean — the failure above was the
+    // planted bug, not the harness.
+    fault_harness::run_storage_fault_schedule(2, &schedule, &plan, &golden);
 }
 
 // ------------------------------------------------- differential oracle
