@@ -227,6 +227,23 @@ fn bench_storage_ablation(c: &mut Criterion) {
     }
 }
 
+fn bench_frag_ablation(c: &mut Criterion) {
+    // Ablation: the allocator modes on one adversarially fragmented
+    // pressure point — every iteration re-asserts the zero-copy and
+    // conservation invariants inside frag_run; wall time tracks the
+    // first-fit scan vs the buddy free-list walk vs SG chaining.
+    use decaf_core::shmring::AllocMode;
+    for (label, mode) in [
+        ("first-fit", AllocMode::FirstFit),
+        ("buddy", AllocMode::Buddy),
+        ("buddy-sg", AllocMode::BuddySg),
+    ] {
+        c.bench_function(&format!("frag/pinned50[{label}]"), |b| {
+            b.iter(|| decaf_core::experiments::frag_run(mode, 50))
+        });
+    }
+}
+
 fn bench_transport_ablation(c: &mut Criterion) {
     // Ablation: mask-only vs mask+delta vs mask+delta+batch on the
     // repeated-configuration workload (the decaf control-path shape).
@@ -332,6 +349,7 @@ criterion_group!(
     bench_shmring,
     bench_datapath_ablation,
     bench_storage_ablation,
+    bench_frag_ablation,
     bench_transport_ablation,
     bench_shard_ablation,
     bench_storage_shard_ablation,

@@ -17,6 +17,7 @@ fn main() {
     async_sweep();
     datapath_ablation();
     storage_ablation();
+    frag_ablation();
     rx_mode_sweep();
     shard_ablation();
     storage_shard_ablation();
@@ -251,6 +252,45 @@ fn storage_ablation() {
          descriptor traffic only, asserted in decaf-core's\n\
          storage_ablation_shmring_drops_copies_to_descriptor_traffic test.\n\
          p50/p99/p999 are per-URB submit→completion latencies)"
+    );
+}
+
+fn frag_ablation() {
+    banner("Fragmentation ablation: allocator modes under adversarial pool pressure");
+    let mut t = Table::new("");
+    t.columns(&[
+        "Mode",
+        "Pinned %",
+        "Attempts",
+        "Failures",
+        "Fail rate",
+        "FragRef",
+        "Exhausted",
+        "Copied",
+        "Virt.Mb/s",
+    ]);
+    for row in experiments::frag_ablation() {
+        t.row(vec![
+            row.label.to_string(),
+            row.pressure.to_string(),
+            row.attempts.to_string(),
+            row.failures.to_string(),
+            format!("{:.2}", row.failure_rate()),
+            row.frag_refusals.to_string(),
+            row.exhausted.to_string(),
+            row.bytes_copied.to_string(),
+            format!("{:.1}", row.virtual_mbps()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "(each cell pins Pinned% of the sector pool as scattered singles,\n\
+         then fires multi-sector flash writes. FragRef counts refusals\n\
+         issued while free bytes sufficed — the contiguity-requiring modes\n\
+         saturate it under pressure; buddy+SG chains scattered blocks into\n\
+         one URB and holds failures AND FragRef at zero across the sweep\n\
+         (asserted inside frag_ablation), with Copied exactly zero in\n\
+         every cell)"
     );
 }
 

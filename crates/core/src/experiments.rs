@@ -1022,6 +1022,215 @@ pub fn storage_ablation() -> Vec<StorageAblationRow> {
     .collect()
 }
 
+// --------------------------------------------- Fragmentation ablation
+
+/// Pool-pressure points (% of the pool pinned as scattered singles).
+pub const FRAG_PRESSURES: [usize; 5] = [0, 25, 50, 75, 90];
+/// Multi-sector write attempts per cell.
+pub const FRAG_ATTEMPTS: usize = 24;
+
+/// One cell of the fragmentation ablation: a pool-allocation mode under
+/// one adversarial pressure point.
+#[derive(Debug, Clone)]
+pub struct FragAblationRow {
+    /// Allocation-mode label.
+    pub label: &'static str,
+    /// Percent of the pool pinned as scattered single sectors.
+    pub pressure: usize,
+    /// Multi-sector write URBs attempted.
+    pub attempts: u64,
+    /// Attempts refused at submission (`usb_submit_urb` returned busy
+    /// after the reclaim-and-retry).
+    pub failures: u64,
+    /// Attempts whose completion came home with status 0.
+    pub completed: u64,
+    /// Pool refusals issued while free bytes sufficed (retries
+    /// included) — the counter the buddy+SG mode must hold at zero.
+    pub frag_refusals: u64,
+    /// Pool refusals issued with genuinely too few free sectors.
+    pub exhausted: u64,
+    /// CPU-copied payload bytes during the workload (every mode adopts;
+    /// must be zero).
+    pub bytes_copied: u64,
+    /// Payload bytes landed on flash by completed writes.
+    pub payload_bytes: u64,
+    /// Total busy virtual time consumed by the workload (ns).
+    pub virtual_ns: u64,
+}
+
+impl FragAblationRow {
+    /// Fraction of attempts refused.
+    pub fn failure_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            return 0.0;
+        }
+        self.failures as f64 / self.attempts as f64
+    }
+
+    /// Virtual-time throughput of the writes that did complete.
+    pub fn virtual_mbps(&self) -> f64 {
+        if self.virtual_ns == 0 {
+            return 0.0;
+        }
+        (self.payload_bytes as f64 * 8.0) / (self.virtual_ns as f64 / 1e9) / 1e6
+    }
+}
+
+/// Runs one fragmentation cell: install the shmring uhci build with the
+/// given pool [`decaf_shmring::AllocMode`], pin `pressure`% of the sector pool as
+/// *scattered* single-sector chains (allocate every sector as a single,
+/// free the evenly-spread rest — the adversarial schedule that defeats
+/// any contiguity-requiring allocator while leaving plenty of free
+/// bytes), then attempt a burst of multi-sector flash writes and report
+/// who refused what.
+pub fn frag_run(mode: decaf_shmring::AllocMode, pressure: usize) -> FragAblationRow {
+    use decaf_simdev::uhci as hwreg;
+    use decaf_simkernel::usb::{Urb, UrbDir};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    let label = match mode {
+        decaf_shmring::AllocMode::FirstFit => "first-fit",
+        decaf_shmring::AllocMode::Buddy => "buddy",
+        decaf_shmring::AllocMode::BuddySg => "buddy+SG",
+    };
+    let k = Kernel::new();
+    let drv = decaf_drivers::uhci::install_shmring_with(&k, "uhci0", mode)
+        .expect("shmring uhci installs");
+    let pool = drv.urb_path.pool();
+
+    // Adversarial pinning: every sector leaves the pool as a
+    // single-sector chain, then the evenly-spread complement comes back
+    // — what remains free is singles scattered across the whole map.
+    let total = pool.capacity_sectors();
+    let singles: Vec<_> = (0..total)
+        .map(|_| pool.alloc_sg(1).expect("fresh pool hands out every sector"))
+        .collect();
+    // Integer-exact even spreading: sector `i` stays pinned when the
+    // cumulative pin quota crosses an integer at `i`.
+    let keep = |i: usize| (i * pressure) / 100 != ((i + 1) * pressure) / 100;
+    let mut still_pinned = Vec::new();
+    for (i, h) in singles.into_iter().enumerate() {
+        if keep(i) {
+            still_pinned.push(h);
+        } else {
+            pool.free_sg(h).expect("pinning frees its own chains");
+        }
+    }
+
+    let stats_before = pool.stats();
+    let copied_before = k.stats().bytes_copied;
+    let busy_before = {
+        let s = k.snapshot();
+        s.kernel_busy_ns + s.user_busy_ns
+    };
+
+    // The workload: multi-sector flash writes whose command spans three
+    // pool sectors — trivially satisfied by a fresh pool, impossible for
+    // a contiguity-requiring allocator once the free map is singles.
+    let payload_len = 3 * hwreg::SECTOR_SIZE - 36;
+    let completed = Rc::new(Cell::new(0u64));
+    let mut failures = 0u64;
+    for t in 0..FRAG_ATTEMPTS {
+        let mut data = vec![hwreg::FLASH_CMD_WRITE];
+        data.extend_from_slice(&(t as u32).to_le_bytes());
+        data.extend((0..payload_len).map(|i| (t as u8) ^ (i as u8).wrapping_mul(31)));
+        let c = Rc::clone(&completed);
+        let submitted = k.usb_submit_urb(
+            "uhci0",
+            Urb {
+                endpoint: hwreg::EP_BULK_OUT as u8,
+                dir: UrbDir::Out,
+                data,
+            },
+            Rc::new(move |_, r| {
+                if r.is_ok() {
+                    c.set(c.get() + 1);
+                }
+            }),
+        );
+        if submitted.is_err() {
+            failures += 1;
+        }
+        // Let completions land and their chains come home before the
+        // next attempt: the pressure point stays a property of the
+        // pinning, not of in-flight depth.
+        k.run_for(2 * costs::DOORBELL_COALESCE_NS);
+    }
+    let _ = drv.channel.flush(&k);
+    k.run_for(2 * costs::DOORBELL_COALESCE_NS);
+
+    let stats = pool.stats();
+    let snap = k.snapshot();
+    let completed = completed.get();
+    assert_eq!(
+        completed + failures,
+        FRAG_ATTEMPTS as u64,
+        "{label}@{pressure}%: every attempt either completed or was refused"
+    );
+    assert_eq!(
+        k.stats().bytes_copied - copied_before,
+        0,
+        "{label}@{pressure}%: adopted payloads must never be CPU-copied"
+    );
+    assert!(
+        drv.urb_path.conserved(),
+        "{label}@{pressure}%: conservation"
+    );
+    assert_eq!(
+        pool.in_use_sectors(),
+        still_pinned.len(),
+        "{label}@{pressure}%: only the pinned singles stay in use"
+    );
+    for h in still_pinned {
+        pool.free_sg(h).expect("pinned chains stay live to the end");
+    }
+    assert!(pool.conserved(), "{label}@{pressure}%: pool conservation");
+    assert_eq!(pool.in_use_sectors(), 0, "{label}@{pressure}%: no leak");
+
+    FragAblationRow {
+        label,
+        pressure,
+        attempts: FRAG_ATTEMPTS as u64,
+        failures,
+        completed,
+        frag_refusals: stats.frag_refusals - stats_before.frag_refusals,
+        exhausted: stats.exhausted - stats_before.exhausted,
+        bytes_copied: k.stats().bytes_copied - copied_before,
+        payload_bytes: completed * payload_len as u64,
+        virtual_ns: snap.kernel_busy_ns + snap.user_busy_ns - busy_before,
+    }
+}
+
+/// Regenerates the fragmentation ablation: first-fit vs buddy vs
+/// buddy + scatter-gather across the pressure sweep, and asserts the
+/// headline claim — the chaining mode sustains a zero alloc-failure
+/// rate at every pressure point where the contiguity-requiring modes
+/// refuse transfers the pool has the bytes for.
+pub fn frag_ablation() -> Vec<FragAblationRow> {
+    let rows: Vec<FragAblationRow> = [
+        decaf_shmring::AllocMode::FirstFit,
+        decaf_shmring::AllocMode::Buddy,
+        decaf_shmring::AllocMode::BuddySg,
+    ]
+    .into_iter()
+    .flat_map(|mode| FRAG_PRESSURES.iter().map(move |&p| frag_run(mode, p)))
+    .collect();
+
+    assert!(
+        rows.iter()
+            .filter(|r| r.label == "buddy+SG")
+            .all(|r| r.failures == 0 && r.frag_refusals == 0),
+        "buddy+SG refused a transfer it had the bytes for"
+    );
+    assert!(
+        rows.iter()
+            .any(|r| r.label == "first-fit" && r.failures > 0 && r.frag_refusals > 0),
+        "the sweep never drove first-fit into fragmentation refusals"
+    );
+    rows
+}
+
 // ----------------------------------------------------- Shard ablation
 
 /// One row of the multi-channel sharding ablation: the same netperf
@@ -2707,6 +2916,32 @@ mod tests {
             copy.virtual_ns
         );
         assert!(shm.virtual_mbps() > copy.virtual_mbps());
+    }
+
+    #[test]
+    fn frag_ablation_buddy_sg_survives_pressure_first_fit_refuses() {
+        // A reduced sweep, same acceptance property the full
+        // `frag_ablation` gates: at a pressure where the free map is
+        // scattered singles, first-fit refuses every multi-sector write
+        // while holding enough free bytes (all its refusals classified
+        // as fragmentation, none as exhaustion), and buddy+SG completes
+        // every one of the same attempts — with zero copies on both.
+        let ff = frag_run(decaf_shmring::AllocMode::FirstFit, 50);
+        let sg = frag_run(decaf_shmring::AllocMode::BuddySg, 50);
+        assert_eq!(ff.attempts, sg.attempts, "identical offered workload");
+        assert!(ff.failures > 0, "{ff:?}");
+        assert!(ff.frag_refusals > 0 && ff.exhausted == 0, "{ff:?}");
+        assert_eq!(sg.failures, 0, "{sg:?}");
+        assert_eq!(sg.frag_refusals, 0, "{sg:?}");
+        assert_eq!(sg.completed, sg.attempts);
+        assert_eq!(ff.bytes_copied, 0);
+        assert_eq!(sg.bytes_copied, 0);
+        assert!(
+            sg.virtual_mbps() > 0.0 && ff.virtual_mbps() == 0.0,
+            "throughput under pressure: sg {:.1} vs ff {:.1} Mb/s",
+            sg.virtual_mbps(),
+            ff.virtual_mbps()
+        );
     }
 
     #[test]

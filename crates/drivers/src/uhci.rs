@@ -12,7 +12,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use decaf_shmring::{DoorbellPolicy, SectorPool, ShmRing, UrbRingSet};
+use decaf_shmring::{DoorbellPolicy, SectorPool, SgSegment, ShmRing, UrbRingSet};
 use decaf_simdev::uhci as hwreg;
 use decaf_simdev::UhciDevice;
 use decaf_simkernel::usb::{HcdOps, Urb, UrbCompletion, UrbDir};
@@ -218,6 +218,26 @@ impl UhciHw {
         if len > MAX_TD_XFER {
             return (KError::Inval.errno(), 0);
         }
+        let (status, actual) = self.raw_td(kernel, endpoint, buf, len, false);
+        if status == 0 {
+            self.urbs_done.set(self.urbs_done.get() + 1);
+        }
+        (status, actual)
+    }
+
+    /// Programs and executes a single TD without URB-level bookkeeping:
+    /// no length-cap check (callers chunk) and no `urbs_done` bump (a
+    /// chained URB is many TDs but one URB). When `more` is set the
+    /// token carries [`decaf_simdev::uhci::hwreg::TD_TOKEN_MORE`],
+    /// telling the device the transfer continues in the next TD.
+    fn raw_td(
+        &self,
+        kernel: &Kernel,
+        endpoint: u8,
+        buf: usize,
+        len: usize,
+        more: bool,
+    ) -> (i32, u32) {
         let slot = self.next_td.get() % 64;
         self.next_td.set(self.next_td.get() + 1);
         let td = TD_POOL_OFF + slot * 16;
@@ -229,7 +249,11 @@ impl UhciHw {
         } else {
             (len - 1) as u32 & 0x7ff
         };
-        self.dma.write_u32(td + 8, (maxlen << 21) | (ep << 15));
+        let mut token = (maxlen << 21) | (ep << 15);
+        if more {
+            token |= hwreg::TD_TOKEN_MORE;
+        }
+        self.dma.write_u32(td + 8, token);
         self.dma.write_u32(td + 12, buf as u32);
         self.dma.write_u32(FRAME_LIST_OFF, td as u32);
         // Kick: set RS again (the model walks the schedule on the write).
@@ -240,9 +264,71 @@ impl UhciHw {
         if status & hwreg::TD_STALLED != 0 {
             (KError::Io.errno(), 0)
         } else {
-            self.urbs_done.set(self.urbs_done.get() + 1);
             (0, status & 0x7ff)
         }
+    }
+
+    /// Submits one URB as a TD chain over a scatter-gather segment list:
+    /// one TD per segment (segments longer than [`MAX_TD_XFER`] are
+    /// chunked — the 11-bit maxlen field caps a single TD, not the
+    /// transfer), every TD but the last carrying the MORE token bit so
+    /// the device treats the chain as one transfer. Returns `(status,
+    /// actual)` with `actual` accumulated across segment boundaries; a
+    /// device-side short packet ends the chain early with the bytes
+    /// delivered so far, and a stall reports `(-EIO, 0)` like the
+    /// single-TD path. A zero-length transfer (empty chain) programs
+    /// nothing and completes immediately.
+    pub fn submit_sg(
+        &self,
+        kernel: &Kernel,
+        endpoint: u8,
+        segments: &[SgSegment],
+        len: usize,
+    ) -> (i32, u32) {
+        // Flatten the chain into (offset, bytes) TDs up front so the
+        // final TD — the only one without MORE — is known before any
+        // hardware is touched.
+        let mut tds: Vec<(usize, usize)> = Vec::new();
+        let mut remaining = len;
+        for seg in segments {
+            if remaining == 0 {
+                break;
+            }
+            let mut off = seg.offset;
+            let mut left = seg.bytes.min(remaining);
+            while left > 0 {
+                let chunk = left.min(MAX_TD_XFER);
+                tds.push((off, chunk));
+                off += chunk;
+                left -= chunk;
+                remaining -= chunk;
+            }
+        }
+        if remaining > 0 {
+            // The chain cannot hold the requested length. The URB path
+            // validates this at submission; refuse rather than truncate
+            // if a caller reaches the hardware directly.
+            return (KError::Inval.errno(), 0);
+        }
+        if tds.is_empty() {
+            self.urbs_done.set(self.urbs_done.get() + 1);
+            return (0, 0);
+        }
+        let mut total: u32 = 0;
+        let last = tds.len() - 1;
+        for (i, &(buf, chunk)) in tds.iter().enumerate() {
+            let (status, actual) = self.raw_td(kernel, endpoint, buf, chunk, i < last);
+            if status != 0 {
+                return (status, 0);
+            }
+            total += actual;
+            if (actual as usize) < chunk {
+                // Short packet: the device ended the transfer here.
+                break;
+            }
+        }
+        self.urbs_done.set(self.urbs_done.get() + 1);
+        (0, total)
     }
 
     /// Submits one URB by value: stages the payload in the staging
@@ -669,6 +755,17 @@ pub struct ShmringUhci {
 
 /// Loads the decaf driver with the shmring URB data path.
 pub fn install_shmring(kernel: &Kernel, hcd: &str) -> KResult<ShmringUhci> {
+    install_shmring_with(kernel, hcd, decaf_shmring::AllocMode::default())
+}
+
+/// Loads the shmring build with an explicit sector-pool allocation
+/// mode — the seam the fragmentation ablation turns: first-fit vs
+/// buddy vs buddy + scatter-gather over the same driver and workload.
+pub fn install_shmring_with(
+    kernel: &Kernel,
+    hcd: &str,
+    mode: decaf_shmring::AllocMode,
+) -> KResult<ShmringUhci> {
     let (bar, dma, dev) = attach(kernel);
     let hw = Rc::new(UhciHw::new(bar.clone(), dma.clone()));
     let plan = slice(minic::SOURCE, &SliceConfig::default()).map_err(|_| KError::Inval)?;
@@ -678,11 +775,12 @@ pub fn install_shmring(kernel: &Kernel, hcd: &str) -> KResult<ShmringUhci> {
 
     // The sector pool lives in the controller's own DMA region: a run a
     // descriptor names is already where the hardware DMAs.
-    let pool = Rc::new(SectorPool::new(
+    let pool = Rc::new(SectorPool::new_with_mode(
         dma,
         SECTOR_POOL_OFF,
         hwreg::SECTOR_SIZE,
         SECTOR_POOL_SECTORS,
+        mode,
     ));
     let urb_path = UrbDataPath::new(
         Rc::clone(&channel),
@@ -712,9 +810,9 @@ pub fn install_shmring(kernel: &Kernel, hcd: &str) -> KResult<ShmringUhci> {
                         let _span = k.trace_span("urb", "drain");
                         let mut n = 0;
                         for d in end.consume(k) {
-                            let off = end.pool().offset_of(d.buf).expect("live sector run");
+                            let segs = end.pool().sg_segments(d.buf).expect("live chain");
                             let (status, actual) =
-                                hw_drain.submit_at(k, d.endpoint, off, d.len as usize);
+                                hw_drain.submit_sg(k, d.endpoint, &segs, d.len as usize);
                             end.complete(k, d.completed(status, actual))
                                 .expect("giveback ring sized 2x submit ring");
                             n += 1;
@@ -1125,9 +1223,9 @@ pub fn install_sharded(kernel: &Kernel, hcd: &str, shards: usize) -> KResult<Sha
                             let _span = k.trace_span("urb", "drain");
                             let mut n = 0;
                             for d in end.consume(k) {
-                                let off = end.pool().offset_of(d.buf).expect("live sector run");
+                                let segs = end.pool().sg_segments(d.buf).expect("live chain");
                                 let (status, actual) =
-                                    hw_drain.submit_at(k, d.endpoint, off, d.len as usize);
+                                    hw_drain.submit_sg(k, d.endpoint, &segs, d.len as usize);
                                 set.complete(k, CpuClass::User, d.completed(status, actual))
                                     .expect("giveback ring sized 2x submit ring");
                                 n += 1;
@@ -1395,8 +1493,8 @@ mod tests {
 
     #[test]
     fn oversize_transfers_rejected_not_truncated() {
-        // The TD maxlen field tops out at MAX_TD_XFER; a longer transfer
-        // must fail loudly on every path, never silently truncate.
+        // The TD maxlen field tops out at MAX_TD_XFER; the single-TD
+        // native path must fail loudly, never silently truncate.
         let k = Kernel::new();
         let native = install_native(&k, "uhci0").unwrap();
         let big = Urb {
@@ -1406,21 +1504,45 @@ mod tests {
         };
         assert_eq!(native.hw.submit(&k, &big), Err(KError::Inval));
         assert_eq!(native.dev.borrow().flash_sector_count(), 0);
+    }
 
+    #[test]
+    fn oversize_transfers_chain_across_tds_on_the_ring() {
+        // The ring build chunks a transfer beyond MAX_TD_XFER into a
+        // MORE-linked TD chain instead of refusing it: a write command
+        // whose payload alone exceeds one TD lands on flash intact, with
+        // zero payload copies.
         let k = Kernel::new();
         let drv = install_shmring(&k, "uhci0").unwrap();
-        let failed = Rc::new(Cell::new(false));
-        let f = Rc::clone(&failed);
+        let mut data = vec![hwreg::FLASH_CMD_WRITE];
+        data.extend_from_slice(&9u32.to_le_bytes());
+        data.extend_from_slice(&vec![0x77; MAX_TD_XFER + 1]);
+        assert!(data.len() > MAX_TD_XFER, "command must exceed one TD");
+        let done = Rc::new(Cell::new(false));
+        let d = Rc::clone(&done);
         k.usb_submit_urb(
             "uhci0",
-            big,
-            Rc::new(move |_, r| f.set(r == Err(KError::Inval))),
+            Urb {
+                endpoint: hwreg::EP_BULK_OUT as u8,
+                dir: UrbDir::Out,
+                data,
+            },
+            Rc::new(move |_, r| {
+                r.unwrap();
+                d.set(true);
+            }),
         )
         .unwrap();
         k.run_for(4 * costs::DOORBELL_COALESCE_NS);
-        assert!(failed.get(), "giveback carried -EINVAL to the completion");
+        assert!(done.get(), "chained OUT completed");
+        assert_eq!(
+            drv.dev.borrow().flash_sector(9).unwrap(),
+            vec![0x77; MAX_TD_XFER + 1],
+            "full payload reassembled from the TD chain"
+        );
+        assert_eq!(k.stats().bytes_copied, 0, "chaining stays zero-copy");
         assert!(drv.urb_path.conserved());
-        assert_eq!(drv.urb_path.pool().in_use_sectors(), 0, "run reclaimed");
+        assert_eq!(drv.urb_path.pool().in_use_sectors(), 0, "chain reclaimed");
     }
 
     #[test]

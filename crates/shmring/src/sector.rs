@@ -5,31 +5,44 @@
 //! right shape for MTU-bounded frames, the wrong one for storage, where
 //! a transfer is "some number of sectors" (a 5-byte flash command, a
 //! 512-byte sector, a multi-sector scatter write). A [`SectorPool`]
-//! carves a [`DmaMemory`] region into sectors and allocates *contiguous
-//! runs* of them sized to the transfer, so one descriptor handle still
-//! names the whole payload and the device can DMA the run in one go.
+//! carves a [`DmaMemory`] region into sectors and allocates *runs* of
+//! them sized to the transfer, so one descriptor handle still names the
+//! whole payload and the device can DMA the run(s) directly.
 //!
-//! Two properties distinguish it from the frame pool:
+//! Three properties distinguish it from the frame pool:
 //!
 //! * **Variable-length runs** — [`SectorPool::alloc`] takes the byte
-//!   length and reserves `ceil(len / sector_size)` contiguous sectors
-//!   (first-fit); [`SectorPool::free`] reclaims the whole run from the
-//!   handle alone. Frees may arrive out of order — storage devices
-//!   complete out of order just like NICs.
+//!   length and reserves `ceil(len / sector_size)` contiguous sectors;
+//!   [`SectorPool::free`] reclaims the whole run from the handle alone.
+//!   Frees may arrive out of order — storage devices complete out of
+//!   order just like NICs.
+//! * **Fragmentation-proof scatter-gather** — a fragmented pool can hold
+//!   the bytes for a transfer without holding them *contiguously*. Real
+//!   HCDs chain transfer descriptors across discontiguous pages rather
+//!   than refusing; [`SectorPool::alloc_sg`] does the same, returning an
+//!   [`SgHandle`] naming a **chain** of contiguous segments. Under
+//!   [`AllocMode::BuddySg`] (the default) an allocation is refused only
+//!   when the pool genuinely lacks the sectors — never for shape. The
+//!   allocator behind it is a buddy system (order-bucketed free lists,
+//!   block split on alloc, buddy merge on free, `O(log n)` per
+//!   operation); the first-fit scan survives behind
+//!   [`AllocMode::FirstFit`] for the fragmentation ablation.
 //! * **Zero-copy adoption** — storage payloads reach the kernel in
 //!   page-granular buffers the device can DMA directly (the page cache,
-//!   an `O_DIRECT` user buffer). [`SectorPool::adopt_payload`] models
-//!   that donation: the run is *mapped*, not memcpy'd, charging
-//!   [`costs::SECTOR_MAP_NS`] per sector instead of a per-byte copy, and
+//!   an `O_DIRECT` user buffer). [`SectorPool::adopt_payload`] /
+//!   [`SectorPool::adopt_payload_sg`] model that donation: the run is
+//!   *mapped*, not memcpy'd, charging [`costs::SECTOR_MAP_NS`] per
+//!   sector instead of a per-byte copy, and
 //!   [`decaf_simkernel::kernel::KernelStats::bytes_copied`] stays
-//!   untouched.
-//!   [`SectorPool::write_payload`] remains for paths that genuinely copy
-//!   (and charges them honestly).
+//!   untouched. [`SectorPool::write_payload`] remains for paths that
+//!   genuinely copy (and charges them honestly).
 //!
 //! Conservation is a checked invariant: every sector ever allocated is
 //! either reclaimed or still in use ([`SectorPool::conserved`]), and two
 //! live runs never alias — the property tests in `tests/prop.rs` drive
-//! both across arbitrary alloc/free interleavings.
+//! both across arbitrary alloc/free interleavings, and check the buddy
+//! modes against a first-fit oracle for the completeness property
+//! (buddy+SG never refuses a transfer the pool has the bytes for).
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -44,15 +57,61 @@ use crate::pool::PoolError;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct SectorHandle(pub u32);
 
+/// Handle to one scatter-gather chain: an ordered list of contiguous
+/// sector runs that together back one transfer. Allocated by
+/// [`SectorPool::alloc_sg`]; the segment list is the pool's bookkeeping
+/// ([`SectorPool::sg_segments`]), so the handle stays 4 bytes and rides
+/// a ring descriptor unchanged. A zero-length transfer is a valid chain
+/// with **no** segments — it allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SgHandle(pub u32);
+
+/// One contiguous segment of a scatter-gather chain, in DMA terms: what
+/// a transfer descriptor points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SgSegment {
+    /// Byte offset of the segment inside the pool's DMA region.
+    pub offset: usize,
+    /// Segment capacity in bytes (a whole number of sectors).
+    pub bytes: usize,
+}
+
+/// Which allocator backs the pool — the axis of the fragmentation
+/// ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocMode {
+    /// The original linear first-fit scan. Contiguous only: a fragmented
+    /// pool refuses transfers it has the bytes for (the bug this enum
+    /// exists to measure).
+    FirstFit,
+    /// Buddy allocator, contiguous runs only: `O(log n)` alloc and
+    /// buddy-merge on free recover contiguity that first-fit loses, but
+    /// a chain is never formed — scattered singles still refuse a
+    /// multi-sector transfer.
+    Buddy,
+    /// Buddy allocator plus scatter-gather chaining (the default):
+    /// [`SectorPool::alloc_sg`] falls back to chaining the largest free
+    /// blocks when no single block fits, so an allocation fails only on
+    /// true exhaustion.
+    #[default]
+    BuddySg,
+}
+
 /// Conservation counters for one sector pool.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SectorPoolStats {
-    /// Successful run allocations.
+    /// Successful allocations (contiguous runs and SG chains alike; a
+    /// chain counts once however many segments it spans).
     pub allocs: u64,
-    /// Runs handed back.
+    /// Runs/chains handed back.
     pub frees: u64,
-    /// Allocations refused for want of a contiguous free run.
+    /// Allocations refused with *too few free sectors in total* — true
+    /// out-of-space, which no allocator shape can fix.
     pub exhausted: u64,
+    /// Allocations refused while the pool held **enough free sectors**
+    /// but no fitting contiguous run — fragmentation refusals, the
+    /// spurious-failure class that scatter-gather chaining eliminates.
+    pub frag_refusals: u64,
     /// Sectors ever allocated (summed over runs).
     pub sectors_allocated: u64,
     /// Sectors ever reclaimed.
@@ -61,8 +120,121 @@ pub struct SectorPoolStats {
     pub in_use_hwm: u64,
 }
 
+/// Order-bucketed buddy free lists over sector indices.
+///
+/// `lists[k]` holds the start sectors of free blocks of `2^k` sectors,
+/// sorted ascending so every pop is deterministic (lowest address
+/// first). Blocks are split on allocation and merged with their buddy
+/// (`start ^ (1 << k)`) on free. Non-power-of-two pool sizes are
+/// covered by the greedy aligned decomposition in `insert_range`.
+#[derive(Debug)]
+struct Buddy {
+    lists: Vec<Vec<u32>>,
+}
+
+impl Buddy {
+    fn new(count: usize) -> Self {
+        let orders = count.ilog2() as usize + 1;
+        let mut b = Buddy {
+            lists: vec![Vec::new(); orders],
+        };
+        b.insert_range(0, count);
+        b
+    }
+
+    /// Decomposes `[start, start + len)` into maximal aligned
+    /// power-of-two blocks and inserts each (merging as it goes).
+    fn insert_range(&mut self, mut start: usize, mut len: usize) {
+        while len > 0 {
+            let align = if start == 0 {
+                self.lists.len() - 1
+            } else {
+                start.trailing_zeros() as usize
+            };
+            let k = align.min(len.ilog2() as usize).min(self.lists.len() - 1);
+            self.insert_block(start, k);
+            start += 1 << k;
+            len -= 1 << k;
+        }
+    }
+
+    /// Inserts a free block of order `k`, merging with its buddy
+    /// repeatedly while the buddy is also free.
+    fn insert_block(&mut self, mut start: usize, mut k: usize) {
+        while k + 1 < self.lists.len() {
+            let buddy = start ^ (1 << k);
+            if !self.remove_block(buddy, k) {
+                break;
+            }
+            start &= !(1 << k);
+            k += 1;
+        }
+        let list = &mut self.lists[k];
+        let pos = list.partition_point(|&s| (s as usize) < start);
+        list.insert(pos, start as u32);
+    }
+
+    /// Removes a specific block from order `k` if it is free there.
+    fn remove_block(&mut self, start: usize, k: usize) -> bool {
+        match self.lists[k].binary_search(&(start as u32)) {
+            Ok(pos) => {
+                self.lists[k].remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Allocates `need` contiguous sectors: smallest sufficient order,
+    /// lowest address within it, exact-trim of the tail back into the
+    /// free lists (so accounting stays sector-exact — no internal
+    /// fragmentation is ever held by a run).
+    fn alloc_contig(&mut self, need: usize) -> Option<usize> {
+        let kmin = need.next_power_of_two().ilog2() as usize;
+        for k in kmin..self.lists.len() {
+            if !self.lists[k].is_empty() {
+                let start = self.lists[k].remove(0) as usize;
+                let size = 1usize << k;
+                if size > need {
+                    self.insert_range(start + need, size - need);
+                }
+                return Some(start);
+            }
+        }
+        None
+    }
+
+    /// Pops the largest free block whole (lowest address among the
+    /// largest order) — the scatter-gather fallback when no single
+    /// block covers the remainder of a transfer.
+    fn grab_largest(&mut self) -> Option<(usize, usize)> {
+        for k in (0..self.lists.len()).rev() {
+            if !self.lists[k].is_empty() {
+                let start = self.lists[k].remove(0) as usize;
+                return Some((start, 1usize << k));
+            }
+        }
+        None
+    }
+
+    /// Free blocks as sorted `(start, sectors)` pairs — exposed for the
+    /// merge-correctness property tests.
+    fn blocks(&self) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = self
+            .lists
+            .iter()
+            .enumerate()
+            .flat_map(|(k, l)| l.iter().map(move |&s| (s as usize, 1usize << k)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
 /// A pool of `sector_size`-byte sectors carved out of a [`DmaMemory`]
-/// region, allocated as variable-length contiguous runs.
+/// region, allocated as variable-length runs — contiguous
+/// ([`SectorPool::alloc`]) or chained across fragmentation
+/// ([`SectorPool::alloc_sg`]).
 ///
 /// # Example
 ///
@@ -80,6 +252,15 @@ pub struct SectorPoolStats {
 /// assert_eq!(kernel.stats().bytes_copied, 0);
 /// assert_eq!(pool.read_payload(run, 517).unwrap(), vec![0xa5; 517]);
 /// pool.free(run).unwrap();
+///
+/// // The scatter-gather shape: a chain of segments backs one transfer,
+/// // and a zero-length (status-stage) transfer allocates nothing.
+/// let chain = pool.alloc_sg(1024).unwrap();
+/// assert_eq!(pool.sg_capacity(chain).unwrap(), 1024);
+/// let status = pool.alloc_sg(0).unwrap();
+/// assert_eq!(pool.sg_segments(status).unwrap().len(), 0);
+/// pool.free_sg(chain).unwrap();
+/// pool.free_sg(status).unwrap();
 /// assert!(pool.conserved());
 /// ```
 #[derive(Debug)]
@@ -87,21 +268,45 @@ pub struct SectorPool {
     dma: DmaMemory,
     base: usize,
     sector_size: usize,
-    /// Per-sector in-use flags.
+    mode: AllocMode,
+    /// Per-sector in-use flags (authoritative occupancy, every mode).
     in_use: RefCell<Vec<bool>>,
     /// Run length (in sectors) keyed by the run's first sector.
     runs: RefCell<HashMap<u32, u32>>,
+    /// Buddy free lists — maintained in the buddy modes, absent under
+    /// first-fit.
+    buddy: RefCell<Option<Buddy>>,
+    /// Segment chains keyed by SG handle id.
+    chains: RefCell<HashMap<u32, Vec<SectorHandle>>>,
+    next_sg: Cell<u32>,
     stats: Cell<SectorPoolStats>,
 }
 
 impl SectorPool {
     /// Builds a pool of `count` sectors of `sector_size` bytes starting
-    /// at byte `base` of `dma`.
+    /// at byte `base` of `dma`, under the default allocator
+    /// ([`AllocMode::BuddySg`]).
     ///
     /// # Panics
     /// Panics if the region does not fit inside `dma`, or `count` or
     /// `sector_size` is zero.
     pub fn new(dma: DmaMemory, base: usize, sector_size: usize, count: usize) -> Self {
+        SectorPool::new_with_mode(dma, base, sector_size, count, AllocMode::default())
+    }
+
+    /// Builds a pool with an explicit [`AllocMode`] — the knob the
+    /// fragmentation ablation turns.
+    ///
+    /// # Panics
+    /// Panics if the region does not fit inside `dma`, or `count` or
+    /// `sector_size` is zero.
+    pub fn new_with_mode(
+        dma: DmaMemory,
+        base: usize,
+        sector_size: usize,
+        count: usize,
+        mode: AllocMode,
+    ) -> Self {
         assert!(count > 0, "a pool needs at least one sector");
         assert!(sector_size > 0, "sectors need a size");
         assert!(
@@ -109,12 +314,20 @@ impl SectorPool {
             "sector region {base}+{sector_size}x{count} exceeds DMA size {}",
             dma.len()
         );
+        let buddy = match mode {
+            AllocMode::FirstFit => None,
+            AllocMode::Buddy | AllocMode::BuddySg => Some(Buddy::new(count)),
+        };
         SectorPool {
             dma,
             base,
             sector_size,
+            mode,
             in_use: RefCell::new(vec![false; count]),
             runs: RefCell::new(HashMap::new()),
+            buddy: RefCell::new(buddy),
+            chains: RefCell::new(HashMap::new()),
+            next_sg: Cell::new(0),
             stats: Cell::new(SectorPoolStats::default()),
         }
     }
@@ -123,6 +336,22 @@ impl SectorPool {
     /// the storage ablation, where no device model is attached).
     pub fn with_capacity(sector_size: usize, count: usize) -> Self {
         SectorPool::new(DmaMemory::new(sector_size * count), 0, sector_size, count)
+    }
+
+    /// [`SectorPool::with_capacity`] with an explicit [`AllocMode`].
+    pub fn with_capacity_mode(sector_size: usize, count: usize, mode: AllocMode) -> Self {
+        SectorPool::new_with_mode(
+            DmaMemory::new(sector_size * count),
+            0,
+            sector_size,
+            count,
+            mode,
+        )
+    }
+
+    /// The allocator mode this pool runs under.
+    pub fn mode(&self) -> AllocMode {
+        self.mode
     }
 
     /// Bytes per sector.
@@ -145,9 +374,14 @@ impl SectorPool {
         self.capacity_sectors() - self.available_sectors()
     }
 
-    /// Live runs (allocated, not yet freed).
+    /// Live contiguous runs (SG chains count once per segment).
     pub fn live_runs(&self) -> usize {
         self.runs.borrow().len()
+    }
+
+    /// Live scatter-gather chains.
+    pub fn live_chains(&self) -> usize {
+        self.chains.borrow().len()
     }
 
     /// Counter snapshot.
@@ -156,15 +390,57 @@ impl SectorPool {
     }
 
     /// The conservation invariant: every sector ever allocated is either
-    /// reclaimed or still in use — none lost, none double-counted.
+    /// reclaimed or still in use — none lost, none double-counted. In
+    /// the buddy modes the free lists must also agree exactly with the
+    /// occupancy flags.
     pub fn conserved(&self) -> bool {
         let s = self.stats.get();
-        s.sectors_allocated == s.sectors_reclaimed + self.in_use_sectors() as u64
+        let counters = s.sectors_allocated == s.sectors_reclaimed + self.in_use_sectors() as u64;
+        let buddy_sync = match &*self.buddy.borrow() {
+            None => true,
+            Some(b) => {
+                let free: usize = b.blocks().iter().map(|&(_, n)| n).sum();
+                free == self.available_sectors()
+            }
+        };
+        counters && buddy_sync
     }
 
-    /// Sectors a `len`-byte transfer occupies (at least one).
+    /// Sectors a `len`-byte transfer occupies. Zero-length transfers
+    /// (USB status-stage shape) occupy **zero** sectors — they are
+    /// represented as empty segment chains, not a burned sector.
     pub fn sectors_for(&self, len: usize) -> usize {
-        (len.max(1)).div_ceil(self.sector_size)
+        len.div_ceil(self.sector_size)
+    }
+
+    /// The pool's current free extents as sorted `(first_sector,
+    /// sectors)` pairs — the buddy free lists in the buddy modes, a
+    /// linear scan of the occupancy flags under first-fit. Exposed so
+    /// the property tests can check buddy-merge correctness against the
+    /// canonical decomposition of a fresh pool.
+    pub fn free_extents(&self) -> Vec<(usize, usize)> {
+        match &*self.buddy.borrow() {
+            Some(b) => b.blocks(),
+            None => {
+                let in_use = self.in_use.borrow();
+                let mut out = Vec::new();
+                let mut start = None;
+                for (i, used) in in_use.iter().enumerate() {
+                    match (used, start) {
+                        (false, None) => start = Some(i),
+                        (true, Some(s)) => {
+                            out.push((s, i - s));
+                            start = None;
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(s) = start {
+                    out.push((s, in_use.len() - s));
+                }
+                out
+            }
+        }
     }
 
     fn bump(&self, f: impl FnOnce(&mut SectorPoolStats)) {
@@ -173,56 +449,68 @@ impl SectorPool {
         self.stats.set(s);
     }
 
-    /// Allocates a contiguous run of sectors for a `len`-byte transfer
-    /// (first-fit). Returns [`PoolError::Exhausted`] when no contiguous
-    /// run is free, [`PoolError::TooLarge`] when `len` exceeds the whole
-    /// pool.
-    pub fn alloc(&self, len: usize) -> Result<SectorHandle, PoolError> {
-        let need = self.sectors_for(len);
-        if need > self.capacity_sectors() {
-            return Err(PoolError::TooLarge {
-                len,
-                buf_size: self.capacity_sectors() * self.sector_size,
-            });
-        }
-        let mut in_use = self.in_use.borrow_mut();
-        let mut run_start = 0usize;
-        let mut run_len = 0usize;
-        let mut found = None;
-        for (i, used) in in_use.iter().enumerate() {
-            if *used {
-                run_len = 0;
-                run_start = i + 1;
-            } else {
-                run_len += 1;
-                if run_len == need {
-                    found = Some(run_start);
-                    break;
-                }
-            }
-        }
-        let Some(first) = found else {
+    /// Classifies a refusal: enough free sectors in total means a
+    /// fragmentation refusal, too few means true exhaustion. Both
+    /// surface as [`PoolError::Exhausted`] so backpressure handling
+    /// upstream stays uniform — the *counters* carry the distinction.
+    fn refuse(&self, need: usize) -> PoolError {
+        if need <= self.available_sectors() {
+            self.bump(|s| s.frag_refusals += 1);
+        } else {
             self.bump(|s| s.exhausted += 1);
-            return Err(PoolError::Exhausted);
-        };
-        for flag in in_use.iter_mut().skip(first).take(need) {
-            *flag = true;
         }
-        drop(in_use);
-        self.runs.borrow_mut().insert(first as u32, need as u32);
-        let in_use_now = self.in_use_sectors() as u64;
-        self.bump(|s| {
-            s.allocs += 1;
-            s.sectors_allocated += need as u64;
-            s.in_use_hwm = s.in_use_hwm.max(in_use_now);
-        });
-        Ok(SectorHandle(first as u32))
+        PoolError::Exhausted
     }
 
-    /// Returns a run to the pool. Order-independent; double frees and
-    /// stale handles are rejected. Returns the number of sectors
-    /// reclaimed.
-    pub fn free(&self, h: SectorHandle) -> Result<usize, PoolError> {
+    /// Marks `[start, start + need)` in use and registers the run. No
+    /// stats: callers account allocations at their own granularity.
+    fn mark_run(&self, start: usize, need: usize) {
+        let mut in_use = self.in_use.borrow_mut();
+        for flag in in_use.iter_mut().skip(start).take(need) {
+            debug_assert!(!*flag, "allocator handed out a sector already in use");
+            *flag = true;
+        }
+        let prev = self.runs.borrow_mut().insert(start as u32, need as u32);
+        debug_assert!(prev.is_none(), "run start reused while live");
+    }
+
+    /// Grabs `need` contiguous sectors under the pool's mode and
+    /// registers the run. No stats.
+    fn grab_contig(&self, need: usize) -> Option<usize> {
+        let start = match self.mode {
+            AllocMode::FirstFit => {
+                let in_use = self.in_use.borrow();
+                let mut run_start = 0usize;
+                let mut run_len = 0usize;
+                let mut found = None;
+                for (i, used) in in_use.iter().enumerate() {
+                    if *used {
+                        run_len = 0;
+                        run_start = i + 1;
+                    } else {
+                        run_len += 1;
+                        if run_len == need {
+                            found = Some(run_start);
+                            break;
+                        }
+                    }
+                }
+                found?
+            }
+            AllocMode::Buddy | AllocMode::BuddySg => self
+                .buddy
+                .borrow_mut()
+                .as_mut()
+                .expect("buddy modes keep free lists")
+                .alloc_contig(need)?,
+        };
+        self.mark_run(start, need);
+        Some(start)
+    }
+
+    /// Unregisters a run and clears its sectors (returning them to the
+    /// buddy lists in the buddy modes). No stats.
+    fn release_run(&self, h: SectorHandle) -> Result<usize, PoolError> {
         if h.0 as usize >= self.capacity_sectors() {
             return Err(PoolError::BadHandle(h.0));
         }
@@ -234,11 +522,160 @@ impl SectorPool {
             debug_assert!(*flag, "freed run covers a sector not in use");
             *flag = false;
         }
+        drop(in_use);
+        if let Some(b) = self.buddy.borrow_mut().as_mut() {
+            b.insert_range(h.0 as usize, len as usize);
+        }
+        Ok(len as usize)
+    }
+
+    fn note_alloc(&self, need: usize) {
+        let in_use_now = self.in_use_sectors() as u64;
+        self.bump(|s| {
+            s.allocs += 1;
+            s.sectors_allocated += need as u64;
+            s.in_use_hwm = s.in_use_hwm.max(in_use_now);
+        });
+    }
+
+    /// Allocates a contiguous run of sectors for a `len`-byte transfer.
+    /// Returns [`PoolError::Exhausted`] when no contiguous run is free
+    /// (see [`SectorPoolStats::frag_refusals`] vs
+    /// [`SectorPoolStats::exhausted`] for which kind of refusal it
+    /// was), [`PoolError::TooLarge`] when `len` exceeds the whole pool.
+    /// Zero-length transfers still pin one sector here — only the
+    /// scatter-gather path ([`SectorPool::alloc_sg`]) can represent
+    /// "no payload" as "no sectors".
+    pub fn alloc(&self, len: usize) -> Result<SectorHandle, PoolError> {
+        let need = self.sectors_for(len).max(1);
+        if need > self.capacity_sectors() {
+            return Err(PoolError::TooLarge {
+                len,
+                buf_size: self.capacity_sectors() * self.sector_size,
+            });
+        }
+        let Some(first) = self.grab_contig(need) else {
+            return Err(self.refuse(need));
+        };
+        self.note_alloc(need);
+        Ok(SectorHandle(first as u32))
+    }
+
+    /// Returns a run to the pool. Order-independent; double frees and
+    /// stale handles are rejected. Returns the number of sectors
+    /// reclaimed.
+    pub fn free(&self, h: SectorHandle) -> Result<usize, PoolError> {
+        let len = self.release_run(h)?;
         self.bump(|s| {
             s.frees += 1;
             s.sectors_reclaimed += len as u64;
         });
-        Ok(len as usize)
+        Ok(len)
+    }
+
+    /// Allocates a scatter-gather chain for a `len`-byte transfer.
+    ///
+    /// * `len == 0` → an empty chain holding **no** sectors (the USB
+    ///   status-stage shape) — nothing is allocated, nothing leaks.
+    /// * [`AllocMode::FirstFit`] / [`AllocMode::Buddy`] → a chain of
+    ///   exactly one contiguous run (so the ablation's non-SG modes ride
+    ///   the same descriptor plumbing).
+    /// * [`AllocMode::BuddySg`] → one contiguous run when a free block
+    ///   covers it, else a chain of the largest free blocks — which
+    ///   makes allocation **complete**: it succeeds whenever the pool
+    ///   has `sectors_for(len)` sectors free, fragmented or not.
+    ///
+    /// Returns [`PoolError::TooLarge`] when `len` exceeds the whole
+    /// pool, [`PoolError::Exhausted`] otherwise on refusal (classified
+    /// into [`SectorPoolStats::frag_refusals`] vs
+    /// [`SectorPoolStats::exhausted`]).
+    pub fn alloc_sg(&self, len: usize) -> Result<SgHandle, PoolError> {
+        let need = self.sectors_for(len);
+        if need > self.capacity_sectors() {
+            return Err(PoolError::TooLarge {
+                len,
+                buf_size: self.capacity_sectors() * self.sector_size,
+            });
+        }
+        let mut segs: Vec<SectorHandle> = Vec::new();
+        let mut remaining = need;
+        while remaining > 0 {
+            if let Some(start) = self.grab_contig(remaining) {
+                segs.push(SectorHandle(start as u32));
+                break;
+            }
+            let grabbed = match self.mode {
+                AllocMode::BuddySg => self
+                    .buddy
+                    .borrow_mut()
+                    .as_mut()
+                    .expect("buddy modes keep free lists")
+                    .grab_largest(),
+                _ => None,
+            };
+            let Some((start, size)) = grabbed else {
+                // Roll the partial chain back — a refused allocation
+                // must leave the pool exactly as it found it.
+                for s in segs.drain(..) {
+                    self.release_run(s).expect("rollback frees what it grabbed");
+                }
+                return Err(self.refuse(need));
+            };
+            debug_assert!(size < remaining, "a covering block would have been taken");
+            self.mark_run(start, size);
+            segs.push(SectorHandle(start as u32));
+            remaining -= size;
+        }
+        let id = self.next_sg.get();
+        self.next_sg.set(id.wrapping_add(1));
+        self.chains.borrow_mut().insert(id, segs);
+        self.note_alloc(need);
+        Ok(SgHandle(id))
+    }
+
+    /// Returns a whole chain to the pool. Order-independent; double
+    /// frees and stale handles are rejected. Returns the number of
+    /// sectors reclaimed (zero for an empty chain).
+    pub fn free_sg(&self, h: SgHandle) -> Result<usize, PoolError> {
+        let Some(segs) = self.chains.borrow_mut().remove(&h.0) else {
+            return Err(PoolError::NotAllocated(h.0));
+        };
+        let mut total = 0usize;
+        for s in segs {
+            total += self
+                .release_run(s)
+                .expect("chain segments are live until the chain is freed");
+        }
+        self.bump(|s| {
+            s.frees += 1;
+            s.sectors_reclaimed += total as u64;
+        });
+        Ok(total)
+    }
+
+    fn chain(&self, h: SgHandle) -> Result<Vec<SectorHandle>, PoolError> {
+        self.chains
+            .borrow()
+            .get(&h.0)
+            .cloned()
+            .ok_or(PoolError::NotAllocated(h.0))
+    }
+
+    /// The chain's segments in transfer order, as DMA extents — what
+    /// the HCD programs one transfer descriptor per entry from.
+    pub fn sg_segments(&self, h: SgHandle) -> Result<Vec<SgSegment>, PoolError> {
+        self.chain(h)?
+            .into_iter()
+            .map(|s| {
+                self.check(s)
+                    .map(|(offset, bytes)| SgSegment { offset, bytes })
+            })
+            .collect()
+    }
+
+    /// Total byte capacity of a chain (zero for an empty chain).
+    pub fn sg_capacity(&self, h: SgHandle) -> Result<usize, PoolError> {
+        Ok(self.sg_segments(h)?.iter().map(|s| s.bytes).sum())
     }
 
     fn check(&self, h: SectorHandle) -> Result<(usize, usize), PoolError> {
@@ -310,6 +747,38 @@ impl SectorPool {
         Ok(())
     }
 
+    /// [`SectorPool::adopt_payload`] for a scatter-gather chain: the
+    /// payload's pages are mapped segment by segment, still copy-free —
+    /// the same [`costs::SECTOR_MAP_NS`]-per-sector mapping charge,
+    /// never [`Kernel::charge_copy`].
+    pub fn adopt_payload_sg(
+        &self,
+        kernel: &Kernel,
+        data: &[u8],
+        h: SgHandle,
+    ) -> Result<(), PoolError> {
+        let segs = self.sg_segments(h)?;
+        let cap: usize = segs.iter().map(|s| s.bytes).sum();
+        if data.len() > cap {
+            return Err(PoolError::TooLarge {
+                len: data.len(),
+                buf_size: cap,
+            });
+        }
+        let mut written = 0usize;
+        for seg in &segs {
+            if written >= data.len() {
+                break;
+            }
+            let n = seg.bytes.min(data.len() - written);
+            self.dma
+                .write_bytes(seg.offset, &data[written..written + n]);
+            written += n;
+        }
+        kernel.charge_kernel(self.sectors_for(data.len()) as u64 * costs::SECTOR_MAP_NS);
+        Ok(())
+    }
+
     /// Reads `len` payload bytes back out of a run.
     ///
     /// No copy cost is charged: the consumer reads the payload *in
@@ -325,6 +794,26 @@ impl SectorPool {
             });
         }
         Ok(self.dma.read_bytes(off, len))
+    }
+
+    /// Gathers `len` payload bytes back out of a chain, segment by
+    /// segment. Like [`SectorPool::read_payload`], in place and
+    /// copy-free.
+    pub fn read_payload_sg(&self, h: SgHandle, len: usize) -> Result<Vec<u8>, PoolError> {
+        let segs = self.sg_segments(h)?;
+        let cap: usize = segs.iter().map(|s| s.bytes).sum();
+        if len > cap {
+            return Err(PoolError::TooLarge { len, buf_size: cap });
+        }
+        let mut out = Vec::with_capacity(len);
+        for seg in &segs {
+            if out.len() >= len {
+                break;
+            }
+            let n = seg.bytes.min(len - out.len());
+            out.extend_from_slice(&self.dma.read_bytes(seg.offset, n));
+        }
+        Ok(out)
     }
 }
 
@@ -353,8 +842,12 @@ mod tests {
     }
 
     #[test]
-    fn runs_never_alias_and_fragmentation_exhausts() {
-        let p = SectorPool::with_capacity(64, 4);
+    fn first_fit_runs_never_alias_and_fragmentation_refuses() {
+        // The original first-fit allocator, kept for the ablation: two
+        // scattered free singles cannot satisfy a 2-sector transfer,
+        // and the refusal is classified as *fragmentation*, not
+        // exhaustion — the pool has the bytes.
+        let p = SectorPool::with_capacity_mode(64, 4, AllocMode::FirstFit);
         let a = p.alloc(64).unwrap();
         let b = p.alloc(128).unwrap();
         let c = p.alloc(64).unwrap();
@@ -373,10 +866,145 @@ mod tests {
         p.free(c).unwrap();
         assert_eq!(p.available_sectors(), 2);
         assert_eq!(p.alloc(128), Err(PoolError::Exhausted));
-        assert_eq!(p.stats().exhausted, 1);
+        assert_eq!(
+            p.stats().frag_refusals,
+            1,
+            "bytes were there: frag, not OOM"
+        );
+        assert_eq!(p.stats().exhausted, 0);
         // A single still fits in either hole.
         let d = p.alloc(10).unwrap();
         assert_eq!(p.run_sectors(d).unwrap(), 1);
+    }
+
+    #[test]
+    fn refusal_counters_split_frag_from_true_exhaustion() {
+        // Regression for the conflated counter: a fragmented refusal
+        // and a true out-of-space refusal bump *different* counters.
+        let p = SectorPool::with_capacity_mode(64, 4, AllocMode::FirstFit);
+        let held: Vec<_> = (0..4).map(|_| p.alloc(1).unwrap()).collect();
+        // Pool completely full: true exhaustion.
+        assert_eq!(p.alloc(64), Err(PoolError::Exhausted));
+        assert_eq!(p.stats().exhausted, 1);
+        assert_eq!(p.stats().frag_refusals, 0);
+        // Free alternating singles: 2 sectors free, none adjacent.
+        p.free(held[0]).unwrap();
+        p.free(held[2]).unwrap();
+        assert_eq!(p.alloc(128), Err(PoolError::Exhausted));
+        assert_eq!(p.stats().exhausted, 1, "unchanged");
+        assert_eq!(p.stats().frag_refusals, 1, "the pool had the bytes");
+        // More free bytes than requested but still no contiguous fit is
+        // *also* fragmentation: three scattered frees.
+        p.free(held[1]).unwrap();
+        assert!(p.conserved());
+    }
+
+    #[test]
+    fn buddy_merge_restores_contiguity() {
+        // Four singles carve the pool to pieces; freeing them all must
+        // merge back to one max-order block so a full-pool contiguous
+        // alloc succeeds — the recovery first-fit never spoils but
+        // buddy must *prove* (merge correctness).
+        let p = SectorPool::with_capacity_mode(64, 8, AllocMode::Buddy);
+        let held: Vec<_> = (0..8).map(|_| p.alloc(1).unwrap()).collect();
+        assert_eq!(p.available_sectors(), 0);
+        // Free in a scrambled order: merges must cascade regardless.
+        for i in [3, 0, 6, 1, 7, 2, 5, 4] {
+            p.free(held[i]).unwrap();
+        }
+        assert_eq!(
+            p.free_extents(),
+            vec![(0, 8)],
+            "buddies merged to one block"
+        );
+        let big = p.alloc(8 * 64).unwrap();
+        assert_eq!(p.run_sectors(big).unwrap(), 8);
+        p.free(big).unwrap();
+        assert!(p.conserved());
+    }
+
+    #[test]
+    fn buddy_contiguous_still_refuses_when_scattered() {
+        // Buddy without SG recovers *merge-able* fragmentation but not
+        // scattered singles whose buddies are live.
+        let p = SectorPool::with_capacity_mode(64, 4, AllocMode::Buddy);
+        let held: Vec<_> = (0..4).map(|_| p.alloc(1).unwrap()).collect();
+        p.free(held[0]).unwrap();
+        p.free(held[2]).unwrap();
+        // Sectors 0 and 2 are free but their buddies (1, 3) are live:
+        // no merge possible, no 2-sector block exists.
+        assert_eq!(p.alloc(128), Err(PoolError::Exhausted));
+        assert_eq!(p.stats().frag_refusals, 1);
+        assert_eq!(p.stats().exhausted, 0);
+    }
+
+    #[test]
+    fn buddy_sg_chains_across_fragmentation() {
+        // The headline fix: the same scattered-singles pool that
+        // refuses a contiguous 2-sector alloc satisfies it as a
+        // 2-segment chain, and the payload round-trips across the
+        // segment boundary.
+        let k = Kernel::new();
+        let p = SectorPool::with_capacity(64, 4); // BuddySg default
+        let held: Vec<_> = (0..4).map(|_| p.alloc(1).unwrap()).collect();
+        p.free(held[0]).unwrap();
+        p.free(held[2]).unwrap();
+        let chain = p.alloc_sg(128).unwrap();
+        let segs = p.sg_segments(chain).unwrap();
+        assert_eq!(segs.len(), 2, "two scattered singles chained");
+        assert_eq!(p.sg_capacity(chain).unwrap(), 128);
+        assert_eq!(
+            p.available_sectors(),
+            0,
+            "chain used exactly the free sectors"
+        );
+        let payload: Vec<u8> = (0..128u8).collect();
+        p.adopt_payload_sg(&k, &payload, chain).unwrap();
+        assert_eq!(k.stats().bytes_copied, 0, "SG adoption maps, never copies");
+        assert_eq!(p.read_payload_sg(chain, 128).unwrap(), payload);
+        assert_eq!(p.free_sg(chain).unwrap(), 2);
+        assert_eq!(p.stats().frag_refusals, 0, "never refused");
+        assert!(p.conserved());
+    }
+
+    #[test]
+    fn failed_sg_alloc_rolls_back_cleanly() {
+        // A chain that cannot complete must leave the pool untouched:
+        // 3 sectors free, 4 requested.
+        let p = SectorPool::with_capacity(64, 4);
+        let pin = p.alloc(64).unwrap();
+        let extents_before = p.free_extents();
+        assert_eq!(p.alloc_sg(256), Err(PoolError::Exhausted));
+        assert_eq!(p.stats().exhausted, 1, "3 < 4 free: true exhaustion");
+        assert_eq!(p.free_extents(), extents_before, "rollback exact");
+        assert_eq!(p.available_sectors(), 3);
+        p.free(pin).unwrap();
+        assert!(p.conserved());
+    }
+
+    #[test]
+    fn zero_length_chain_allocates_nothing() {
+        // Regression for the burned status-stage sector: a zero-length
+        // transfer is an empty chain — no sectors pinned, ledger still
+        // closed.
+        let k = Kernel::new();
+        let p = SectorPool::with_capacity(512, 2);
+        let zlp = p.alloc_sg(0).unwrap();
+        assert_eq!(p.sg_segments(zlp).unwrap().len(), 0);
+        assert_eq!(p.sg_capacity(zlp).unwrap(), 0);
+        assert_eq!(p.in_use_sectors(), 0, "nothing burned");
+        // The whole pool is still allocatable around the live ZLP.
+        let full = p.alloc_sg(1024).unwrap();
+        p.adopt_payload_sg(&k, &[], zlp).unwrap();
+        assert_eq!(p.read_payload_sg(zlp, 0).unwrap(), Vec::<u8>::new());
+        assert_eq!(p.free_sg(zlp).unwrap(), 0);
+        p.free_sg(full).unwrap();
+        let s = p.stats();
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.frees, 2);
+        assert_eq!(s.sectors_allocated, s.sectors_reclaimed);
+        assert!(p.conserved());
+        assert_eq!(k.stats().bytes_copied, 0);
     }
 
     #[test]
@@ -410,6 +1038,15 @@ mod tests {
         // A transfer bigger than the whole pool is TooLarge, not
         // Exhausted: no amount of reclaim will ever satisfy it.
         assert!(matches!(p.alloc(4096), Err(PoolError::TooLarge { .. })));
+        assert!(matches!(p.alloc_sg(4096), Err(PoolError::TooLarge { .. })));
+        // SG double frees and stale chain handles likewise.
+        let c = p.alloc_sg(512).unwrap();
+        p.free_sg(c).unwrap();
+        assert!(matches!(p.free_sg(c), Err(PoolError::NotAllocated(_))));
+        assert!(matches!(
+            p.sg_segments(SgHandle(1234)),
+            Err(PoolError::NotAllocated(_))
+        ));
         assert!(p.conserved());
     }
 
@@ -426,5 +1063,29 @@ mod tests {
             p.write_payload(&k, CpuClass::Kernel, a, &[0; 513]),
             Err(PoolError::TooLarge { .. })
         ));
+        let c = p.alloc_sg(512).unwrap();
+        assert!(matches!(
+            p.adopt_payload_sg(&k, &[0; 513], c),
+            Err(PoolError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            p.read_payload_sg(c, 513),
+            Err(PoolError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn non_power_of_two_pools_cover_every_sector() {
+        // 20 sectors decompose to 16 + 4; every sector must still be
+        // reachable and conservation must hold through a full drain.
+        let p = SectorPool::with_capacity(64, 20);
+        let extents: usize = p.free_extents().iter().map(|&(_, n)| n).sum();
+        assert_eq!(extents, 20, "decomposition covers the whole pool");
+        let chain = p.alloc_sg(20 * 64).unwrap();
+        assert_eq!(p.available_sectors(), 0);
+        assert_eq!(p.sg_capacity(chain).unwrap(), 20 * 64);
+        p.free_sg(chain).unwrap();
+        assert_eq!(p.available_sectors(), 20);
+        assert!(p.conserved());
     }
 }

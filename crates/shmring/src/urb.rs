@@ -20,7 +20,7 @@
 //! apply — request/response changes what a descriptor *means*, not what
 //! it *costs*.
 
-use crate::sector::SectorHandle;
+use crate::sector::SgHandle;
 
 /// Transfer direction of a URB descriptor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,8 +38,12 @@ pub enum XferDir {
 /// bytes of ring traffic stand in for the whole transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct UrbDescriptor {
-    /// The sector run holding (OUT) or receiving (IN) the payload.
-    pub buf: SectorHandle,
+    /// The scatter-gather chain holding (OUT) or receiving (IN) the
+    /// payload: one or more contiguous sector runs, or none at all for
+    /// a zero-length (status-stage) transfer. The segment list is the
+    /// [`crate::SectorPool`]'s bookkeeping, so the descriptor stays a
+    /// few dozen bytes however scattered the payload is.
+    pub buf: SgHandle,
     /// Requested transfer length in bytes.
     pub len: u32,
     /// Bytes actually transferred (valid on the giveback ring; short
@@ -59,7 +63,7 @@ pub struct UrbDescriptor {
 
 impl UrbDescriptor {
     /// A host-to-device request: `buf` holds `len` payload bytes.
-    pub fn request_out(buf: SectorHandle, len: u32, endpoint: u8, cookie: u64) -> Self {
+    pub fn request_out(buf: SgHandle, len: u32, endpoint: u8, cookie: u64) -> Self {
         UrbDescriptor {
             buf,
             len,
@@ -71,9 +75,9 @@ impl UrbDescriptor {
         }
     }
 
-    /// A device-to-host request: `buf` is an empty run of at least `len`
-    /// bytes for the device to fill.
-    pub fn request_in(buf: SectorHandle, len: u32, endpoint: u8, cookie: u64) -> Self {
+    /// A device-to-host request: `buf` is an empty chain of at least
+    /// `len` bytes capacity for the device to fill.
+    pub fn request_in(buf: SgHandle, len: u32, endpoint: u8, cookie: u64) -> Self {
         UrbDescriptor {
             buf,
             len,
@@ -109,7 +113,7 @@ mod tests {
     fn urb_descriptors_ride_a_generic_ring() {
         let k = Kernel::new();
         let ring: ShmRing<UrbDescriptor> = ShmRing::new("urb-submit", 4);
-        let req = UrbDescriptor::request_in(SectorHandle(3), 512, 1, 7);
+        let req = UrbDescriptor::request_in(SgHandle(3), 512, 1, 7);
         ring.push(&k, CpuClass::Kernel, req).unwrap();
         let got = ring.pop(&k, CpuClass::User).unwrap();
         assert_eq!(got, req);
@@ -122,7 +126,7 @@ mod tests {
 
     #[test]
     fn failed_completion_carries_errno() {
-        let d = UrbDescriptor::request_out(SectorHandle(0), 5, 2, 1).completed(-5, 0);
+        let d = UrbDescriptor::request_out(SgHandle(0), 5, 2, 1).completed(-5, 0);
         assert!(!d.ok());
         assert_eq!(d.status, -5);
     }

@@ -318,7 +318,7 @@ impl UrbRingSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sector::SectorHandle;
+    use crate::sector::SgHandle;
 
     fn set(shards: usize) -> Rc<UrbRingSet> {
         UrbRingSet::new(
@@ -331,7 +331,7 @@ mod tests {
     }
 
     fn submit(k: &Kernel, s: &UrbRingSet, shard: usize, cookie: u64) {
-        let run = s.pool().alloc(512).unwrap();
+        let run = s.pool().alloc_sg(512).unwrap();
         s.submit_ring(shard)
             .push(
                 k,
@@ -373,7 +373,7 @@ mod tests {
         for shard in 0..3 {
             for d in s.reclaim(&k, CpuClass::Kernel, shard) {
                 assert_eq!(s.steer(d.cookie), shard);
-                s.pool().free(d.buf).unwrap();
+                s.pool().free_sg(d.buf).unwrap();
             }
             assert!(s.shard_conserved(shard), "shard {shard}");
         }
@@ -389,7 +389,7 @@ mod tests {
     fn unknown_and_double_completions_rejected() {
         let k = Kernel::new();
         let s = set(2);
-        let d = UrbDescriptor::request_in(SectorHandle(0), 512, 1, 7);
+        let d = UrbDescriptor::request_in(SgHandle(0), 512, 1, 7);
         assert_eq!(
             s.complete(&k, CpuClass::User, d),
             Err(RingSetError::UnknownOrigin(7))

@@ -8,8 +8,8 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use decaf_shmring::{
-    BufHandle, BufPool, Descriptor, PoolError, RingError, SectorHandle, SectorPool, ShmRing,
-    UrbDescriptor, UrbRingSet,
+    AllocMode, BufHandle, BufPool, Descriptor, PoolError, RingError, SectorHandle, SectorPool,
+    SgHandle, SgSegment, ShmRing, UrbDescriptor, UrbRingSet,
 };
 use decaf_simkernel::{CpuClass, Kernel};
 use proptest::prelude::*;
@@ -303,7 +303,7 @@ proptest! {
                 // backpressure suite's business).
                 0 | 1 => {
                     let shard = (*op as usize / 3) % shards;
-                    if let Ok(run) = set.pool().alloc(64) {
+                    if let Ok(run) = set.pool().alloc_sg(64) {
                         let cookie = next_cookie;
                         next_cookie += 1;
                         set.submit_ring(shard)
@@ -331,7 +331,7 @@ proptest! {
                     // And reclaim whatever has come home on that shard.
                     for d in set.reclaim(&k, CpuClass::Kernel, victim) {
                         prop_assert_eq!(submitted_by[&d.cookie], victim);
-                        set.pool().free(d.buf).unwrap();
+                        set.pool().free_sg(d.buf).unwrap();
                         reclaimed[victim] += 1;
                     }
                 }
@@ -346,7 +346,7 @@ proptest! {
             }
             for d in set.reclaim(&k, CpuClass::Kernel, shard) {
                 prop_assert_eq!(submitted_by[&d.cookie], shard);
-                set.pool().free(d.buf).unwrap();
+                set.pool().free_sg(d.buf).unwrap();
                 *count += 1;
             }
         }
@@ -392,5 +392,175 @@ proptest! {
             pool.free(d.buf).unwrap();
         }
         prop_assert_eq!(k.stats().bytes_copied, expected_bytes, "reads are in place");
+    }
+
+    /// Scatter-gather chains under adversarial alloc/free interleavings:
+    /// no byte of any live chain ever aliases another chain, the
+    /// conservation counters hold at every step, and draining everything
+    /// returns the pool to pristine capacity.
+    #[test]
+    fn sg_chains_never_alias_and_conserve(
+        ops in proptest::collection::vec(any::<u16>(), 1..200),
+    ) {
+        const SECTOR: usize = 64;
+        const COUNT: usize = 16;
+        let pool = SectorPool::with_capacity(SECTOR, COUNT);
+        // Live chains as (handle, requested bytes, segments).
+        let mut live: Vec<(SgHandle, usize, Vec<SgSegment>)> = Vec::new();
+        for op in ops {
+            if op % 5 < 3 {
+                let len = 1 + (op as usize * 37) % (4 * SECTOR);
+                match pool.alloc_sg(len) {
+                    Ok(h) => {
+                        let segs = pool.sg_segments(h).unwrap();
+                        let cap: usize = segs.iter().map(|s| s.bytes).sum();
+                        prop_assert!(cap >= len, "chain covers the transfer");
+                        for s in &segs {
+                            for (_, _, other) in &live {
+                                for o in other {
+                                    prop_assert!(
+                                        s.offset + s.bytes <= o.offset
+                                            || o.offset + o.bytes <= s.offset,
+                                        "segment [{}, {}) aliases live [{}, {})",
+                                        s.offset,
+                                        s.offset + s.bytes,
+                                        o.offset,
+                                        o.offset + o.bytes
+                                    );
+                                }
+                            }
+                        }
+                        live.push((h, len, segs));
+                    }
+                    Err(PoolError::Exhausted) => {
+                        // Scatter-gather refuses only on true exhaustion:
+                        // more sectors requested than are free at all.
+                        prop_assert!(
+                            len.div_ceil(SECTOR) > pool.available_sectors(),
+                            "SG refused a transfer it had the bytes for"
+                        );
+                    }
+                    Err(e) => prop_assert!(false, "unexpected alloc error: {e}"),
+                }
+            } else if !live.is_empty() {
+                let (h, _, _) = live.remove(op as usize % live.len());
+                pool.free_sg(h).unwrap();
+                prop_assert_eq!(pool.free_sg(h), Err(PoolError::NotAllocated(h.0)));
+            }
+            prop_assert!(pool.conserved(), "conservation broke mid-history");
+            let in_use: usize =
+                live.iter().map(|(_, _, s)| s.iter().map(|x| x.bytes).sum::<usize>()).sum();
+            prop_assert_eq!(pool.in_use_sectors() * SECTOR, in_use);
+            prop_assert_eq!(pool.live_chains(), live.len());
+        }
+        for (h, _, _) in live.drain(..) {
+            pool.free_sg(h).unwrap();
+        }
+        prop_assert_eq!(pool.available_sectors(), COUNT);
+        prop_assert!(pool.conserved());
+        let s = pool.stats();
+        prop_assert_eq!(s.sectors_allocated, s.sectors_reclaimed);
+        prop_assert_eq!(s.frag_refusals, 0, "buddy+SG never frag-refuses");
+    }
+
+    /// Buddy merge correctness: after any alloc/free history drains,
+    /// splits have re-merged all the way back to the canonical free-list
+    /// decomposition a fresh pool starts with — fragmentation leaves no
+    /// permanent scars. Exercised over a non-power-of-two pool so the
+    /// multi-block canonical decomposition is the target, not `[(0, N)]`.
+    #[test]
+    fn buddy_merge_restores_canonical_free_extents(
+        count in 5usize..24,
+        ops in proptest::collection::vec(any::<u16>(), 1..150),
+    ) {
+        const SECTOR: usize = 64;
+        let pool = SectorPool::with_capacity(SECTOR, count);
+        let canonical = SectorPool::with_capacity(SECTOR, count).free_extents();
+        let mut live: Vec<SgHandle> = Vec::new();
+        for op in ops {
+            if op % 5 < 3 {
+                let len = 1 + (op as usize * 53) % (3 * SECTOR);
+                if let Ok(h) = pool.alloc_sg(len) {
+                    live.push(h);
+                }
+            } else if !live.is_empty() {
+                let h = live.remove(op as usize % live.len());
+                pool.free_sg(h).unwrap();
+            }
+        }
+        for h in live.drain(..) {
+            pool.free_sg(h).unwrap();
+        }
+        prop_assert_eq!(
+            pool.free_extents(),
+            canonical,
+            "drained pool's free lists differ from a fresh pool's"
+        );
+        prop_assert!(pool.conserved());
+    }
+
+    /// The completeness property, with the first-fit scan replaying the
+    /// same adversarial schedule as the incompleteness oracle: the
+    /// buddy+SG pool refuses only when the requested sectors outnumber
+    /// the free ones, while every first-fit refusal is correctly split
+    /// between fragmentation (free bytes sufficed) and true exhaustion.
+    #[test]
+    fn buddy_sg_is_complete_where_first_fit_fragments(
+        ops in proptest::collection::vec(any::<u16>(), 1..200),
+    ) {
+        const SECTOR: usize = 64;
+        const COUNT: usize = 16;
+        let sg = SectorPool::with_capacity_mode(SECTOR, COUNT, AllocMode::BuddySg);
+        let ff = SectorPool::with_capacity_mode(SECTOR, COUNT, AllocMode::FirstFit);
+        let mut live_sg: Vec<SgHandle> = Vec::new();
+        let mut live_ff: Vec<SectorHandle> = Vec::new();
+        for op in ops {
+            if op % 5 < 3 {
+                let len = 1 + (op as usize * 37) % (4 * SECTOR);
+                let need = len.div_ceil(SECTOR);
+                match sg.alloc_sg(len) {
+                    Ok(h) => live_sg.push(h),
+                    Err(PoolError::Exhausted) => prop_assert!(
+                        need > sg.available_sectors(),
+                        "buddy+SG refused {need} sectors with {} free",
+                        sg.available_sectors()
+                    ),
+                    Err(e) => prop_assert!(false, "unexpected alloc error: {e}"),
+                }
+                let before = ff.stats();
+                match ff.alloc(len) {
+                    Ok(h) => live_ff.push(h),
+                    Err(PoolError::Exhausted) => {
+                        let after = ff.stats();
+                        if need <= ff.available_sectors() {
+                            prop_assert_eq!(
+                                after.frag_refusals, before.frag_refusals + 1,
+                                "refusal with free bytes must count as fragmentation"
+                            );
+                        } else {
+                            prop_assert_eq!(
+                                after.exhausted, before.exhausted + 1,
+                                "refusal without free bytes must count as exhaustion"
+                            );
+                        }
+                    }
+                    Err(e) => prop_assert!(false, "unexpected alloc error: {e}"),
+                }
+            } else {
+                // Mirror the free schedule on both pools, each against
+                // its own live set (their histories legally diverge once
+                // first-fit starts refusing).
+                if !live_sg.is_empty() {
+                    let h = live_sg.remove(op as usize % live_sg.len());
+                    sg.free_sg(h).unwrap();
+                }
+                if !live_ff.is_empty() {
+                    let h = live_ff.remove(op as usize % live_ff.len());
+                    ff.free(h).unwrap();
+                }
+            }
+            prop_assert!(sg.conserved() && ff.conserved());
+        }
+        prop_assert_eq!(sg.stats().frag_refusals, 0, "completeness: no frag refusals");
     }
 }

@@ -55,6 +55,17 @@ pub const PORT_PE: u32 = 1 << 2;
 pub const TD_ACTIVE: u32 = 1 << 23;
 /// TD status: stalled (error).
 pub const TD_STALLED: u32 = 1 << 22;
+/// TD token: more TDs of the same transfer follow (scatter-gather
+/// chaining). On OUT the device accumulates the TD's bytes and defers
+/// command execution until a TD *without* this bit arrives; on IN the
+/// device streams the staged data across consecutive TDs, retaining the
+/// unsent remainder only while every TD fills completely — a short
+/// packet terminates the transfer, exactly as on a real bus. TDs
+/// without the bit behave exactly as before, so single-TD callers are
+/// unchanged. (Stands in for the data-toggle bit real UHCI spends on
+/// packet sequencing — this model has no packet loss to sequence
+/// against.)
+pub const TD_TOKEN_MORE: u32 = 1 << 19;
 /// Frame-list/link terminate bit.
 pub const LINK_TERMINATE: u32 = 1;
 
@@ -105,11 +116,20 @@ pub const FLASH_CMD_WRITE: u8 = b'W';
 /// Flash command byte: stage a sector for the next IN transfer.
 pub const FLASH_CMD_READ: u8 = b'R';
 
-/// A bulk-only flash drive: a sector store plus a staged read.
+/// A bulk-only flash drive: a sector store plus a staged read, plus the
+/// per-LUN scatter-gather reassembly state ([`TD_TOKEN_MORE`]).
 #[derive(Default)]
 struct FlashDrive {
     sectors: HashMap<u32, Vec<u8>>,
     staged_read: Option<u32>,
+    /// OUT bytes accumulated from `MORE`-marked TDs, awaiting the
+    /// chain-final TD that executes them as one command.
+    out_accum: Vec<u8>,
+    /// Unsent remainder of a staged read being streamed across a
+    /// `MORE`-marked IN chain. `Some(vec![])` is meaningful: an
+    /// exactly-filled TD leaves an empty remainder whose next TD reads
+    /// zero bytes — the ZLP that tells the host the transfer is over.
+    in_stream: Option<Vec<u8>>,
     writes: u64,
     reads: u64,
 }
@@ -269,6 +289,7 @@ impl UhciDevice {
                 if status & TD_ACTIVE != 0 {
                     kernel.charge_kernel(costs::DMA_DESC_NS);
                     let endpoint = (token >> 15) & 0xf;
+                    let more = token & TD_TOKEN_MORE != 0;
                     let max_len = ((token >> 21) & 0x7ff) as usize;
                     let len = if max_len == 0x7ff { 0 } else { max_len + 1 };
                     // Each LUN owns an endpoint pair: odd endpoints are
@@ -276,19 +297,47 @@ impl UhciDevice {
                     let result = match lun_of_endpoint(endpoint) {
                         Some(lun) if endpoint.is_multiple_of(2) => {
                             let data = self.dma.read_bytes(buffer, len);
-                            self.luns[lun].handle_out(&data).map(|_| len)
+                            let drive = &mut self.luns[lun];
+                            if more {
+                                // Mid-chain: accumulate, execute later.
+                                drive.out_accum.extend_from_slice(&data);
+                                Ok(len)
+                            } else if drive.out_accum.is_empty() {
+                                drive.handle_out(&data).map(|_| len)
+                            } else {
+                                // Chain-final TD: the accumulated bytes
+                                // plus this TD's are one flash command.
+                                drive.out_accum.extend_from_slice(&data);
+                                let cmd = std::mem::take(&mut drive.out_accum);
+                                drive.handle_out(&cmd).map(|_| len)
+                            }
                         }
-                        Some(lun) => self.luns[lun].handle_in().map(|data| {
-                            // The TD's maxlen bounds the transfer: a
-                            // staged sector longer than the buffer the
-                            // TD names is truncated, never written past
-                            // it — and `actual` reports the truncated
-                            // length, honouring the TD contract the OUT
-                            // path enforces via its read window.
-                            let n = data.len().min(len);
-                            self.dma.write_bytes(buffer, &data[..n]);
-                            n
-                        }),
+                        Some(lun) => {
+                            let staged = match self.luns[lun].in_stream.take() {
+                                Some(stream) => Ok(stream),
+                                None => self.luns[lun].handle_in(),
+                            };
+                            staged.map(|data| {
+                                // The TD's maxlen bounds the transfer: a
+                                // staged sector longer than the buffer
+                                // the TD names is truncated, never
+                                // written past it — and `actual` reports
+                                // the truncated length, honouring the TD
+                                // contract the OUT path enforces via its
+                                // read window. With MORE set the
+                                // remainder streams into the next TD of
+                                // the chain — but only after a *full*
+                                // packet: a short packet terminates the
+                                // transfer and drops the stream, like a
+                                // real bulk pipe.
+                                let n = data.len().min(len);
+                                self.dma.write_bytes(buffer, &data[..n]);
+                                if more && n == len {
+                                    self.luns[lun].in_stream = Some(data[n..].to_vec());
+                                }
+                                n
+                            })
+                        }
                         None => Err(()),
                     };
                     let new_status = match result {
@@ -377,6 +426,18 @@ mod tests {
 
     /// Builds a single-TD schedule in frame 0.
     fn build_td(dma: &DmaMemory, td_at: usize, endpoint: u32, buf: usize, len: usize) {
+        build_td_flags(dma, td_at, endpoint, buf, len, 0);
+    }
+
+    /// Builds a TD with extra token bits (e.g. [`TD_TOKEN_MORE`]).
+    fn build_td_flags(
+        dma: &DmaMemory,
+        td_at: usize,
+        endpoint: u32,
+        buf: usize,
+        len: usize,
+        token_flags: u32,
+    ) {
         dma.write_u32(td_at, LINK_TERMINATE); // link: end of chain
         dma.write_u32(td_at + 4, TD_ACTIVE);
         let maxlen = if len == 0 {
@@ -384,7 +445,7 @@ mod tests {
         } else {
             (len - 1) as u32 & 0x7ff
         };
-        dma.write_u32(td_at + 8, (maxlen << 21) | (endpoint << 15));
+        dma.write_u32(td_at + 8, (maxlen << 21) | (endpoint << 15) | token_flags);
         dma.write_u32(td_at + 12, buf as u32);
     }
 
@@ -554,6 +615,129 @@ mod tests {
         assert_eq!(contents.len(), 2);
         assert_eq!(contents[0].0, 0, "snapshot sorted by (lun, sector)");
         assert_eq!(contents[1].0, 2);
+    }
+
+    #[test]
+    fn sg_out_chain_reassembles_one_flash_command() {
+        // A 'W' command scattered across three MORE-chained TDs must
+        // execute as *one* command once the chain-final TD lands —
+        // byte-identical to the single-TD submission.
+        let (k, mut dev, dma) = setup();
+        let mut payload = vec![FLASH_CMD_WRITE];
+        payload.extend_from_slice(&9u32.to_le_bytes());
+        payload.extend_from_slice(&(0..SECTOR_SIZE).map(|i| i as u8).collect::<Vec<_>>());
+        // Scatter the command into discontiguous buffers.
+        let cuts = [0usize, 100, 300, payload.len()];
+        let bufs = [0x6000usize, 0x6800, 0x7000];
+        for (i, buf) in bufs.iter().enumerate() {
+            dma.write_bytes(*buf, &payload[cuts[i]..cuts[i + 1]]);
+        }
+        for (i, buf) in bufs.iter().enumerate() {
+            let flags = if i + 1 < bufs.len() { TD_TOKEN_MORE } else { 0 };
+            let seg = &payload[cuts[i]..cuts[i + 1]];
+            build_td_flags(&dma, 0x2000, ep_bulk_out(0), *buf, seg.len(), flags);
+            install_frame_list(&k, &mut dev, &dma, 0x2000);
+            dev.write32(&k, USBCMD, CMD_RS);
+            // Mid-chain TDs complete successfully without executing.
+            assert_eq!(dma.read_u32(0x2004) & TD_STALLED, 0, "TD {i}");
+            if i + 1 < bufs.len() {
+                assert_eq!(dev.flash_writes(), 0, "command must not run early");
+            }
+        }
+        assert_eq!(dev.flash_writes(), 1, "one command, three TDs");
+        assert_eq!(dev.flash_sector(9).unwrap(), payload[5..].to_vec());
+    }
+
+    #[test]
+    fn sg_in_chain_streams_a_staged_sector() {
+        // A staged 512-byte sector fetched through two 256-byte
+        // MORE-chained IN TDs: each TD fills completely, the stream
+        // state carries the remainder, nothing leaks to a later
+        // unrelated IN.
+        let (k, mut dev, dma) = setup();
+        dev.preload_sector(5, (0..SECTOR_SIZE).map(|i| (i ^ 0x37) as u8).collect());
+        let mut r = vec![FLASH_CMD_READ];
+        r.extend_from_slice(&5u32.to_le_bytes());
+        dma.write_bytes(0x6000, &r);
+        build_td(&dma, 0x2000, ep_bulk_out(0), 0x6000, r.len());
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+
+        build_td_flags(&dma, 0x2000, ep_bulk_in(0), 0x7000, 256, TD_TOKEN_MORE);
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+        assert_eq!(dma.read_u32(0x2004) & 0x7ff, 256, "first TD full");
+
+        build_td(&dma, 0x2000, ep_bulk_in(0), 0x7800, 256);
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+        assert_eq!(dma.read_u32(0x2004) & 0x7ff, 256, "second TD full");
+
+        let expect: Vec<u8> = (0..SECTOR_SIZE).map(|i| (i ^ 0x37) as u8).collect();
+        assert_eq!(dma.read_bytes(0x7000, 256), expect[..256]);
+        assert_eq!(dma.read_bytes(0x7800, 256), expect[256..]);
+        // The chain-final TD (no MORE) dropped the stream: a later IN
+        // with nothing staged stalls instead of reading stale bytes.
+        build_td(&dma, 0x2000, ep_bulk_in(0), 0x7000, SECTOR_SIZE);
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+        assert!(dma.read_u32(0x2004) & TD_STALLED != 0, "no stale stream");
+    }
+
+    #[test]
+    fn sg_in_short_packet_terminates_the_stream() {
+        // A short packet ends the transfer like a real bulk pipe: a
+        // 100-byte staged sector through a 256-byte MORE TD delivers
+        // 100, and the stream does NOT survive to the next TD.
+        let (k, mut dev, dma) = setup();
+        dev.preload_sector(8, vec![0xab; 100]);
+        let mut r = vec![FLASH_CMD_READ];
+        r.extend_from_slice(&8u32.to_le_bytes());
+        dma.write_bytes(0x6000, &r);
+        build_td(&dma, 0x2000, ep_bulk_out(0), 0x6000, r.len());
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+
+        build_td_flags(&dma, 0x2000, ep_bulk_in(0), 0x7000, 256, TD_TOKEN_MORE);
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+        assert_eq!(dma.read_u32(0x2004) & 0x7ff, 100, "short packet");
+        assert_eq!(dma.read_bytes(0x7000, 100), vec![0xab; 100]);
+
+        build_td(&dma, 0x2000, ep_bulk_in(0), 0x7800, 256);
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+        assert!(
+            dma.read_u32(0x2004) & TD_STALLED != 0,
+            "short packet terminated the stream"
+        );
+    }
+
+    #[test]
+    fn sg_in_exact_fill_yields_zlp_on_next_td() {
+        // Exactly-filled MORE TD: the empty remainder is retained, so
+        // the next TD of the chain reads zero bytes — the ZLP that
+        // tells the host the transfer is complete (not a stall).
+        let (k, mut dev, dma) = setup();
+        dev.preload_sector(2, vec![0x44; 256]);
+        let mut r = vec![FLASH_CMD_READ];
+        r.extend_from_slice(&2u32.to_le_bytes());
+        dma.write_bytes(0x6000, &r);
+        build_td(&dma, 0x2000, ep_bulk_out(0), 0x6000, r.len());
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+
+        build_td_flags(&dma, 0x2000, ep_bulk_in(0), 0x7000, 256, TD_TOKEN_MORE);
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+        assert_eq!(dma.read_u32(0x2004) & 0x7ff, 256);
+
+        build_td(&dma, 0x2000, ep_bulk_in(0), 0x7800, 256);
+        install_frame_list(&k, &mut dev, &dma, 0x2000);
+        dev.write32(&k, USBCMD, CMD_RS);
+        let status = dma.read_u32(0x2004);
+        assert_eq!(status & TD_STALLED, 0, "ZLP is a success, not a stall");
+        assert_eq!(status & 0x7ff, 0, "zero-length packet");
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub enum XpcError {
     /// [`XpcError::Backpressure`] no capacity was consumed; the request
     /// was never queued and there is nothing to reclaim before retrying.
     AdmissionReject(String),
+    /// The request itself is malformed — e.g. a URB whose segment chain
+    /// is shorter than its requested length. Unlike
+    /// [`XpcError::Backpressure`] no amount of reclaim-and-retry can
+    /// help: the caller's request must change.
+    InvalidRequest(String),
 }
 
 impl fmt::Display for XpcError {
@@ -62,6 +67,9 @@ impl fmt::Display for XpcError {
             }
             XpcError::AdmissionReject(what) => {
                 write!(f, "admission refused: {what}")
+            }
+            XpcError::InvalidRequest(what) => {
+                write!(f, "invalid request: {what}")
             }
         }
     }

@@ -6,8 +6,10 @@
 //! [`XpcChannel`] with the [`decaf_shmring`] URB pieces:
 //!
 //! * the **submitter** (the nucleus' USB core) allocates a
-//!   variable-length sector run, *adopts* the payload into it —
-//!   zero-copy page donation, never a marshal or a memcpy — and posts a
+//!   variable-length scatter-gather chain — one contiguous run when the
+//!   pool has one, several when it is fragmented, none at all for a
+//!   zero-length status-stage transfer — *adopts* the payload into it
+//!   (zero-copy page donation, never a marshal or a memcpy) and posts a
 //!   [`UrbDescriptor`] request into the **submit ring**;
 //! * the **doorbell** is an ordinary XPC call with zero object
 //!   arguments, coalesced by a [`DoorbellPolicy`] exactly like the NIC
@@ -181,11 +183,11 @@ impl UrbDataPath {
         }
     }
 
-    /// Submits a host-to-device transfer: allocates a sector run sized
-    /// to the payload, adopts the payload into it (zero-copy page
-    /// donation — [`decaf_simkernel::costs::SECTOR_MAP_NS`] per sector,
-    /// no `charge_copy`), posts the request descriptor and rings the
-    /// doorbell if the policy says it is due.
+    /// Submits a host-to-device transfer: allocates a scatter-gather
+    /// chain sized to the payload, adopts the payload into it (zero-copy
+    /// page donation — [`decaf_simkernel::costs::SECTOR_MAP_NS`] per
+    /// sector, no `charge_copy`), posts the request descriptor and rings
+    /// the doorbell if the policy says it is due.
     ///
     /// On sector exhaustion the path forces a doorbell so the completer
     /// drains, then reports [`XpcError::Backpressure`]; the caller
@@ -198,21 +200,21 @@ impl UrbDataPath {
         payload: &[u8],
         cookie: u64,
     ) -> XpcResult<()> {
-        let run = self.alloc_run(kernel, payload.len())?;
-        if let Err(e) = self.pool.adopt_payload(kernel, payload, run) {
-            let _ = self.pool.free(run);
+        let chain = self.alloc_chain(kernel, payload.len())?;
+        if let Err(e) = self.pool.adopt_payload_sg(kernel, payload, chain) {
+            let _ = self.pool.free_sg(chain);
             return Err(Self::map_pool_err(e));
         }
-        self.post(
+        self.submit(
             kernel,
-            UrbDescriptor::request_out(run, payload.len() as u32, endpoint, cookie),
+            UrbDescriptor::request_out(chain, payload.len() as u32, endpoint, cookie),
         )
     }
 
-    /// Submits a device-to-host transfer: allocates an empty run of
-    /// `expected_len` bytes for the device to DMA into and posts the
-    /// request. The giveback hands the run back with the *actual*
-    /// transferred length.
+    /// Submits a device-to-host transfer: allocates an empty chain of
+    /// `expected_len` bytes capacity for the device to DMA into and
+    /// posts the request. The giveback hands the chain back with the
+    /// *actual* transferred length.
     pub fn submit_in(
         &self,
         kernel: &Kernel,
@@ -220,15 +222,38 @@ impl UrbDataPath {
         expected_len: usize,
         cookie: u64,
     ) -> XpcResult<()> {
-        let run = self.alloc_run(kernel, expected_len)?;
-        self.post(
+        let chain = self.alloc_chain(kernel, expected_len)?;
+        self.submit(
             kernel,
-            UrbDescriptor::request_in(run, expected_len as u32, endpoint, cookie),
+            UrbDescriptor::request_in(chain, expected_len as u32, endpoint, cookie),
         )
     }
 
-    fn alloc_run(&self, kernel: &Kernel, len: usize) -> XpcResult<decaf_shmring::SectorHandle> {
-        match self.pool.alloc(len) {
+    /// Submits a caller-built descriptor, validating it first: the
+    /// chain must be live and its capacity must cover `desc.len`, so an
+    /// undersized IN request fails **here**, to the caller, as
+    /// [`XpcError::InvalidRequest`] — not device-side mid-drain as a
+    /// surprise `TooLarge`. Like every other submit error path, a
+    /// refused descriptor's chain is freed: an error always means the
+    /// URB was not submitted and nothing leaked.
+    pub fn submit(&self, kernel: &Kernel, desc: UrbDescriptor) -> XpcResult<()> {
+        match self.pool.sg_capacity(desc.buf) {
+            Ok(cap) if cap >= desc.len as usize => self.post(kernel, desc),
+            Ok(cap) => {
+                let _ = self.pool.free_sg(desc.buf);
+                Err(XpcError::InvalidRequest(format!(
+                    "URB requests {} bytes but its chain holds {cap}",
+                    desc.len
+                )))
+            }
+            Err(e) => Err(XpcError::InvalidRequest(format!(
+                "URB names a dead chain: {e}"
+            ))),
+        }
+    }
+
+    fn alloc_chain(&self, kernel: &Kernel, len: usize) -> XpcResult<decaf_shmring::SgHandle> {
+        match self.pool.alloc_sg(len) {
             Ok(run) => {
                 kernel.trace_instant(
                     "pool",
@@ -254,12 +279,12 @@ impl UrbDataPath {
     }
 
     fn post(&self, kernel: &Kernel, desc: UrbDescriptor) -> XpcResult<()> {
-        let run = desc.buf;
+        let chain = desc.buf;
         let bytes = desc.len as u64;
         match self.submit.push(kernel, self.producer.cpu_class(), desc) {
             Ok(()) => {}
             Err(RingError::Full) => {
-                let _ = self.pool.free(run);
+                let _ = self.pool.free_sg(chain);
                 // Same staged backpressure as sector exhaustion: force
                 // the completer to drain, so the caller's
                 // reclaim-and-retry can actually succeed.
@@ -371,18 +396,18 @@ impl UrbDataPath {
         }
         let mut out = Vec::with_capacity(done.len());
         for d in done {
-            // An inconsistent giveback (actual exceeding the run, a
+            // An inconsistent giveback (actual exceeding the chain, a
             // stale handle) must surface as -EIO, never masquerade as a
             // successful zero-byte read.
             let (status, data) = if d.dir == XferDir::In && d.ok() {
-                match self.pool.read_payload(d.buf, d.actual as usize) {
+                match self.pool.read_payload_sg(d.buf, d.actual as usize) {
                     Ok(data) => (d.status, data),
                     Err(_) => (-5, Vec::new()),
                 }
             } else {
                 (d.status, Vec::new())
             };
-            let freed = self.pool.free(d.buf);
+            let freed = self.pool.free_sg(d.buf);
             debug_assert!(
                 freed.is_ok(),
                 "giveback carried a handle the pool rejects: {freed:?}"
@@ -424,9 +449,9 @@ pub struct UrbEnd {
 }
 
 impl UrbEnd {
-    /// The shared sector pool (for [`SectorPool::offset_of`]: the
-    /// completer programs the hardware straight from the run's DMA
-    /// offset).
+    /// The shared sector pool (for [`SectorPool::sg_segments`]: the
+    /// completer programs the hardware straight from the chain's DMA
+    /// extents, one transfer descriptor per segment).
     pub fn pool(&self) -> &Rc<SectorPool> {
         &self.pool
     }
@@ -476,8 +501,8 @@ mod tests {
                 arg_types: vec![],
                 handler: Rc::new(move |k, _, _, _| {
                     for d in end.consume(k) {
-                        let off = end.pool().offset_of(d.buf).expect("live run");
-                        assert!(off < 512 * 64);
+                        let segs = end.pool().sg_segments(d.buf).expect("live chain");
+                        assert!(segs.iter().all(|s| s.offset < 512 * 64));
                         let actual = match d.dir {
                             XferDir::Out => d.len,
                             XferDir::In => 100,
@@ -668,6 +693,86 @@ mod tests {
         assert_eq!(dp.reclaim(&k).len(), 1);
         assert!(dp.conserved());
         assert_eq!(dp.pool().in_use_sectors(), 0, "refused URB freed its run");
+    }
+
+    #[test]
+    fn undersized_in_chain_rejected_at_submit_not_mid_drain() {
+        // Regression: a `request_in` whose chain is shorter than `len`
+        // used to be accepted at submit and only fail device-side,
+        // mid-drain, as a surprise `TooLarge`. It must fail *here*, to
+        // the caller, before anything is posted.
+        let (k, dp) = path(64);
+        let chain = dp.pool().alloc_sg(512).unwrap();
+        let desc = UrbDescriptor::request_in(chain, 1024, 1, 5);
+        let err = dp.submit(&k, desc);
+        assert!(
+            matches!(err, Err(XpcError::InvalidRequest(_))),
+            "undersized chain must be an invalid request, got {err:?}"
+        );
+        assert_eq!(dp.pending(), 0, "nothing was posted");
+        assert_eq!(dp.stats().submitted, 0);
+        assert_eq!(dp.pool().in_use_sectors(), 0, "refused URB freed its chain");
+        assert!(dp.conserved());
+        // A dead chain is likewise refused (and cannot be double-freed).
+        let err = dp.submit(&k, UrbDescriptor::request_in(chain, 100, 1, 6));
+        assert!(matches!(err, Err(XpcError::InvalidRequest(_))));
+        // A correctly-sized chain sails through the same entry point.
+        let ok = dp.pool().alloc_sg(512).unwrap();
+        dp.submit(&k, UrbDescriptor::request_in(ok, 512, 1, 7))
+            .unwrap();
+        dp.ring_doorbell(&k).unwrap();
+        assert_eq!(dp.reclaim(&k).len(), 1);
+        assert!(dp.conserved());
+    }
+
+    #[test]
+    fn zero_length_transfers_allocate_no_sectors() {
+        // The USB status-stage shape: a zero-length OUT rides an empty
+        // chain — no sector burned, ledger still closed.
+        let (k, dp) = path(1);
+        dp.submit_out(&k, 2, &[], 11).unwrap();
+        assert_eq!(
+            dp.pool().stats().sectors_allocated,
+            0,
+            "ZLP pinned no sectors"
+        );
+        let done = dp.reclaim(&k);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].ok());
+        assert_eq!(done[0].actual, 0);
+        assert!(dp.conserved());
+        assert!(dp.pool().conserved());
+        assert_eq!(dp.pool().in_use_sectors(), 0);
+    }
+
+    #[test]
+    fn fragmented_pool_still_accepts_transfers_it_has_bytes_for() {
+        // The headline bug: pin every other sector so no 2-sector
+        // contiguous run exists, then submit multi-sector OUT URBs. The
+        // SG path chains them instead of refusing.
+        let (k, dp) = path(1);
+        let pool = Rc::clone(dp.pool());
+        let pins: Vec<_> = (0..64).map(|_| pool.alloc(1).unwrap()).collect();
+        for (i, pin) in pins.iter().enumerate() {
+            if i % 2 == 0 {
+                pool.free(*pin).unwrap();
+            }
+        }
+        assert_eq!(pool.available_sectors(), 32);
+        let payload = vec![0xc3u8; 1024]; // needs 2 sectors
+        dp.submit_out(&k, 2, &payload, 0).unwrap();
+        let done = dp.reclaim(&k);
+        assert_eq!(done.len(), 1, "fragmented pool served the transfer");
+        assert!(done[0].ok());
+        assert_eq!(pool.stats().frag_refusals, 0, "never refused");
+        assert_eq!(k.stats().bytes_copied, 0, "chaining stays zero-copy");
+        for (i, pin) in pins.iter().enumerate() {
+            if i % 2 != 0 {
+                pool.free(*pin).unwrap();
+            }
+        }
+        assert!(dp.conserved());
+        assert!(pool.conserved());
     }
 
     #[test]

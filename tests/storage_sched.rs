@@ -38,7 +38,7 @@ use decaf_core::sched::{
 
 #[path = "fault_harness/mod.rs"]
 mod fault_harness;
-use decaf_core::shmring::{SectorPool, UrbDescriptor, UrbRingSet};
+use decaf_core::shmring::{SectorPool, SgSegment, UrbDescriptor, UrbRingSet};
 use decaf_core::simdev::uhci as hwreg;
 use decaf_core::simkernel::usb::{Urb, UrbDir};
 use decaf_core::simkernel::{costs, CpuClass, Kernel};
@@ -79,14 +79,15 @@ fn run_storage_schedule(shards: usize, schedule: &[usize]) {
         2 * schedule.len().max(1),
         pool,
     );
-    // Live runs as cookie -> (byte offset, byte length, submitting shard).
-    let mut live: HashMap<u64, (usize, usize, usize)> = HashMap::new();
+    // Live chains as cookie -> (segments, submitting shard).
+    let mut live: HashMap<u64, (Vec<SgSegment>, usize)> = HashMap::new();
     let mut reclaimed_per_shard = vec![0u64; shards];
 
     let complete_ring =
-        |kernel: &Kernel, victim: usize, live: &HashMap<u64, (usize, usize, usize)>| {
+        |kernel: &Kernel, victim: usize, live: &HashMap<u64, (Vec<SgSegment>, usize)>| {
             for d in set.submit_ring(victim).drain(kernel, CpuClass::User) {
-                let (_, _, submitter) = live[&d.cookie];
+                let (_, submitter) = &live[&d.cookie];
+                let submitter = *submitter;
                 let home = set
                     .complete(kernel, CpuClass::User, d.completed(0, d.len))
                     .unwrap();
@@ -101,19 +102,25 @@ fn run_storage_schedule(shards: usize, schedule: &[usize]) {
     for (t, &shard) in schedule.iter().enumerate() {
         let cookie = t as u64;
         let data = payload(t, shard);
-        let run = set.pool().alloc(data.len()).unwrap();
-        set.pool().adopt_payload(&kernel, &data, run).unwrap();
-        let off = set.pool().offset_of(run).unwrap();
-        let bytes = set.pool().run_sectors(run).unwrap() * SECTOR;
-        // Alias freedom: the fresh run overlaps no live run.
-        for (&other, &(o, b, _)) in &live {
-            assert!(
-                off + bytes <= o || o + b <= off,
-                "schedule {schedule:?}: run of cookie {cookie} [{off}, {}) \
-                 aliases live run of cookie {other} [{o}, {})",
-                off + bytes,
-                o + b
-            );
+        let run = set.pool().alloc_sg(data.len()).unwrap();
+        set.pool().adopt_payload_sg(&kernel, &data, run).unwrap();
+        let segs = set.pool().sg_segments(run).unwrap();
+        // Alias freedom: no segment of the fresh chain overlaps any
+        // segment of any live chain.
+        for (&other, (osegs, _)) in &live {
+            for s in &segs {
+                for o in osegs {
+                    assert!(
+                        s.offset + s.bytes <= o.offset || o.offset + o.bytes <= s.offset,
+                        "schedule {schedule:?}: chain of cookie {cookie} [{}, {}) \
+                         aliases live chain of cookie {other} [{}, {})",
+                        s.offset,
+                        s.offset + s.bytes,
+                        o.offset,
+                        o.offset + o.bytes
+                    );
+                }
+            }
         }
         set.submit_ring(shard)
             .push(
@@ -123,7 +130,7 @@ fn run_storage_schedule(shards: usize, schedule: &[usize]) {
             )
             .unwrap();
         set.note_submit(shard, cookie);
-        live.insert(cookie, (off, bytes, shard));
+        live.insert(cookie, (segs, shard));
 
         if t % 3 == 2 {
             complete_ring(&kernel, (shard + t) % shards, &live);
@@ -131,21 +138,23 @@ fn run_storage_schedule(shards: usize, schedule: &[usize]) {
         if t % 5 == 4 {
             let rshard = (shard + 2 * t) % shards;
             for d in set.reclaim(&kernel, CpuClass::Kernel, rshard) {
-                let (_, _, submitter) = live[&d.cookie];
+                let (_, submitter) = live[&d.cookie].clone();
                 assert_eq!(
                     submitter, rshard,
                     "schedule {schedule:?}: cookie {} reclaimed on the wrong shard",
                     d.cookie
                 );
-                // The adopted payload reads back bit-for-bit, in place.
+                // The adopted payload gathers back bit-for-bit, in place.
                 let idx = d.cookie as usize;
                 assert_eq!(
-                    set.pool().read_payload(d.buf, d.actual as usize).unwrap(),
+                    set.pool()
+                        .read_payload_sg(d.buf, d.actual as usize)
+                        .unwrap(),
                     payload(idx, submitter),
                     "schedule {schedule:?}: payload of cookie {} corrupted",
                     d.cookie
                 );
-                set.pool().free(d.buf).unwrap();
+                set.pool().free_sg(d.buf).unwrap();
                 live.remove(&d.cookie);
                 reclaimed_per_shard[rshard] += 1;
             }
@@ -161,9 +170,9 @@ fn run_storage_schedule(shards: usize, schedule: &[usize]) {
     }
     for (rshard, reclaimed) in reclaimed_per_shard.iter_mut().enumerate() {
         for d in set.reclaim(&kernel, CpuClass::Kernel, rshard) {
-            let (_, _, submitter) = live[&d.cookie];
+            let (_, submitter) = live[&d.cookie].clone();
             assert_eq!(submitter, rshard, "schedule {schedule:?}");
-            set.pool().free(d.buf).unwrap();
+            set.pool().free_sg(d.buf).unwrap();
             live.remove(&d.cookie);
             *reclaimed += 1;
         }
@@ -318,12 +327,17 @@ const ORACLE_SECTORS: u32 = 4;
 type CellReads = Vec<(usize, u32, Vec<u8>)>;
 
 /// Payload length of one (lun, sector) cell: full sectors interleaved
-/// with short ones, so actual-length reporting is part of the oracle.
+/// with short ones — so actual-length reporting is part of the oracle —
+/// plus a *multi-sector* cell whose write command spans several pool
+/// sectors. The native hosting still carries it in one TD (the command
+/// stays under the TD maxlen ceiling) while the ring hostings build a
+/// scatter-gather chain for it: the reassembly itself is under
+/// differential test.
 fn cell_len(lun: usize, sector: u32) -> usize {
     match (lun + sector as usize) % 4 {
         0 => hwreg::SECTOR_SIZE,
         1 => 100,
-        2 => hwreg::SECTOR_SIZE,
+        2 => 3 * hwreg::SECTOR_SIZE - 36,
         _ => 37,
     }
 }
@@ -384,7 +398,10 @@ fn oracle_workload(k: &Kernel, hcd: &str) -> CellReads {
                 Urb {
                     endpoint: hwreg::ep_bulk_in(lun) as u8,
                     dir: UrbDir::In,
-                    data: Vec::new(),
+                    // Request the cell's own length (at least a sector):
+                    // the short cells still come back at their true
+                    // actual length, and the multi-sector cell fits.
+                    data: vec![0; cell_len(lun, sector)],
                 },
                 Rc::new(move |_, r| {
                     out.borrow_mut().push((lun, sector, r.unwrap()));
